@@ -1,0 +1,65 @@
+"""Ablation — which sensor the attacker grabs in the case study.
+
+Theorems 3 and 4 predict that compromising precise sensors is much more
+damaging than compromising imprecise ones.  This ablation re-runs the Table II
+case study under the Descending schedule (the attacker-friendly one) with
+different attacked-sensor choices:
+
+* no attack at all,
+* always the camera (the least precise sensor),
+* a uniformly random sensor each round (the Table II default),
+* always an encoder (the most precise sensor — Theorem 4's worst case).
+
+Violation counts must increase along that ordering, and the discussion
+section's advice — schedule hard-to-spoof (or un-attacked) sensors last —
+follows directly from the "camera only" row being (near) harmless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_percentage, format_table
+from repro.scheduling import DescendingSchedule
+from repro.vehicle import CaseStudyConfig, landshark_suite, run_case_study_for_schedule
+
+STEPS = 150
+
+
+def _violations(attacked_sensor) -> tuple[float, float]:
+    config = CaseStudyConfig(n_steps=STEPS, n_vehicles=2, seed=99, attacked_sensor=attacked_sensor)
+    stats = run_case_study_for_schedule(config, DescendingSchedule(), rng=np.random.default_rng(1))
+    return stats.upper_percentage, stats.lower_percentage
+
+
+def _sweep():
+    suite = landshark_suite()
+    camera_index = suite.index_of("camera")
+    scenarios = [
+        ("no attack", "none"),
+        ("camera (least precise)", camera_index),
+        ("random sensor per round", "random"),
+        ("encoder (most precise)", "most_precise"),
+    ]
+    rows = []
+    totals = {}
+    for label, selection in scenarios:
+        upper, lower = _violations(selection)
+        totals[label] = upper + lower
+        rows.append([label, format_percentage(upper), format_percentage(lower)])
+    return rows, totals
+
+
+def test_ablation_attacked_sensor_choice(benchmark, report_writer):
+    rows, totals = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    report_writer(
+        "ablation_attacked_sensor",
+        format_table(
+            ["attacked sensor", "> 10.5 mph", "< 9.5 mph"],
+            rows,
+            title=f"Attacked-sensor ablation — Descending schedule, {STEPS} steps x 2 vehicles",
+        ),
+    )
+    assert totals["no attack"] == 0.0
+    assert totals["camera (least precise)"] <= totals["random sensor per round"] + 1e-9
+    assert totals["random sensor per round"] <= totals["encoder (most precise)"] + 1e-9
+    assert totals["encoder (most precise)"] > 0.0

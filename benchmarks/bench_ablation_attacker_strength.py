@@ -1,0 +1,78 @@
+"""Ablation — how much does attacker sophistication matter?
+
+DESIGN.md calls out the attacker policy as the main modelling degree of
+freedom of the reproduction.  This benchmark fixes one Table I configuration
+and one schedule (Descending, the attacker-friendly one) and sweeps the
+attacker from harmless to omniscient:
+
+truthful < random admissible < greedy < expectation (conservative)
+        <= expectation (faithful) <= omniscient (problem (1) upper bound)
+
+The expected fusion width must be monotone along that ordering (up to small
+estimation noise), which both validates the policy implementations and shows
+where the paper's "reasonable" attacker sits between the extremes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.attack import (
+    ExpectationPolicy,
+    GreedyExtendPolicy,
+    OmniscientPolicy,
+    RandomAdmissiblePolicy,
+    TruthfulPolicy,
+)
+from repro.scheduling import (
+    DescendingSchedule,
+    ScheduleComparisonConfig,
+    expected_fusion_width_exhaustive,
+)
+
+CONFIG = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1, positions=4)
+
+POLICIES = (
+    ("truthful", lambda: TruthfulPolicy(), False),
+    ("random admissible", lambda: RandomAdmissiblePolicy(), False),
+    ("greedy", lambda: GreedyExtendPolicy(), False),
+    ("expectation (conservative)", lambda: ExpectationPolicy(conservative=True), False),
+    ("expectation (faithful)", lambda: ExpectationPolicy(), False),
+    ("omniscient (problem 1)", lambda: OmniscientPolicy(), True),
+)
+
+
+def _sweep():
+    rows = []
+    widths = {}
+    for name, factory, needs_oracle in POLICIES:
+        row = expected_fusion_width_exhaustive(
+            CONFIG,
+            DescendingSchedule(),
+            factory(),
+            rng=np.random.default_rng(0),
+            give_oracle=needs_oracle,
+        )
+        widths[name] = row.expected_width
+        rows.append([name, f"{row.expected_width:.2f}", f"{row.detected_fraction:.2%}"])
+    return rows, widths
+
+
+def test_ablation_attacker_strength(benchmark, report_writer):
+    rows, widths = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    report_writer(
+        "ablation_attacker_strength",
+        format_table(
+            ["attacker policy", "E|S| (descending)", "detected"],
+            rows,
+            title=f"Attacker-strength ablation — L={CONFIG.lengths}, fa={CONFIG.fa}, f={CONFIG.resolved_f}",
+        ),
+    )
+    assert widths["truthful"] <= widths["greedy"] + 1e-9
+    assert widths["greedy"] <= widths["expectation (faithful)"] + 1e-9
+    assert widths["expectation (conservative)"] <= widths["expectation (faithful)"] + 1e-9
+    assert widths["expectation (faithful)"] <= widths["omniscient (problem 1)"] + 1e-6
+    # The truthful attacker defines the no-attack baseline; every stealthy
+    # attacker must sit between it and the omniscient upper bound.
+    for name in ("random admissible", "greedy", "expectation (faithful)"):
+        assert widths["truthful"] - 1e-9 <= widths[name] <= widths["omniscient (problem 1)"] + 1e-6

@@ -1,0 +1,87 @@
+"""Ablation — sensitivity of the fusion interval to the fault bound ``f``.
+
+The paper fixes ``f = ceil(n/2) - 1`` (the most conservative safe choice).
+This ablation quantifies the trade-off that choice makes: a larger ``f``
+inflates the fusion interval (less precision) but tolerates more compromised
+sensors; an under-provisioned ``f`` (smaller than the number of actually
+attacked sensors) can exclude the true value from the fusion interval.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.attack import ExpectationPolicy
+from repro.core import EmptyFusionError, Interval, fuse
+from repro.scheduling import DescendingSchedule, RoundConfig, run_round
+from repro.sensors import SensorSuite, UniformNoise, sensors_from_widths
+
+WIDTHS = [0.5, 1.0, 2.0, 4.0, 8.0]
+ROUNDS = 300
+
+
+def _sweep_f():
+    suite = SensorSuite(sensors_from_widths(WIDTHS, noise=UniformNoise()))
+    rows = []
+    stats = {}
+    for f in (0, 1, 2):
+        rng = np.random.default_rng(f)
+        attack_rng = np.random.default_rng(100 + f)
+        widths = []
+        containment = 0
+        for _ in range(ROUNDS):
+            readings = suite.measure_all(0.0, rng)
+            correct = [r.interval for r in readings]
+            if f == 0:
+                # No tolerance for compromised sensors: fuse the raw readings.
+                fusion = fuse(correct, 0)
+            else:
+                result = run_round(
+                    correct,
+                    RoundConfig(
+                        schedule=DescendingSchedule(),
+                        attacked_indices=(0,),
+                        policy=ExpectationPolicy(true_value_positions=2, placement_positions=2),
+                        f=f,
+                    ),
+                    attack_rng,
+                )
+                fusion = result.fusion
+            widths.append(fusion.width)
+            containment += fusion.contains(0.0)
+        stats[f] = (float(np.mean(widths)), containment / ROUNDS)
+        rows.append([f"f = {f}", f"{stats[f][0]:.3f}", f"{stats[f][1]:.2%}"])
+    return rows, stats
+
+
+def test_ablation_fault_bound(benchmark, report_writer):
+    rows, stats = benchmark.pedantic(_sweep_f, iterations=1, rounds=1)
+    report_writer(
+        "ablation_fault_bound",
+        format_table(
+            ["fault bound", "mean fusion width", "true value contained"],
+            rows,
+            title=f"Fault-bound ablation — widths {WIDTHS}, one attacked sensor, {ROUNDS} rounds",
+        ),
+    )
+    # Larger f → wider fusion interval (the price of resilience).
+    assert stats[0][0] <= stats[1][0] <= stats[2][0] + 1e-9
+    # With f >= fa the fusion interval always contains the true value.
+    assert stats[1][1] == 1.0
+    assert stats[2][1] == 1.0
+
+
+def test_ablation_under_provisioned_f_loses_guarantee(benchmark, report_writer):
+    """With fa > f the fusion interval can exclude the true value entirely."""
+    correct = [Interval(-0.25, 0.25), Interval(-0.5, 0.5), Interval(-1.0, 1.0)]
+    # Two forged intervals far away from the truth against f = 1: the forged
+    # cluster outvotes the correct sensors' region.
+    forged = [Interval(4.0, 5.0), Interval(4.2, 5.2)]
+    fusion = benchmark(fuse, correct[:1] + forged, 1)
+    assert not fusion.contains(0.0)
+    report_writer(
+        "ablation_under_provisioned_f",
+        "Under-provisioned fault bound: with fa=2 > f=1 the fusion interval "
+        f"{fusion} excludes the true value 0.0 — the f < ceil(n/2) guarantee only "
+        "holds when at most f sensors are compromised.",
+    )

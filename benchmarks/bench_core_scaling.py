@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the core primitives.
+
+Not a paper table — these benchmarks document the cost of the building blocks
+(fusion sweep, coverage profile, detection, one simulated round) so that
+regressions in the inner loops of the experiment harnesses are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack import ExpectationPolicy
+from repro.core import Interval, coverage_profile, detect, fuse
+from repro.scheduling import DescendingSchedule, RoundConfig, run_round
+
+
+def _random_intervals(n: int, seed: int = 0) -> list[Interval]:
+    rng = np.random.default_rng(seed)
+    intervals = []
+    for _ in range(n):
+        width = float(rng.uniform(0.5, 5.0))
+        lo = -width * float(rng.uniform(0.0, 1.0))
+        intervals.append(Interval(lo, lo + width))
+    return intervals
+
+
+@pytest.mark.parametrize("n", [8, 64, 512])
+def test_scaling_fuse(benchmark, n):
+    intervals = _random_intervals(n)
+    fusion = benchmark(fuse, intervals, (n + 1) // 2 - 1)
+    assert fusion.contains(0.0)
+
+
+@pytest.mark.parametrize("n", [8, 64, 512])
+def test_scaling_coverage_profile(benchmark, n):
+    intervals = _random_intervals(n)
+    profile = benchmark(coverage_profile, intervals)
+    assert max(segment.coverage for segment in profile) <= n
+
+
+def test_scaling_detection(benchmark):
+    intervals = _random_intervals(256)
+    fusion = fuse(intervals, 127)
+    result = benchmark(detect, intervals, fusion)
+    assert not result.any_flagged
+
+
+def test_scaling_attacked_round(benchmark):
+    correct = _random_intervals(5, seed=3)
+    config = RoundConfig(
+        schedule=DescendingSchedule(),
+        attacked_indices=(0,),
+        policy=ExpectationPolicy(true_value_positions=2, placement_positions=2),
+        f=2,
+    )
+
+    def run():
+        return run_round(correct, config, np.random.default_rng(0))
+
+    result = benchmark(run)
+    assert result.fusion.contains(0.0)

@@ -1,0 +1,102 @@
+"""Extension — transient faults and windowed detection (paper's future work).
+
+The paper's footnote 1 and conclusion sketch an extension in which honest
+sensors may suffer random transient faults and a sensor is only treated as
+compromised if it is flagged more than ``f_w`` times within a window of ``w``
+rounds.  This benchmark quantifies the benefit of that windowed rule over the
+memoryless one:
+
+* honest sensors glitch transiently with a small per-round probability;
+* one sensor is a persistent (naive, detectable) spoofer;
+* the *memoryless* policy (window 1, zero budget) discards a sensor on its
+  first flag — it catches the spoofer instantly but also permanently discards
+  honest sensors after their first glitch;
+* the *windowed* policy (window 10, budget 3) still discards the spoofer
+  within a handful of rounds while honest sensors survive their glitches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import WindowedFusionPipeline
+from repro.sensors import FaultySensor, SensorSuite, TransientFaultModel, sensors_from_widths
+
+N_ROUNDS = 400
+FAULT_PROBABILITY = 0.02
+WIDTHS = [0.5, 1.0, 1.5, 2.0, 4.0]
+SPOOFER_INDEX = 0
+SPOOF_OFFSET = 10.0
+TRUE_VALUE = 10.0
+
+
+def _build_suite() -> SensorSuite:
+    sensors = sensors_from_widths(WIDTHS)
+    faulty = [
+        FaultySensor(sensor, TransientFaultModel(probability=FAULT_PROBABILITY))
+        for sensor in sensors
+    ]
+    return SensorSuite(faulty)
+
+
+def _simulate(window: int, max_flags: int, seed: int = 0):
+    """Return (honest sensors discarded, rounds until the spoofer is discarded)."""
+    suite = _build_suite()
+    pipeline = WindowedFusionPipeline(len(suite), window=window, max_flags=max_flags)
+    rng = np.random.default_rng(seed)
+    spoofer_discarded_at = None
+    for round_index in range(N_ROUNDS):
+        readings = suite.measure_all(TRUE_VALUE, rng)
+        intervals = [reading.interval for reading in readings]
+        # The spoofer ignores its reading and reports a far-away interval
+        # (until it has been discarded, after which its slot is ignored anyway).
+        intervals[SPOOFER_INDEX] = intervals[SPOOFER_INDEX].shift(SPOOF_OFFSET)
+        outcome = pipeline.process_round(intervals)
+        if spoofer_discarded_at is None and outcome.is_discarded(SPOOFER_INDEX):
+            spoofer_discarded_at = round_index + 1
+    discarded_honest = sorted(set(pipeline.detector.discarded) - {SPOOFER_INDEX})
+    return discarded_honest, spoofer_discarded_at
+
+
+def test_ext_transient_faults_windowed_detection(benchmark, report_writer):
+    policies = [
+        ("memoryless (w=1, budget 0)", 1, 0),
+        ("windowed (w=10, budget 3)", 10, 3),
+    ]
+
+    def sweep():
+        return {name: _simulate(window, budget) for name, window, budget in policies}
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    rows = []
+    for name, _window, _budget in policies:
+        discarded_honest, spoofer_at = results[name]
+        rows.append(
+            [
+                name,
+                str(len(discarded_honest)),
+                "never" if spoofer_at is None else f"round {spoofer_at}",
+            ]
+        )
+    report_writer(
+        "ext_transient_faults",
+        format_table(
+            ["detection policy", "honest sensors discarded", "spoofer discarded"],
+            rows,
+            title=(
+                f"Windowed detection extension — {N_ROUNDS} rounds, "
+                f"{FAULT_PROBABILITY:.0%} transient fault rate per honest sensor"
+            ),
+        ),
+    )
+
+    memoryless_honest, memoryless_spoofer = results["memoryless (w=1, budget 0)"]
+    windowed_honest, windowed_spoofer = results["windowed (w=10, budget 3)"]
+    # Both policies catch the persistent spoofer quickly...
+    assert memoryless_spoofer is not None and memoryless_spoofer <= 2
+    assert windowed_spoofer is not None and windowed_spoofer <= 20
+    # ...but only the windowed policy keeps the transiently-glitching honest
+    # sensors in service.
+    assert len(memoryless_honest) > 0
+    assert len(windowed_honest) == 0

@@ -1,0 +1,46 @@
+"""Figure 1 — Marzullo's fusion interval for three values of ``f``.
+
+The paper's Figure 1 shows one five-sensor configuration and the fusion
+interval it produces for ``f = 0, 1, 2``: the interval grows with ``f``.
+This benchmark regenerates the figure (as ASCII art) and times the fusion
+primitive itself, both on the figure's configuration and on larger random
+configurations to document its scaling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure1_intervals
+from repro.core import Interval, fuse
+from repro.viz import LabeledInterval, render_fusion_figure
+
+
+def _figure_text() -> str:
+    intervals = figure1_intervals()
+    sensors = [LabeledInterval(f"s{i + 1}", s) for i, s in enumerate(intervals)]
+    fusions = [LabeledInterval(f"S(f={f})", fuse(intervals, f)) for f in (0, 1, 2)]
+    header = "Figure 1 — fusion interval for f = 0, 1, 2 (width grows with f)"
+    return header + "\n" + render_fusion_figure(sensors, fusions)
+
+
+def test_fig1_fusion_small_configuration(benchmark, report_writer):
+    """Time the fusion of the Figure 1 configuration and render the figure."""
+    intervals = figure1_intervals()
+    result = benchmark(lambda: [fuse(intervals, f) for f in (0, 1, 2)])
+    widths = [fusion.width for fusion in result]
+    assert widths == sorted(widths), "fusion width must grow with f"
+    report_writer("fig1_marzullo", _figure_text())
+
+
+@pytest.mark.parametrize("n_sensors", [10, 100, 1000])
+def test_fig1_fusion_scaling(benchmark, n_sensors):
+    """Fusion cost scaling in the number of sensors (O(n log n) sweep)."""
+    rng = np.random.default_rng(0)
+    intervals = []
+    for _ in range(n_sensors):
+        width = float(rng.uniform(0.5, 5.0))
+        lo = -width * float(rng.uniform(0, 1))
+        intervals.append(Interval(lo, lo + width))
+    f = (n_sensors + 1) // 2 - 1
+    fusion = benchmark(fuse, intervals, f)
+    assert fusion.contains(0.0)

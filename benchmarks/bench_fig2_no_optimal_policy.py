@@ -1,0 +1,68 @@
+"""Figure 2 — with partial knowledge the attacker has no optimal policy.
+
+The paper's Figure 2 argument: the attacker has seen only ``s1`` when she
+must place ``a1``.  Whatever she commits to (attack left, right, or both
+sides), there is a realisation of the unseen ``s2`` that makes her placement
+sub-optimal compared to the full-knowledge optimum for that realisation.
+
+The benchmark quantifies that regret: for each one-sided/two-sided commitment
+it evaluates the resulting fusion width under both realisations of ``s2`` and
+compares with the per-realisation optimum of problem (1); no commitment
+achieves zero regret on both realisations simultaneously.
+"""
+
+import pytest
+
+from repro.analysis import figure2_configuration, format_table
+from repro.attack import optimal_fusion_width
+from repro.core import Interval, fuse
+
+
+def _commitments(config) -> dict[str, Interval]:
+    s1 = config["s1"]
+    width = config["attacked_width"]
+    return {
+        "attack right": Interval(s1.hi, s1.hi + width),
+        "attack left": Interval(s1.lo - width, s1.lo),
+        "attack both sides": Interval.from_center(s1.center, width),
+    }
+
+
+def _regret_table(config) -> tuple[str, dict[str, dict[str, float]]]:
+    s1 = config["s1"]
+    f = config["f"]
+    realisations = {"s2 appears left": config["s2_left"], "s2 appears right": config["s2_right"]}
+    rows = []
+    regrets: dict[str, dict[str, float]] = {}
+    for label, forged in _commitments(config).items():
+        regrets[label] = {}
+        cells = [label]
+        for name, s2 in realisations.items():
+            achieved = fuse([s1, s2, forged], f).width
+            optimum = optimal_fusion_width([s1, s2], [config["attacked_width"]], f)
+            regret = optimum - achieved
+            regrets[label][name] = regret
+            cells.append(f"{achieved:.2f} (opt {optimum:.2f}, regret {regret:.2f})")
+        rows.append(cells)
+    table = format_table(
+        ["commitment of a1", *realisations.keys()],
+        rows,
+        title="Figure 2 — regret of committing before seeing s2",
+    )
+    return table, regrets
+
+
+def test_fig2_no_single_commitment_is_optimal(benchmark, report_writer):
+    config = figure2_configuration()
+    table, regrets = benchmark(lambda: _regret_table(config))
+    report_writer("fig2_no_optimal_policy", table)
+    # The paper's point: every commitment suffers positive regret on at least
+    # one realisation of the unseen interval.
+    for commitment, per_realisation in regrets.items():
+        assert max(per_realisation.values()) > 1e-9, (
+            f"commitment {commitment!r} should not be optimal for every realisation"
+        )
+    # But for each realisation there IS a commitment with zero regret, which is
+    # why full knowledge (Descending for this attacker) is strictly better.
+    for realisation in next(iter(regrets.values())):
+        assert min(per[realisation] for per in regrets.values()) < 1e-9

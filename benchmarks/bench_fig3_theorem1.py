@@ -1,0 +1,90 @@
+"""Figure 3 — the two cases of Theorem 1 (optimal attacks with partial knowledge).
+
+For each case the benchmark builds a configuration satisfying the theorem's
+sufficient condition, constructs the prescribed placements, and verifies that
+for *every* discretised realisation of the unseen correct interval the
+achieved fusion width equals the full-knowledge optimum of problem (1) —
+which is exactly what "an optimal attack policy exists" means.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.attack import (
+    Theorem1Inputs,
+    case1_applies,
+    case1_placements,
+    case2_applies,
+    case2_placements,
+    optimal_fusion_width,
+)
+from repro.core import Interval, fuse
+from repro.scheduling import correct_placement_grid
+
+
+def _case1_inputs() -> Theorem1Inputs:
+    return Theorem1Inputs(
+        n=4,
+        f=1,
+        seen_correct=(Interval(4.0, 6.0), Interval(4.0, 6.0)),
+        delta=Interval(4.5, 5.5),
+        attacked_widths=(8.0,),
+        unseen_correct_widths=(1.0,),
+    )
+
+
+def _case2_inputs() -> Theorem1Inputs:
+    return Theorem1Inputs(
+        n=4,
+        f=1,
+        seen_correct=(Interval(2.0, 6.0), Interval(5.0, 9.0)),
+        delta=Interval(5.2, 5.8),
+        attacked_widths=(8.0,),
+        unseen_correct_widths=(0.1,),
+    )
+
+
+def _verify_case(inputs: Theorem1Inputs, placements, true_value: float, positions: int = 9):
+    """Return (rows, all_optimal) comparing achieved vs optimal per realisation."""
+    rows = []
+    all_optimal = True
+    unseen_width = inputs.unseen_correct_widths[0]
+    for unseen in correct_placement_grid(unseen_width, true_value, positions):
+        correct = list(inputs.seen_correct) + [unseen]
+        achieved = fuse(correct + list(placements), inputs.f).width
+        optimum = optimal_fusion_width(correct, list(inputs.attacked_widths), inputs.f)
+        all_optimal &= abs(achieved - optimum) < 1e-9
+        rows.append([f"unseen at [{unseen.lo:.2f}, {unseen.hi:.2f}]", achieved, optimum])
+    return rows, all_optimal
+
+
+def test_fig3_case1_partial_knowledge_attack_is_optimal(benchmark, report_writer):
+    inputs = _case1_inputs()
+    assert case1_applies(inputs)
+    placements = case1_placements(inputs)
+    rows, all_optimal = benchmark(lambda: _verify_case(inputs, placements, true_value=5.0))
+    report_writer(
+        "fig3_theorem1_case1",
+        format_table(
+            ["realisation of unseen s3", "achieved width", "optimal width"],
+            rows,
+            title="Figure 3(a) / Theorem 1 case 1 — attack on both sides of the seen intervals",
+        ),
+    )
+    assert all_optimal
+
+
+def test_fig3_case2_partial_knowledge_attack_is_optimal(benchmark, report_writer):
+    inputs = _case2_inputs()
+    assert case2_applies(inputs)
+    placements = case2_placements(inputs)
+    rows, all_optimal = benchmark(lambda: _verify_case(inputs, placements, true_value=5.5))
+    report_writer(
+        "fig3_theorem1_case2",
+        format_table(
+            ["realisation of unseen s3", "achieved width", "optimal width"],
+            rows,
+            title="Figure 3(b) / Theorem 1 case 2 — cover [l_{n-f-fa}, u_{n-f-fa}]",
+        ),
+    )
+    assert all_optimal

@@ -1,0 +1,50 @@
+"""Figure 4 — Theorems 3 and 4: which attacked set achieves the worst case.
+
+The benchmark runs the exhaustive worst-case placement search for a
+three-sensor configuration and reports, for every possible attacked set of
+size ``fa = 1``, the largest achievable fusion width.  The paper's claims:
+
+* attacking the largest interval does not change the worst case (Theorem 3);
+* the global worst case is achieved by attacking the smallest interval
+  (Theorem 4).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.worst_case import worst_case_no_attack, worst_case_over_attacked_sets
+
+WIDTHS = [2.0, 4.0, 8.0]
+F = 1
+RESOLUTION = 0.5
+
+
+def _worst_case_table():
+    baseline = worst_case_no_attack(WIDTHS, F, resolution=RESOLUTION)
+    per_set = worst_case_over_attacked_sets(WIDTHS, fa=1, f=F, resolution=RESOLUTION)
+    rows = [["no attack", f"{baseline.width:.2f}"]]
+    for attacked, result in sorted(per_set.items()):
+        label = ", ".join(f"width {WIDTHS[i]:g}" for i in attacked)
+        rows.append([f"attack {label}", f"{result.width:.2f}"])
+    return baseline, per_set, rows
+
+
+def test_fig4_worst_case_by_attacked_set(benchmark, report_writer):
+    baseline, per_set, rows = benchmark(_worst_case_table)
+    report_writer(
+        "fig4_worst_case",
+        format_table(
+            ["configuration", "worst-case fusion width"],
+            rows,
+            title=f"Figure 4 / Theorems 3 & 4 — widths {WIDTHS}, f = {F}",
+        ),
+    )
+    largest_attack = per_set[(2,)]
+    smallest_attack = per_set[(0,)]
+    global_worst = max(result.width for result in per_set.values())
+    # Theorem 3: attacking the largest interval does not beat the no-attack worst case.
+    assert largest_attack.width == pytest.approx(baseline.width, abs=1e-9)
+    # Theorem 4: attacking the smallest interval achieves the global worst case.
+    assert smallest_attack.width == pytest.approx(global_worst, abs=1e-9)
+    # Attacking a precise sensor strictly increases the worst case here.
+    assert smallest_attack.width > baseline.width + 1e-9

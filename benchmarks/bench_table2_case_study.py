@@ -1,0 +1,64 @@
+"""Table II — LandShark platoon case study: critical speed violations.
+
+Three LandSharks drive at a 10 mph target with a ±0.5 mph safety envelope;
+one (uniformly random) sensor is under attack each fusion round.  For the
+Ascending, Descending and Random schedules the benchmark reports the
+percentage of fusion rounds whose upper bound exceeds 10.5 mph and whose
+lower bound falls below 9.5 mph — the two rows of the paper's Table II.
+
+Expected shape (and, with the random attacked-sensor assumption, magnitude):
+Ascending ≈ 0 %, Descending the largest, Random roughly a third of
+Descending.
+"""
+
+import pytest
+
+from repro.analysis import TABLE2_PAPER_RESULTS, format_percentage, format_table
+from repro.scheduling import AscendingSchedule, DescendingSchedule, RandomSchedule
+from repro.vehicle import CaseStudyConfig, run_case_study
+
+
+def _run(config: CaseStudyConfig):
+    return run_case_study(config)
+
+
+def test_table2_case_study(benchmark, report_writer, case_study_steps):
+    config = CaseStudyConfig(n_steps=case_study_steps, n_vehicles=3, seed=2014)
+    result = benchmark.pedantic(_run, args=(config,), iterations=1, rounds=1)
+
+    rows = []
+    for name in ("ascending", "descending", "random"):
+        stats = result.for_schedule(name)
+        paper_upper, paper_lower = TABLE2_PAPER_RESULTS[name]
+        rows.append(
+            [
+                name,
+                format_percentage(stats.upper_percentage),
+                format_percentage(stats.lower_percentage),
+                format_percentage(paper_upper),
+                format_percentage(paper_lower),
+            ]
+        )
+    report_writer(
+        "table2_case_study",
+        format_table(
+            [
+                "schedule",
+                "> 10.5 mph (measured)",
+                "< 9.5 mph (measured)",
+                "> 10.5 mph (paper)",
+                "< 9.5 mph (paper)",
+            ],
+            rows,
+            title=f"Table II — case study over {config.n_steps} steps x {config.n_vehicles} vehicles",
+        ),
+    )
+
+    ascending = result.for_schedule("ascending")
+    descending = result.for_schedule("descending")
+    random_row = result.for_schedule("random")
+    total = lambda row: row.upper_violations + row.lower_violations  # noqa: E731
+    # Shape of Table II: Ascending eliminates violations entirely, Descending
+    # is the worst, Random sits in between.
+    assert total(ascending) == 0
+    assert total(descending) > total(random_row) > total(ascending)

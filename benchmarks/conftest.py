@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+timing collected by ``pytest-benchmark``, each benchmark writes the
+reproduced table to ``benchmarks/results/<name>.txt`` (and echoes it to
+stdout) so the paper-versus-measured comparison in ``EXPERIMENTS.md`` can be
+refreshed from the files in that directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _positions_from_env(default: int) -> int:
+    """Resolution knob shared by the exhaustive benchmarks.
+
+    ``REPRO_BENCH_POSITIONS`` trades fidelity for runtime: the paper uses a
+    fine discretisation of the real line; the default here keeps the full
+    Table I under a minute.
+    """
+    value = os.environ.get("REPRO_BENCH_POSITIONS", "")
+    try:
+        return max(2, int(value)) if value else default
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_positions() -> int:
+    """Grid positions per sensor for exhaustive enumerations (default 4)."""
+    return _positions_from_env(4)
+
+
+@pytest.fixture(scope="session")
+def case_study_steps() -> int:
+    """Control periods per schedule for the Table II benchmark (default 300)."""
+    value = os.environ.get("REPRO_BENCH_STEPS", "")
+    try:
+        return max(10, int(value)) if value else 300
+    except ValueError:
+        return 300
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a named report to ``benchmarks/results`` and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _write

@@ -1,0 +1,106 @@
+"""Quickstart: abstract sensors, Marzullo fusion, detection and a first attack.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks through the library's core loop:
+
+1. build a small sensor suite and take one round of measurements,
+2. fuse the intervals with Marzullo's algorithm for several fault bounds,
+3. run the controller's detection procedure,
+4. let a stealthy attacker forge one interval and observe the effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FusionEngine,
+    Interval,
+    RoundConfig,
+    fuse,
+    run_round,
+    sensors_from_widths,
+)
+from repro.attack import ExpectationPolicy
+from repro.sensors import SensorSuite
+from repro.viz import LabeledInterval, render_fusion_figure
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    true_speed = 10.0
+
+    # ------------------------------------------------------------------
+    # 1. Abstract sensors: each measurement becomes an interval whose width
+    #    encodes the sensor's precision.
+    # ------------------------------------------------------------------
+    section("One round of measurements")
+    suite = SensorSuite(sensors_from_widths([0.2, 1.0, 2.0, 4.0]))
+    readings = suite.measure_all(true_speed, rng)
+    for reading in readings:
+        print(f"{reading.sensor_name}: measured {reading.measurement:.3f} -> interval {reading.interval}")
+
+    # ------------------------------------------------------------------
+    # 2. Marzullo fusion for increasing fault bounds.
+    # ------------------------------------------------------------------
+    section("Marzullo fusion for f = 0, 1 (uncertainty grows with f)")
+    intervals = [reading.interval for reading in readings]
+    for f in (0, 1):
+        fusion = fuse(intervals, f)
+        print(f"f = {f}: fusion = {fusion} (width {fusion.width:.3f})")
+
+    # ------------------------------------------------------------------
+    # 3. Controller-side engine: fusion + detection in one call.
+    # ------------------------------------------------------------------
+    section("Fusion engine with detection")
+    engine = FusionEngine(n_sensors=len(suite))
+    outcome = engine.process_round(intervals)
+    print(f"fusion interval : {outcome.fusion}")
+    print(f"point estimate  : {outcome.estimate:.3f} (true value {true_speed})")
+    print(f"flagged sensors : {list(outcome.detection.flagged_indices) or 'none'}")
+
+    # ------------------------------------------------------------------
+    # 4. A stealthy attacker compromises the most precise sensor.  Under the
+    #    Descending schedule she transmits last and can stretch the fusion
+    #    interval; under Ascending she transmits first and gains nothing.
+    # ------------------------------------------------------------------
+    section("Stealthy attack on the most precise sensor")
+    for schedule in (DescendingSchedule(), AscendingSchedule()):
+        result = run_round(
+            intervals,
+            RoundConfig(schedule=schedule, attacked_indices=(0,), policy=ExpectationPolicy()),
+            rng,
+        )
+        print(
+            f"{schedule.name:>10}: fusion {result.fusion} "
+            f"(width {result.fusion_width:.3f}, attacker detected: {result.attacker_detected})"
+        )
+
+    # ------------------------------------------------------------------
+    # 5. Render the attacked round the way the paper draws its figures.
+    # ------------------------------------------------------------------
+    section("Figure-style rendering of the attacked (Descending) round")
+    result = run_round(
+        intervals,
+        RoundConfig(schedule=DescendingSchedule(), attacked_indices=(0,), policy=ExpectationPolicy()),
+        rng,
+    )
+    sensors = [
+        LabeledInterval(f"s{i + 1}" + (" (attacked)" if result.is_attacked(i) else ""), interval, result.is_attacked(i))
+        for i, interval in enumerate(result.broadcast)
+    ]
+    fusions = [LabeledInterval("fusion", result.fusion)]
+    print(render_fusion_figure(sensors, fusions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Schedule comparison on a custom sensor configuration (Table I workflow).
+
+Run with::
+
+    python examples/schedule_comparison.py
+
+The script mirrors the paper's Table I methodology on a configuration you can
+edit freely: it enumerates every discretised combination of correct
+measurements, lets the expectation-maximising attacker act at her scheduled
+slots, and reports the expected fusion-interval length for the Ascending,
+Descending and Random schedules, plus the no-attack baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.attack import ExpectationPolicy, TruthfulPolicy
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    RandomSchedule,
+    ScheduleComparisonConfig,
+    compare_schedules,
+    expected_fusion_width_exhaustive,
+)
+
+# Edit these three lines to explore other configurations -----------------
+INTERVAL_LENGTHS = (0.2, 0.2, 1.0, 2.0)  # the LandShark speed-sensor widths
+ATTACKED_SENSORS = 1                     # how many sensors the attacker controls
+GRID_POSITIONS = 5                       # discretisation of each correct placement
+# ------------------------------------------------------------------------
+
+
+def main() -> None:
+    config = ScheduleComparisonConfig(
+        lengths=INTERVAL_LENGTHS, fa=ATTACKED_SENSORS, positions=GRID_POSITIONS
+    )
+    schedules = [AscendingSchedule(), DescendingSchedule(), RandomSchedule()]
+
+    print(
+        f"Configuration: n={config.n}, f={config.resolved_f}, fa={config.fa}, "
+        f"attacked sensors (by index) = {config.resolved_attacked}, "
+        f"{GRID_POSITIONS ** config.n} combinations per schedule"
+    )
+
+    baseline = expected_fusion_width_exhaustive(
+        config, AscendingSchedule(), TruthfulPolicy(), rng=np.random.default_rng(0)
+    )
+    comparison = compare_schedules(
+        config, schedules, policy_factory=ExpectationPolicy, rng=np.random.default_rng(0)
+    )
+
+    rows = [["(no attack)", f"{baseline.expected_width:.3f}", "-"]]
+    for row in comparison.rows:
+        overhead = row.expected_width / baseline.expected_width - 1.0
+        rows.append([row.schedule_name, f"{row.expected_width:.3f}", f"+{overhead:.1%}"])
+    print()
+    print(
+        format_table(
+            ["schedule", "expected fusion width", "attack overhead vs no attack"],
+            rows,
+            title="Expected fusion-interval length per communication schedule",
+        )
+    )
+    print(
+        "\nThe Ascending schedule (most precise sensors first) minimises the attacker's"
+        "\nexpected impact, which is the paper's recommendation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Windowed detection with randomly faulty sensors (the paper's future work).
+
+Run with::
+
+    python examples/windowed_fault_tolerance.py
+
+The base detection rule of the paper is memoryless: any interval that misses
+the fusion interval is discarded.  Real sensors also glitch occasionally, so
+the paper's footnote 1 proposes discarding a sensor only if it is flagged more
+than ``f_w`` times within a window of ``w`` rounds.  This example runs the
+LandShark sensor widths with
+
+* a 3 % per-round transient fault probability on every honest sensor, and
+* one persistently spoofing sensor,
+
+and shows how the two detection policies treat them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import WindowedFusionPipeline
+from repro.sensors import FaultySensor, SensorSuite, TransientFaultModel, sensors_from_widths
+
+WIDTHS = [0.2, 0.2, 1.0, 2.0, 4.0]
+SPOOFER_INDEX = 4
+TRUE_VALUE = 10.0
+N_ROUNDS = 250
+FAULT_PROBABILITY = 0.03
+
+
+def run_policy(window: int, max_flags: int, seed: int = 0) -> dict[str, object]:
+    suite = SensorSuite(
+        FaultySensor(sensor, TransientFaultModel(probability=FAULT_PROBABILITY))
+        for sensor in sensors_from_widths(WIDTHS)
+    )
+    pipeline = WindowedFusionPipeline(len(suite), window=window, max_flags=max_flags)
+    rng = np.random.default_rng(seed)
+    spoofer_discarded_at: int | None = None
+    containment = 0
+    for round_index in range(N_ROUNDS):
+        readings = suite.measure_all(TRUE_VALUE, rng)
+        intervals = [reading.interval for reading in readings]
+        intervals[SPOOFER_INDEX] = intervals[SPOOFER_INDEX].shift(8.0)
+        outcome = pipeline.process_round(intervals)
+        containment += outcome.fusion.contains(TRUE_VALUE)
+        if spoofer_discarded_at is None and outcome.is_discarded(SPOOFER_INDEX):
+            spoofer_discarded_at = round_index + 1
+    honest_discarded = sorted(set(pipeline.detector.discarded) - {SPOOFER_INDEX})
+    return {
+        "honest discarded": len(honest_discarded),
+        "spoofer discarded": "never" if spoofer_discarded_at is None else f"round {spoofer_discarded_at}",
+        "truth contained": f"{containment / N_ROUNDS:.1%}",
+    }
+
+
+def main() -> None:
+    policies = [
+        ("memoryless (w=1, budget 0)", 1, 0),
+        ("windowed (w=10, budget 3)", 10, 3),
+        ("windowed (w=20, budget 6)", 20, 6),
+    ]
+    rows = []
+    for label, window, budget in policies:
+        stats = run_policy(window, budget)
+        rows.append([label, stats["honest discarded"], stats["spoofer discarded"], stats["truth contained"]])
+    print(
+        format_table(
+            ["detection policy", "honest sensors discarded", "spoofer discarded", "truth contained"],
+            rows,
+            title=(
+                f"Windowed detection with {FAULT_PROBABILITY:.0%} transient faults "
+                f"and one persistent spoofer ({N_ROUNDS} rounds)"
+            ),
+        )
+    )
+    print(
+        "\nThe windowed rule keeps transiently-glitching honest sensors in service while"
+        "\nstill discarding the persistent spoofer within a few rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

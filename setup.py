@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work in offline environments whose setuptools lacks the ``wheel`` package
+needed for PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — a reproduction of "Attack-Resilient Sensor Fusion" (DATE 2014).
+
+The library implements Marzullo-style interval fusion for abstract sensors,
+the paper's attacker model (stealth constraints, partial-information and
+omniscient attack policies), communication schedules over a shared broadcast
+bus, and the LandShark platoon case study, together with the machinery that
+regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import Interval, fuse
+
+    intervals = [Interval(0.0, 2.0), Interval(1.0, 3.0), Interval(1.5, 4.0)]
+    fusion = fuse(intervals, f=1)
+
+See ``README.md`` for the architecture overview and ``EXPERIMENTS.md`` for
+the paper-versus-measured comparison of every experiment.
+"""
+
+from repro.core import (
+    DetectionResult,
+    FusionEngine,
+    FusionOutcome,
+    Interval,
+    IntervalSet,
+    convex_hull,
+    detect,
+    fuse,
+    fuse_or_none,
+    intersect_all,
+    max_safe_fault_bound,
+)
+from repro.attack import (
+    AttackContext,
+    AttackPolicy,
+    ExpectationPolicy,
+    GreedyExtendPolicy,
+    OmniscientPolicy,
+    RandomAdmissiblePolicy,
+    TruthfulPolicy,
+    optimal_attack,
+    optimal_fusion_width,
+)
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FixedSchedule,
+    RandomSchedule,
+    RoundConfig,
+    RoundResult,
+    Schedule,
+    ScheduleComparisonConfig,
+    compare_schedules,
+    run_round,
+)
+from repro.sensors import Sensor, SensorSpec, SensorSuite, landshark_specs, sensors_from_widths
+from repro.vehicle import CaseStudyConfig, Platoon, PlatoonConfig, run_case_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Interval",
+    "IntervalSet",
+    "convex_hull",
+    "intersect_all",
+    "fuse",
+    "fuse_or_none",
+    "max_safe_fault_bound",
+    "FusionEngine",
+    "FusionOutcome",
+    "DetectionResult",
+    "detect",
+    # attack
+    "AttackContext",
+    "AttackPolicy",
+    "TruthfulPolicy",
+    "RandomAdmissiblePolicy",
+    "GreedyExtendPolicy",
+    "ExpectationPolicy",
+    "OmniscientPolicy",
+    "optimal_attack",
+    "optimal_fusion_width",
+    # scheduling
+    "Schedule",
+    "AscendingSchedule",
+    "DescendingSchedule",
+    "RandomSchedule",
+    "FixedSchedule",
+    "RoundConfig",
+    "RoundResult",
+    "run_round",
+    "ScheduleComparisonConfig",
+    "compare_schedules",
+    # sensors
+    "Sensor",
+    "SensorSpec",
+    "SensorSuite",
+    "landshark_specs",
+    "sensors_from_widths",
+    # vehicle
+    "PlatoonConfig",
+    "Platoon",
+    "CaseStudyConfig",
+    "run_case_study",
+]

@@ -1,0 +1,89 @@
+"""Aggregate metrics over collections of fusion rounds.
+
+The paper evaluates fusion performance with two kinds of numbers: expected
+fusion-interval lengths (Table I) and critical-bound violation percentages
+(Table II).  This module computes both, plus a handful of secondary metrics
+(containment of the true value, estimate error, detection rate) used by the
+examples and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ExperimentError
+from repro.core.interval import Interval
+
+__all__ = ["FusionStatistics", "summarize_widths", "violation_rates", "containment_rate"]
+
+
+@dataclass(frozen=True)
+class FusionStatistics:
+    """Summary statistics of fusion-interval widths over many rounds."""
+
+    count: int
+    mean_width: float
+    std_width: float
+    min_width: float
+    max_width: float
+    median_width: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for report formatting."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean_width,
+            "std": self.std_width,
+            "min": self.min_width,
+            "max": self.max_width,
+            "median": self.median_width,
+        }
+
+
+def summarize_widths(widths: Sequence[float]) -> FusionStatistics:
+    """Summarise a sequence of fusion-interval widths."""
+    if not widths:
+        raise ExperimentError("cannot summarise an empty width collection")
+    array = np.asarray(widths, dtype=float)
+    return FusionStatistics(
+        count=int(array.size),
+        mean_width=float(array.mean()),
+        std_width=float(array.std()),
+        min_width=float(array.min()),
+        max_width=float(array.max()),
+        median_width=float(np.median(array)),
+    )
+
+
+def violation_rates(
+    fusions: Sequence[Interval], upper_limit: float, lower_limit: float
+) -> tuple[float, float]:
+    """Fraction of fusion intervals whose bounds cross the safety limits.
+
+    Returns ``(upper_rate, lower_rate)`` where ``upper_rate`` is the fraction
+    with ``hi > upper_limit`` and ``lower_rate`` the fraction with
+    ``lo < lower_limit``.
+    """
+    if not fusions:
+        raise ExperimentError("cannot compute violation rates over zero rounds")
+    upper = sum(1 for s in fusions if s.hi > upper_limit) / len(fusions)
+    lower = sum(1 for s in fusions if s.lo < lower_limit) / len(fusions)
+    return upper, lower
+
+
+def containment_rate(fusions: Sequence[Interval], true_values: Sequence[float]) -> float:
+    """Fraction of rounds whose fusion interval contains the true value.
+
+    With ``f`` chosen correctly (at least as large as the number of actually
+    faulty/compromised sensors) this is guaranteed to be 1.0; the metric is
+    used by tests and ablations that deliberately under-provision ``f``.
+    """
+    if len(fusions) != len(true_values):
+        raise ExperimentError("fusions and true_values must have the same length")
+    if not fusions:
+        raise ExperimentError("cannot compute containment over zero rounds")
+    hits = sum(1 for fusion, value in zip(fusions, true_values) if fusion.contains(value))
+    return hits / len(fusions)

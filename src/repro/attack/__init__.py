@@ -1,0 +1,71 @@
+"""Attack models: contexts, stealth constraints and attacker policies.
+
+The subpackage implements Section III of the paper:
+
+* :class:`~repro.attack.context.AttackContext` — what the attacker knows at
+  transmission time;
+* :mod:`repro.attack.stealth` — the passive/active stealth machinery;
+* policies of increasing strength: truthful / random / fixed-shift baselines,
+  the greedy heuristic, the expectation-maximising attacker of problem (2)
+  and the omniscient solver of problem (1);
+* :mod:`repro.attack.theorem1` — Theorem 1's sufficient conditions for an
+  optimal attack under partial knowledge.
+"""
+
+from repro.attack.candidates import candidate_intervals, endpoint_aligned, grid_candidates, passive_extremes
+from repro.attack.context import AttackContext
+from repro.attack.expectation import ExpectationPolicy
+from repro.attack.greedy import GreedyExtendPolicy
+from repro.attack.omniscient import OmniscientPolicy, optimal_attack, optimal_fusion_width
+from repro.attack.policy import AttackPolicy, FixedShiftPolicy, RandomAdmissiblePolicy, TruthfulPolicy
+from repro.attack.stealth import (
+    Admissibility,
+    AttackerMode,
+    active_mode_available,
+    check_admissible,
+    ensure_admissible,
+    is_admissible,
+    passive_admissible,
+    required_support,
+    support_point,
+)
+from repro.attack.theorem1 import (
+    Theorem1Inputs,
+    case1_applies,
+    case1_placements,
+    case2_applies,
+    case2_placements,
+    optimal_policy_exists,
+)
+
+__all__ = [
+    "AttackContext",
+    "AttackPolicy",
+    "TruthfulPolicy",
+    "RandomAdmissiblePolicy",
+    "FixedShiftPolicy",
+    "GreedyExtendPolicy",
+    "ExpectationPolicy",
+    "OmniscientPolicy",
+    "optimal_attack",
+    "optimal_fusion_width",
+    "AttackerMode",
+    "Admissibility",
+    "active_mode_available",
+    "required_support",
+    "passive_admissible",
+    "check_admissible",
+    "ensure_admissible",
+    "is_admissible",
+    "support_point",
+    "candidate_intervals",
+    "passive_extremes",
+    "endpoint_aligned",
+    "grid_candidates",
+    "Theorem1Inputs",
+    "case1_applies",
+    "case2_applies",
+    "optimal_policy_exists",
+    "case1_placements",
+    "case2_placements",
+]

@@ -1,0 +1,133 @@
+"""Candidate placements for a forged interval.
+
+The width of the attacked interval is fixed (widths are public), so the
+attacker's only choice is where to put it on the real line.  This module
+enumerates a finite, representative set of candidate placements that every
+search-based policy (greedy, expectation-maximising, omniscient) draws from:
+
+* the truthful placement (the sensor's own correct reading),
+* the passive extremes — contain ``Δ`` while extending maximally left/right,
+* placements aligned with the endpoints of already-broadcast intervals (worst
+  cases are always attained at such alignments, because the fusion width as a
+  function of a single placement is piecewise linear with breakpoints at
+  endpoint alignments),
+* a uniform grid over the relevant window for robustness.
+
+Only admissible candidates (per :mod:`repro.attack.stealth`) are returned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.attack.context import AttackContext
+from repro.attack.stealth import is_admissible
+from repro.core.interval import Interval
+
+__all__ = ["candidate_intervals", "passive_extremes", "endpoint_aligned", "grid_candidates"]
+
+_DEDUP_PRECISION = 9
+
+
+def passive_extremes(context: AttackContext) -> list[Interval]:
+    """Placements that contain ``Δ`` and extend maximally to one side.
+
+    If the attacked interval is narrower than ``Δ`` no placement can contain
+    ``Δ`` and the list is empty (the attacker is then forced to either tell
+    the truth — her own reading always intersects ``Δ`` but may not contain
+    it — or wait for active mode).
+    """
+    delta = context.delta
+    width = context.width
+    if width < delta.width - 1e-12:
+        return []
+    # Rightmost placement still containing Δ: lower bound at Δ.lo.
+    # Leftmost placement still containing Δ: upper bound at Δ.hi.
+    return [
+        Interval(delta.hi - width, delta.hi),
+        Interval(delta.lo, delta.lo + width),
+        Interval.from_center(delta.center, width),
+    ]
+
+
+def endpoint_aligned(context: AttackContext) -> list[Interval]:
+    """Placements aligned with endpoints of broadcast intervals and ``Δ``.
+
+    For every reference point ``p`` (an endpoint of a transmitted interval,
+    of ``Δ``, or a protected point) the attacker can place her interval so
+    that either its lower or its upper bound touches ``p``; these alignments
+    are where the piecewise-linear fusion-width objective has its breakpoints.
+    """
+    width = context.width
+    reference_points: set[float] = {context.delta.lo, context.delta.hi}
+    for interval in context.transmitted:
+        reference_points.add(interval.lo)
+        reference_points.add(interval.hi)
+    for point in context.protected_points:
+        reference_points.add(point)
+    reference_points.add(context.own_reading.lo)
+    reference_points.add(context.own_reading.hi)
+
+    candidates: list[Interval] = []
+    for point in reference_points:
+        candidates.append(Interval(point, point + width))
+        candidates.append(Interval(point - width, point))
+    return candidates
+
+
+def grid_candidates(context: AttackContext, positions: int = 9) -> list[Interval]:
+    """A uniform grid of placements over the relevant window.
+
+    The window spans the hull of everything the attacker has seen (broadcast
+    intervals, ``Δ``, protected points) extended by one interval width on each
+    side; placements further out can never intersect the fusion interval.
+    """
+    if positions < 2:
+        positions = 2
+    lows = [context.delta.lo] + [s.lo for s in context.transmitted] + list(context.protected_points)
+    highs = [context.delta.hi] + [s.hi for s in context.transmitted] + list(context.protected_points)
+    window_lo = min(lows) - context.width
+    window_hi = max(highs) + context.width
+    span = window_hi - context.width - window_lo
+    if span <= 0:
+        return [Interval(window_lo, window_lo + context.width)]
+    step = span / (positions - 1)
+    return [
+        Interval(window_lo + i * step, window_lo + i * step + context.width)
+        for i in range(positions)
+    ]
+
+
+def _dedupe(candidates: Iterable[Interval]) -> list[Interval]:
+    seen: set[tuple[float, float]] = set()
+    unique: list[Interval] = []
+    for candidate in candidates:
+        key = (round(candidate.lo, _DEDUP_PRECISION), round(candidate.hi, _DEDUP_PRECISION))
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return unique
+
+
+def candidate_intervals(context: AttackContext, grid_positions: int = 9) -> list[Interval]:
+    """Return all admissible candidate placements for the current slot.
+
+    The truthful placement (the sensor's correct reading) is always included
+    and always admissible in passive mode, so the returned list is never
+    empty.
+    """
+    raw: list[Interval] = [context.own_reading]
+    raw.extend(passive_extremes(context))
+    raw.extend(endpoint_aligned(context))
+    raw.extend(grid_candidates(context, grid_positions))
+    admissible = [c for c in _dedupe(raw) if is_admissible(c, context)]
+    if not admissible:
+        # The truthful reading might itself be inadmissible only if it fails
+        # to contain Δ (possible when the attacked sensor is wider than Δ but
+        # offset); fall back to a placement centred on Δ, which is admissible
+        # whenever any placement is.
+        fallback = Interval.from_center(context.delta.center, context.width)
+        if is_admissible(fallback, context):
+            return [fallback]
+        return [context.own_reading]
+    return admissible

@@ -1,0 +1,183 @@
+"""The attacker's view of the world at the moment she must transmit.
+
+Everything an attack policy is allowed to use is collected in
+:class:`AttackContext`:
+
+* global configuration: number of sensors ``n`` and the controller's fault
+  bound ``f`` (the paper assumes the attacker knows the fusion algorithm);
+* the correct readings of the compromised sensors — their intersection is the
+  paper's ``Δ``;
+* every interval already broadcast on the shared bus (the attacker sees all
+  of them because messages are broadcast);
+* the widths and compromised-flags of the sensors still to transmit (interval
+  widths are public a-priori information);
+* protection obligations created by earlier active-mode placements.
+
+Policies that model an *omniscient* attacker (problem (1) of the paper, where
+she knows every correct interval) additionally read the optional
+``oracle_correct_intervals`` field, which honest policies must ignore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.exceptions import AttackError
+from repro.core.interval import Interval
+
+__all__ = ["AttackContext"]
+
+
+@dataclass(frozen=True)
+class AttackContext:
+    """Information available to the attacker when filling one bus slot.
+
+    Attributes
+    ----------
+    n:
+        Total number of sensors in the system.
+    f:
+        Fault bound used by the controller's fusion algorithm.
+    slot_index:
+        Zero-based position of the current slot in the schedule.
+    sensor_index:
+        Index (in suite order) of the compromised sensor transmitting now.
+    width:
+        Width of the interval this sensor must send (widths are fixed and
+        known to the controller, so the attacker cannot change them without
+        being trivially detected).
+    own_reading:
+        The *correct* interval of the compromised sensor transmitting now.
+    delta:
+        Intersection of the correct readings of all compromised sensors
+        (the paper's ``Δ``); it always contains the true value.
+    transmitted:
+        Intervals already broadcast, in transmission order.
+    transmitted_compromised:
+        For each transmitted interval, whether it came from a compromised
+        sensor.
+    remaining_widths:
+        Widths of the sensors that will transmit after this one, in schedule
+        order (current sensor excluded).
+    remaining_compromised:
+        For each remaining sensor, whether it is compromised.
+    protected_points:
+        Points that earlier active-mode placements rely on; the current and
+        later compromised intervals must keep covering them so the earlier
+        forgeries stay stealthy.
+    oracle_correct_intervals:
+        Optional mapping from sensor index to that sensor's correct interval
+        for *every* sensor in the round.  Only omniscient policies may read
+        it; it is ``None`` for honest partial-information simulations.
+    """
+
+    n: int
+    f: int
+    slot_index: int
+    sensor_index: int
+    width: float
+    own_reading: Interval
+    delta: Interval
+    transmitted: tuple[Interval, ...] = ()
+    transmitted_compromised: tuple[bool, ...] = ()
+    remaining_widths: tuple[float, ...] = ()
+    remaining_compromised: tuple[bool, ...] = ()
+    protected_points: tuple[float, ...] = ()
+    oracle_correct_intervals: Mapping[int, Interval] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise AttackError(f"attack context needs n > 0, got {self.n}")
+        if not 0 <= self.f < self.n:
+            raise AttackError(f"fault bound f={self.f} invalid for n={self.n}")
+        if self.width <= 0:
+            raise AttackError(f"interval width must be positive, got {self.width}")
+        if len(self.transmitted) != len(self.transmitted_compromised):
+            raise AttackError("transmitted and transmitted_compromised must have equal length")
+        if len(self.remaining_widths) != len(self.remaining_compromised):
+            raise AttackError("remaining_widths and remaining_compromised must have equal length")
+        if len(self.transmitted) + 1 + len(self.remaining_widths) != self.n:
+            raise AttackError(
+                "transmitted + current + remaining sensors must account for all n sensors "
+                f"({len(self.transmitted)} + 1 + {len(self.remaining_widths)} != {self.n})"
+            )
+        if not self.delta.intersects(self.own_reading):
+            raise AttackError("delta must intersect the compromised sensor's own correct reading")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the stealth machinery
+    # ------------------------------------------------------------------
+    @property
+    def n_transmitted(self) -> int:
+        """Number of intervals already broadcast."""
+        return len(self.transmitted)
+
+    @property
+    def unsent_compromised_count(self) -> int:
+        """The paper's ``far``: unsent compromised intervals, current included."""
+        return 1 + sum(1 for flag in self.remaining_compromised if flag)
+
+    @property
+    def unseen_correct_widths(self) -> tuple[float, ...]:
+        """Widths of the *correct* sensors that have not transmitted yet."""
+        return tuple(
+            width
+            for width, compromised in zip(self.remaining_widths, self.remaining_compromised)
+            if not compromised
+        )
+
+    @property
+    def unseen_compromised_widths(self) -> tuple[float, ...]:
+        """Widths of the compromised sensors that transmit after this one."""
+        return tuple(
+            width
+            for width, compromised in zip(self.remaining_widths, self.remaining_compromised)
+            if compromised
+        )
+
+    @property
+    def seen_correct_intervals(self) -> tuple[Interval, ...]:
+        """Correct intervals already broadcast (the paper's ``C_S``)."""
+        return tuple(
+            interval
+            for interval, compromised in zip(self.transmitted, self.transmitted_compromised)
+            if not compromised
+        )
+
+    @property
+    def seen_compromised_intervals(self) -> tuple[Interval, ...]:
+        """Compromised intervals already broadcast (placed by earlier slots)."""
+        return tuple(
+            interval
+            for interval, compromised in zip(self.transmitted, self.transmitted_compromised)
+            if compromised
+        )
+
+    def with_protected_points(self, points: tuple[float, ...]) -> "AttackContext":
+        """Return a copy with additional protection obligations."""
+        return replace(self, protected_points=self.protected_points + points)
+
+    def cache_key(self, precision: int = 9) -> tuple:
+        """A hashable key identifying the decision-relevant part of the context.
+
+        Used by expectation-maximising policies to memoise decisions across
+        the exhaustive outer enumeration of measurement combinations; the key
+        intentionally excludes the oracle and the sensor/slot identities that
+        do not influence the optimisation.
+        """
+
+        def _r(value: float) -> float:
+            return round(value, precision)
+
+        return (
+            self.n,
+            self.f,
+            _r(self.width),
+            (_r(self.delta.lo), _r(self.delta.hi)),
+            tuple((_r(s.lo), _r(s.hi)) for s in self.transmitted),
+            self.transmitted_compromised,
+            tuple(_r(w) for w in self.remaining_widths),
+            self.remaining_compromised,
+            tuple(_r(p) for p in self.protected_points),
+        )

@@ -1,0 +1,72 @@
+"""A cheap heuristic attacker used as a mid-strength baseline.
+
+The greedy policy scores every admissible candidate placement by the width of
+the fusion interval it would produce if all not-yet-transmitted sensors were
+to report intervals centred on the attacker's best guess of the true value
+(the centre of ``Δ``), and picks the candidate with the largest score.  It is
+much cheaper than the expectation-maximising policy of
+:mod:`repro.attack.expectation` and serves as a baseline between the truthful
+and the expectation attackers in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.candidates import candidate_intervals
+from repro.attack.context import AttackContext
+from repro.attack.policy import AttackPolicy
+from repro.core.interval import Interval
+from repro.core.marzullo import fuse_or_none
+
+__all__ = ["GreedyExtendPolicy"]
+
+
+@dataclass
+class GreedyExtendPolicy(AttackPolicy):
+    """Greedy one-step attacker maximising a projected fusion width.
+
+    Parameters
+    ----------
+    grid_positions:
+        Resolution of the candidate grid.
+    mirror_remaining_compromised:
+        If ``True`` (default), the attacker assumes that her remaining
+        compromised intervals will be placed mirrored around ``Δ`` relative to
+        the current candidate, which lets the projection reward two-sided
+        attacks; if ``False`` they are assumed truthful.
+    """
+
+    grid_positions: int = 9
+    mirror_remaining_compromised: bool = True
+
+    def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
+        candidates = candidate_intervals(context, self.grid_positions)
+        best = candidates[0]
+        best_score = -np.inf
+        for candidate in candidates:
+            score = self._projected_width(candidate, context)
+            if score > best_score + 1e-12:
+                best_score = score
+                best = candidate
+        return best
+
+    def _projected_width(self, candidate: Interval, context: AttackContext) -> float:
+        """Fusion width if every unsent sensor behaved as the attacker guesses."""
+        guess_center = context.delta.center
+        projected: list[Interval] = list(context.transmitted)
+        projected.append(candidate)
+        for width, compromised in zip(context.remaining_widths, context.remaining_compromised):
+            if compromised and self.mirror_remaining_compromised:
+                # Mirror the candidate around Δ's centre so the projection can
+                # account for attacking both sides with a later interval.
+                mirrored_center = 2.0 * guess_center - candidate.center
+                projected.append(Interval.from_center(mirrored_center, width))
+            else:
+                projected.append(Interval.from_center(guess_center, width))
+        fusion = fuse_or_none(projected, context.f)
+        if fusion is None or not candidate.intersects(fusion):
+            return -np.inf
+        return fusion.width

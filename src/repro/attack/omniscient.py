@@ -1,0 +1,161 @@
+"""The full-knowledge attacker of problem (1) in the paper.
+
+If the attacker knows the placement of *every* correct interval before
+choosing hers — for instance because she transmits last under a shared-bus
+broadcast — her problem becomes the deterministic optimisation (1):
+
+    maximise |S_{N,f}|  subject to  S_{N,f} ∩ a_i ≠ ∅ for every forged a_i.
+
+:class:`OmniscientPolicy` solves this by searching candidate placements for
+each forged interval (endpoint alignments plus a grid) and, for configurations
+with several compromised sensors, recursing over the later forged intervals.
+It is *not* a realistic attacker for schedules that make her transmit early —
+it reads the round's oracle — but it provides:
+
+* the optimal-attack baseline used to define Definition 1's "optimal policy",
+* the reference against which the expectation attacker's regret is measured
+  (Fig. 2 reproduction),
+* worst-case configurations for the Theorem 3/4 experiments.
+
+This module also exposes :func:`optimal_fusion_width`, a standalone solver
+that takes the correct intervals and the forged widths directly, without going
+through the round simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.attack.context import AttackContext
+from repro.attack.policy import AttackPolicy
+from repro.core.exceptions import AttackError
+from repro.core.interval import Interval
+from repro.core.marzullo import fuse_or_none
+
+__all__ = ["OmniscientPolicy", "optimal_fusion_width", "optimal_attack"]
+
+
+def _candidate_positions(
+    correct: Sequence[Interval], width: float, extra_points: Sequence[float] = ()
+) -> list[Interval]:
+    """Endpoint-aligned candidate placements for one forged interval.
+
+    The fusion width as a function of a single forged interval's position is
+    piecewise linear with breakpoints where the forged endpoints align with
+    endpoints of other intervals, so searching the alignments (plus the given
+    extra reference points) is sufficient to find the optimum.
+    """
+    reference: set[float] = set(extra_points)
+    for interval in correct:
+        reference.add(interval.lo)
+        reference.add(interval.hi)
+    candidates: list[Interval] = []
+    for point in sorted(reference):
+        candidates.append(Interval(point, point + width))
+        candidates.append(Interval(point - width, point))
+        candidates.append(Interval.from_center(point, width))
+    return candidates
+
+
+def _search(
+    correct: Sequence[Interval],
+    forged_widths: Sequence[float],
+    placed: list[Interval],
+    f: int,
+) -> tuple[float, list[Interval]]:
+    """Recursively place forged intervals to maximise the final fusion width."""
+    if not forged_widths:
+        fusion = fuse_or_none(list(correct) + placed, f)
+        if fusion is None:
+            return -np.inf, []
+        # Problem (1) constraint: every forged interval must intersect the
+        # fusion interval (otherwise it is detected and discarded).
+        if any(not forged.intersects(fusion) for forged in placed):
+            return -np.inf, []
+        return fusion.width, list(placed)
+
+    width = forged_widths[0]
+    rest = forged_widths[1:]
+    extra = [p for interval in placed for p in (interval.lo, interval.hi)]
+    best_width = -np.inf
+    best_placement: list[Interval] = []
+    for candidate in _candidate_positions(correct, width, extra):
+        placed.append(candidate)
+        value, placement = _search(correct, rest, placed, f)
+        placed.pop()
+        if value > best_width + 1e-12:
+            best_width = value
+            best_placement = placement
+    return best_width, best_placement
+
+
+def optimal_attack(
+    correct_intervals: Sequence[Interval], forged_widths: Sequence[float], f: int
+) -> tuple[Interval, list[Interval]]:
+    """Solve problem (1): optimal forged placements given all correct intervals.
+
+    Returns the resulting fusion interval and the forged placements (in the
+    order of ``forged_widths``).
+
+    Raises
+    ------
+    AttackError
+        If no stealthy placement exists (cannot happen when the truthful
+        placements are feasible, i.e. when the correct intervals intersect).
+    """
+    if not correct_intervals:
+        raise AttackError("problem (1) needs at least one correct interval")
+    width, placement = _search(list(correct_intervals), list(forged_widths), [], f)
+    if not np.isfinite(width):
+        raise AttackError("no stealthy forged placement exists for this configuration")
+    fusion = fuse_or_none(list(correct_intervals) + placement, f)
+    assert fusion is not None
+    return fusion, placement
+
+
+def optimal_fusion_width(
+    correct_intervals: Sequence[Interval], forged_widths: Sequence[float], f: int
+) -> float:
+    """Width of the fusion interval under the optimal attack of problem (1)."""
+    fusion, _placement = optimal_attack(correct_intervals, forged_widths, f)
+    return fusion.width
+
+
+@dataclass
+class OmniscientPolicy(AttackPolicy):
+    """Round-simulator policy wrapping the problem (1) solver.
+
+    The policy requires the round simulator to expose the oracle of correct
+    intervals through ``AttackContext.oracle_correct_intervals``; it then
+    solves problem (1) jointly for all compromised slots once and replays the
+    solution slot by slot.  Because the solution depends only on the correct
+    intervals and the forged widths, it is cached per round via ``reset``.
+    """
+
+    _solution: dict[tuple, list[Interval]] | None = None
+
+    def reset(self) -> None:
+        self._solution = None
+
+    def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
+        if context.oracle_correct_intervals is None:
+            raise AttackError(
+                "OmniscientPolicy needs oracle_correct_intervals; use ExpectationPolicy for "
+                "honest partial-information attackers"
+            )
+        correct = [
+            interval
+            for sensor_index, interval in sorted(context.oracle_correct_intervals.items())
+        ]
+        # Forged intervals already broadcast in earlier slots are fixed; the
+        # remaining degrees of freedom are this slot and the later compromised
+        # slots, solved jointly so the whole attack stays consistent.
+        fixed = list(context.seen_compromised_intervals)
+        forged_widths = [context.width, *context.unseen_compromised_widths]
+        width, placement = _search(correct, forged_widths, list(fixed), context.f)
+        if not np.isfinite(width):
+            raise AttackError("no stealthy forged placement exists for this configuration")
+        return placement[len(fixed)]

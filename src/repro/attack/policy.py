@@ -1,0 +1,93 @@
+"""Attack-policy interface and simple baseline policies.
+
+An :class:`AttackPolicy` is invoked by the round simulator every time a
+compromised sensor's slot comes up; it receives an
+:class:`~repro.attack.context.AttackContext` and must return the interval the
+attacker broadcasts in that slot.  All policies are expected to return only
+stealthy (admissible) intervals; the baselines here do so trivially.
+
+Baselines:
+
+* :class:`TruthfulPolicy` — the compromised sensor behaves correctly; used as
+  the "no attack" reference and by Theorem 3's argument ("the attacker can
+  always send the correct measurements").
+* :class:`RandomAdmissiblePolicy` — picks a random stealthy candidate; a weak
+  attacker used as a sanity baseline in the benchmarks.
+* :class:`FixedShiftPolicy` — shifts the correct reading by a constant while
+  remaining stealthy if possible; models a crude spoofing device.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.candidates import candidate_intervals
+from repro.attack.context import AttackContext
+from repro.attack.stealth import is_admissible
+from repro.core.interval import Interval
+
+__all__ = ["AttackPolicy", "TruthfulPolicy", "RandomAdmissiblePolicy", "FixedShiftPolicy"]
+
+
+class AttackPolicy(abc.ABC):
+    """Interface implemented by every attacker strategy."""
+
+    @abc.abstractmethod
+    def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
+        """Return the interval to broadcast for the current compromised slot."""
+
+    def reset(self) -> None:
+        """Clear per-round state (called by the simulator between rounds)."""
+
+
+@dataclass
+class TruthfulPolicy(AttackPolicy):
+    """The compromised sensor simply reports its correct interval."""
+
+    def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
+        return context.own_reading
+
+
+@dataclass
+class RandomAdmissiblePolicy(AttackPolicy):
+    """Pick a uniformly random stealthy candidate placement.
+
+    Parameters
+    ----------
+    grid_positions:
+        Resolution of the candidate grid handed to
+        :func:`repro.attack.candidates.candidate_intervals`.
+    """
+
+    grid_positions: int = 9
+
+    def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
+        candidates = candidate_intervals(context, self.grid_positions)
+        index = int(rng.integers(0, len(candidates)))
+        return candidates[index]
+
+
+@dataclass
+class FixedShiftPolicy(AttackPolicy):
+    """Shift the correct reading by ``shift``, falling back to truth if unsafe.
+
+    This models a crude spoofer (e.g. a GPS meaconing device adding a constant
+    bias).  If the shifted interval would be detected, the policy degrades the
+    shift until the interval is stealthy again (halving it each time), ending
+    at the truthful reading in the worst case.
+    """
+
+    shift: float
+    max_halvings: int = 8
+
+    def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
+        shift = self.shift
+        for _ in range(self.max_halvings):
+            candidate = context.own_reading.shift(shift)
+            if is_admissible(candidate, context):
+                return candidate
+            shift /= 2.0
+        return context.own_reading

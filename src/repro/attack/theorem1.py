@@ -1,0 +1,172 @@
+"""Theorem 1: when does an optimal attack exist despite partial knowledge?
+
+Theorem 1 of the paper gives two sufficient conditions under which the
+attacker has an optimal policy even though she has not seen every correct
+interval, provided she has seen at least ``n - f - fa`` of them and transmits
+in consecutive slots:
+
+1. every seen correct interval coincides (identical bounds) and every unseen
+   correct interval is narrower than ``(|m_min| - |S_{CS ∪ Δ, 0}|) / 2``,
+   where ``m_min`` is the narrowest attacked interval — the attacker then
+   attacks *on both sides* of the seen intervals;
+
+2. ``|m_min| >= u_{n-f-fa} - l_{n-f-fa}`` and every unseen correct interval is
+   narrower than
+   ``min(l_{S_{CS ∪ Δ},0} - l_{n-f-fa}, u_{n-f-fa} - u_{S_{CS ∪ Δ},0})`` —
+   the attacker then covers ``[l_{n-f-fa}, u_{n-f-fa}]`` with each forged
+   interval, pinning the fusion interval to exactly that range.
+
+Here ``l_{n-f-fa}`` (``u_{n-f-fa}``) is the ``(n-f-fa)``-th smallest lower
+bound (largest upper bound) among the *seen* intervals, and ``S_{CS ∪ Δ, 0}``
+is the intersection of the seen correct intervals with ``Δ``.
+
+The module provides checkers for both conditions and constructors for the
+corresponding optimal placements, which the Figure 3 benchmark and the tests
+exercise against the brute-force optimum of :mod:`repro.attack.omniscient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.exceptions import AttackError
+from repro.core.interval import Interval, intersect_all
+from repro.core.marzullo import kth_largest_upper_bound, kth_smallest_lower_bound
+
+__all__ = [
+    "Theorem1Inputs",
+    "case1_applies",
+    "case2_applies",
+    "optimal_policy_exists",
+    "case1_placements",
+    "case2_placements",
+]
+
+
+@dataclass(frozen=True)
+class Theorem1Inputs:
+    """Inputs to Theorem 1's conditions.
+
+    Attributes
+    ----------
+    n:
+        Total number of sensors.
+    f:
+        Fusion fault bound.
+    seen_correct:
+        The correct intervals the attacker has seen (``C_S``).
+    delta:
+        The intersection of the compromised sensors' correct readings.
+    attacked_widths:
+        Widths of all compromised intervals (``fa`` of them).
+    unseen_correct_widths:
+        Widths of the correct intervals that will transmit after her
+        (``C_R`` placements are unknown; only their widths are).
+    """
+
+    n: int
+    f: int
+    seen_correct: tuple[Interval, ...]
+    delta: Interval
+    attacked_widths: tuple[float, ...]
+    unseen_correct_widths: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        fa = len(self.attacked_widths)
+        if fa == 0:
+            raise AttackError("Theorem 1 needs at least one attacked sensor")
+        seen = len(self.seen_correct)
+        unseen = len(self.unseen_correct_widths)
+        if seen + unseen + fa != self.n:
+            raise AttackError(
+                f"seen ({seen}) + unseen ({unseen}) + attacked ({fa}) must equal n={self.n}"
+            )
+
+    @property
+    def fa(self) -> int:
+        """Number of attacked sensors."""
+        return len(self.attacked_widths)
+
+    @property
+    def m_min(self) -> float:
+        """Width of the narrowest attacked interval (the paper's ``|m_min|``)."""
+        return min(self.attacked_widths)
+
+    @property
+    def k(self) -> int:
+        """The index ``n - f - fa`` used for the seen-bound order statistics."""
+        return self.n - self.f - self.fa
+
+    def precondition_holds(self) -> bool:
+        """Theorem 1's standing assumption ``n - f - fa <= |C_S| < n - fa``."""
+        return self.k <= len(self.seen_correct) < self.n - self.fa
+
+    def seen_with_delta_intersection(self) -> Interval:
+        """The paper's ``S_{CS ∪ Δ, 0}`` — intersection of seen intervals and Δ."""
+        return intersect_all([*self.seen_correct, self.delta])
+
+
+def case1_applies(inputs: Theorem1Inputs, tol: float = 1e-9) -> bool:
+    """Check the first sufficient condition of Theorem 1."""
+    if not inputs.precondition_holds():
+        return False
+    seen = inputs.seen_correct
+    if not seen:
+        return False
+    first = seen[0]
+    if any(abs(s.lo - first.lo) > tol or abs(s.hi - first.hi) > tol for s in seen):
+        return False
+    threshold = (inputs.m_min - inputs.seen_with_delta_intersection().width) / 2.0
+    return all(width <= threshold + tol for width in inputs.unseen_correct_widths)
+
+
+def case2_applies(inputs: Theorem1Inputs, tol: float = 1e-9) -> bool:
+    """Check the second sufficient condition of Theorem 1."""
+    if not inputs.precondition_holds():
+        return False
+    if inputs.k < 1 or inputs.k > len(inputs.seen_correct):
+        return False
+    lower_k = kth_smallest_lower_bound(inputs.seen_correct, inputs.k)
+    upper_k = kth_largest_upper_bound(inputs.seen_correct, inputs.k)
+    if inputs.m_min + tol < upper_k - lower_k:
+        return False
+    core = inputs.seen_with_delta_intersection()
+    threshold = min(core.lo - lower_k, upper_k - core.hi)
+    return all(width <= threshold + tol for width in inputs.unseen_correct_widths)
+
+
+def optimal_policy_exists(inputs: Theorem1Inputs) -> bool:
+    """``True`` if either sufficient condition of Theorem 1 holds."""
+    return case1_applies(inputs) or case2_applies(inputs)
+
+
+def case1_placements(inputs: Theorem1Inputs) -> list[Interval]:
+    """The optimal placements for case 1: attack on both sides of the seen core.
+
+    Every attacked interval is centred on ``S_{CS ∪ Δ, 0}``: the width
+    condition of case 1 guarantees a margin of at least the largest possible
+    unseen width on *each* side of the core, so every unseen correct interval
+    (which must touch the core) is contained in every forged interval — the
+    containment the proof of Theorem 1 relies on.  Each placement also
+    contains ``Δ``, so it is stealthy in passive mode.
+    """
+    if not case1_applies(inputs):
+        raise AttackError("case 1 of Theorem 1 does not apply to these inputs")
+    core = inputs.seen_with_delta_intersection()
+    return [Interval.from_center(core.center, width) for width in inputs.attacked_widths]
+
+
+def case2_placements(inputs: Theorem1Inputs) -> list[Interval]:
+    """The optimal placements for case 2: cover ``[l_{n-f-fa}, u_{n-f-fa}]``.
+
+    Every attacked interval is wide enough to contain the whole target range,
+    so each one is simply centred on it; the fusion interval then equals the
+    target range regardless of where the (small) unseen intervals land.
+    """
+    if not case2_applies(inputs):
+        raise AttackError("case 2 of Theorem 1 does not apply to these inputs")
+    lower_k = kth_smallest_lower_bound(inputs.seen_correct, inputs.k)
+    upper_k = kth_largest_upper_bound(inputs.seen_correct, inputs.k)
+    center = (lower_k + upper_k) / 2.0
+    return [Interval.from_center(center, width) for width in inputs.attacked_widths]

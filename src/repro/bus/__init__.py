@@ -1,0 +1,15 @@
+"""Shared-bus substrate: broadcast medium, messages and bus nodes."""
+
+from repro.bus.can import SharedBus
+from repro.bus.message import BusMessage
+from repro.bus.nodes import AttackerNode, BusRound, BusRoundResult, ControllerNode, SensorNode
+
+__all__ = [
+    "SharedBus",
+    "BusMessage",
+    "SensorNode",
+    "AttackerNode",
+    "ControllerNode",
+    "BusRound",
+    "BusRoundResult",
+]

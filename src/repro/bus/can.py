@@ -1,0 +1,105 @@
+"""A minimal shared broadcast bus (CAN-style).
+
+The only property of the physical CAN bus the paper relies on is *broadcast
+visibility*: every node connected to the bus sees every message in the order
+it was sent.  :class:`SharedBus` models exactly that — an append-only,
+slot-ordered message log with subscriber notification — and enforces the
+round/slot discipline (one message per slot, slots in increasing order within
+a round) so that protocol violations in experiments surface as errors rather
+than silently corrupting results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.bus.message import BusMessage
+from repro.core.exceptions import BusError
+
+__all__ = ["SharedBus"]
+
+
+class SharedBus:
+    """An append-only broadcast medium with slot discipline."""
+
+    def __init__(self) -> None:
+        self._log: list[BusMessage] = []
+        self._subscribers: list[Callable[[BusMessage], None]] = []
+        self._current_round = 0
+        self._next_slot = 0
+
+    # ------------------------------------------------------------------
+    # Round/slot discipline
+    # ------------------------------------------------------------------
+    @property
+    def current_round(self) -> int:
+        """Index of the round currently being transmitted."""
+        return self._current_round
+
+    @property
+    def next_slot(self) -> int:
+        """Slot the next broadcast must use."""
+        return self._next_slot
+
+    def start_round(self, round_index: int | None = None) -> int:
+        """Begin a new round; returns its index."""
+        if round_index is None:
+            round_index = self._current_round + 1 if self._log else 0
+        if self._log and round_index <= self._current_round and self._next_slot != 0:
+            raise BusError(
+                f"cannot start round {round_index}: round {self._current_round} is still open"
+            )
+        self._current_round = round_index
+        self._next_slot = 0
+        return round_index
+
+    # ------------------------------------------------------------------
+    # Broadcast
+    # ------------------------------------------------------------------
+    def broadcast(self, message: BusMessage) -> None:
+        """Append ``message`` to the log and notify every subscriber."""
+        if message.round_index != self._current_round:
+            raise BusError(
+                f"message for round {message.round_index} broadcast during round {self._current_round}"
+            )
+        if message.slot != self._next_slot:
+            raise BusError(
+                f"message uses slot {message.slot} but the next free slot is {self._next_slot}"
+            )
+        self._log.append(message)
+        self._next_slot += 1
+        for subscriber in self._subscribers:
+            subscriber(message)
+
+    def subscribe(self, callback: Callable[[BusMessage], None]) -> None:
+        """Register a callback invoked synchronously for every broadcast."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Queries (what any node on the bus can see)
+    # ------------------------------------------------------------------
+    def messages(self, round_index: int | None = None) -> list[BusMessage]:
+        """All messages, optionally filtered to one round, in broadcast order."""
+        if round_index is None:
+            return list(self._log)
+        return [m for m in self._log if m.round_index == round_index]
+
+    def messages_this_round(self) -> list[BusMessage]:
+        """Messages already broadcast in the current round."""
+        return self.messages(self._current_round)
+
+    def senders(self, round_index: int | None = None) -> list[str]:
+        """Sender names in broadcast order."""
+        return [m.sender for m in self.messages(round_index)]
+
+    def clear(self) -> None:
+        """Erase the log (used between independent experiments)."""
+        self._log.clear()
+        self._current_round = 0
+        self._next_slot = 0
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __iter__(self) -> Iterable[BusMessage]:
+        return iter(self._log)

@@ -1,0 +1,52 @@
+"""Messages exchanged on the shared broadcast bus.
+
+The paper's communication model is a CAN-like shared bus: every message is
+broadcast, so every node (including the attacker) observes every transmission
+as soon as it happens.  A message carries the sender's identity, the slot it
+was sent in and the abstract-sensor interval; the controller additionally
+timestamps messages with the round they belong to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import BusError
+from repro.core.interval import Interval
+
+__all__ = ["BusMessage"]
+
+
+@dataclass(frozen=True)
+class BusMessage:
+    """One broadcast on the shared bus.
+
+    Attributes
+    ----------
+    sender:
+        Name of the sending node (sensor name).
+    sensor_index:
+        Index of the sending sensor in suite order.
+    slot:
+        Zero-based slot within the round's schedule.
+    round_index:
+        Which fusion round the message belongs to.
+    interval:
+        The abstract-sensor interval carried by the message.
+    """
+
+    sender: str
+    sensor_index: int
+    slot: int
+    round_index: int
+    interval: Interval
+
+    def __post_init__(self) -> None:
+        if not self.sender:
+            raise BusError("bus message needs a non-empty sender name")
+        if self.sensor_index < 0:
+            raise BusError(f"sensor index must be non-negative, got {self.sensor_index}")
+        if self.slot < 0:
+            raise BusError(f"slot must be non-negative, got {self.slot}")
+        if self.round_index < 0:
+            raise BusError(f"round index must be non-negative, got {self.round_index}")

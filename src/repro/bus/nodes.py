@@ -1,0 +1,280 @@
+"""Nodes attached to the shared bus: sensors, the attacker and the controller.
+
+The node layer turns the abstract round simulation of
+:mod:`repro.scheduling.round` into an explicit message-passing system, which
+is what the vehicle case study and the integration tests exercise:
+
+* :class:`SensorNode` — measures the true value and broadcasts the correct
+  interval in its slot;
+* :class:`AttackerNode` — owns one or more compromised sensors, eavesdrops on
+  the bus (broadcast visibility) and, when a compromised sensor's slot comes
+  up, forges that sensor's interval with an attack policy under the same
+  stealth machinery as the fast simulator;
+* :class:`ControllerNode` — collects the round's messages, runs Marzullo
+  fusion with its configured ``f`` and the detection procedure.
+
+A full round over the bus is orchestrated by :class:`BusRound`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.attack.context import AttackContext
+from repro.attack.policy import AttackPolicy, TruthfulPolicy
+from repro.attack.stealth import AttackerMode, check_admissible
+from repro.bus.can import SharedBus
+from repro.bus.message import BusMessage
+from repro.core.detection import DetectionResult, detect
+from repro.core.exceptions import BusError
+from repro.core.fusion import FusionEngine
+from repro.core.interval import Interval, intersect_all
+from repro.sensors.sensor import Reading, Sensor
+from repro.sensors.suite import SensorSuite
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["SensorNode", "AttackerNode", "ControllerNode", "BusRound", "BusRoundResult"]
+
+
+@dataclass
+class SensorNode:
+    """A correct sensor attached to the bus."""
+
+    sensor: Sensor
+    sensor_index: int
+
+    def transmit(
+        self, bus: SharedBus, slot: int, round_index: int, reading: Reading
+    ) -> BusMessage:
+        """Broadcast the correct interval for this round."""
+        message = BusMessage(
+            sender=self.sensor.name,
+            sensor_index=self.sensor_index,
+            slot=slot,
+            round_index=round_index,
+            interval=reading.interval,
+        )
+        bus.broadcast(message)
+        return message
+
+
+@dataclass
+class AttackerNode:
+    """The attacker: controls a set of compromised sensors and eavesdrops.
+
+    Attributes
+    ----------
+    compromised_indices:
+        Sensor indices under the attacker's control.
+    policy:
+        Attack policy deciding each forged interval.
+    """
+
+    compromised_indices: tuple[int, ...]
+    policy: AttackPolicy = field(default_factory=TruthfulPolicy)
+    _protected_points: tuple[float, ...] = field(default_factory=tuple, repr=False)
+    _last_modes: dict[int, AttackerMode | None] = field(default_factory=dict, repr=False)
+
+    def start_round(self) -> None:
+        """Reset per-round state (protection obligations, policy caches)."""
+        self._protected_points = ()
+        self._last_modes = {}
+        self.policy.reset()
+
+    def set_compromised(self, indices: tuple[int, ...]) -> None:
+        """Change which sensors the attacker controls (takes effect next round).
+
+        The case study re-draws the attacked sensor between rounds when it is
+        configured with a per-round random selection.
+        """
+        self.compromised_indices = tuple(sorted(set(indices)))
+
+    @property
+    def modes(self) -> dict[int, AttackerMode | None]:
+        """Stealth mode used for each compromised sensor in the last round."""
+        return dict(self._last_modes)
+
+    def controls(self, sensor_index: int) -> bool:
+        """Return ``True`` if the attacker controls ``sensor_index``."""
+        return sensor_index in self.compromised_indices
+
+    def delta(self, readings: Sequence[Reading]) -> Interval:
+        """Intersection of the compromised sensors' correct readings (``Δ``)."""
+        return intersect_all(readings[i].interval for i in self.compromised_indices)
+
+    def forge(
+        self,
+        bus: SharedBus,
+        slot: int,
+        round_index: int,
+        sensor_index: int,
+        suite: SensorSuite,
+        readings: Sequence[Reading],
+        order: Sequence[int],
+        f: int,
+        rng: np.random.Generator,
+    ) -> BusMessage:
+        """Forge and broadcast the interval for one compromised slot."""
+        if not self.controls(sensor_index):
+            raise BusError(f"attacker does not control sensor index {sensor_index}")
+        transmitted_messages = bus.messages(round_index)
+        transmitted = tuple(m.interval for m in transmitted_messages)
+        transmitted_compromised = tuple(
+            self.controls(m.sensor_index) for m in transmitted_messages
+        )
+        remaining = list(order[slot + 1 :])
+        widths = suite.widths
+        context = AttackContext(
+            n=len(suite),
+            f=f,
+            slot_index=slot,
+            sensor_index=sensor_index,
+            width=widths[sensor_index],
+            own_reading=readings[sensor_index].interval,
+            delta=self.delta(readings),
+            transmitted=transmitted,
+            transmitted_compromised=transmitted_compromised,
+            remaining_widths=tuple(widths[i] for i in remaining),
+            remaining_compromised=tuple(self.controls(i) for i in remaining),
+            protected_points=self._protected_points,
+        )
+        forged = self.policy.choose_interval(context, rng)
+        admissibility = check_admissible(forged, context)
+        self._last_modes[sensor_index] = admissibility.mode if admissibility.admissible else None
+        if admissibility.mode is AttackerMode.ACTIVE and admissibility.support is not None:
+            self._protected_points = self._protected_points + (admissibility.support,)
+        message = BusMessage(
+            sender=suite[sensor_index].name,
+            sensor_index=sensor_index,
+            slot=slot,
+            round_index=round_index,
+            interval=forged,
+        )
+        bus.broadcast(message)
+        return message
+
+
+@dataclass
+class ControllerNode:
+    """The controller: fuses the round's intervals and runs detection."""
+
+    engine: FusionEngine
+
+    def process(self, bus: SharedBus, round_index: int) -> tuple[Interval, DetectionResult]:
+        """Fuse the intervals of ``round_index`` and detect compromised ones."""
+        messages = bus.messages(round_index)
+        if len(messages) != self.engine.n_sensors:
+            raise BusError(
+                f"round {round_index} has {len(messages)} messages but the controller "
+                f"expects {self.engine.n_sensors}"
+            )
+        intervals = [m.interval for m in messages]
+        fusion = self.engine.fuse(intervals)
+        return fusion, detect(intervals, fusion)
+
+
+@dataclass(frozen=True)
+class BusRoundResult:
+    """Outcome of one message-level fusion round."""
+
+    round_index: int
+    order: tuple[int, ...]
+    messages: tuple[BusMessage, ...]
+    readings: tuple[Reading, ...]
+    fusion: Interval
+    detection: DetectionResult
+    attacker_modes: dict[int, AttackerMode | None]
+
+    @property
+    def fusion_width(self) -> float:
+        """Width of the controller's fusion interval."""
+        return self.fusion.width
+
+    @property
+    def broadcast_by_sensor(self) -> dict[int, Interval]:
+        """Broadcast interval of each sensor, keyed by sensor index."""
+        return {m.sensor_index: m.interval for m in self.messages}
+
+
+class BusRound:
+    """Orchestrates one fusion round over the shared bus.
+
+    Parameters
+    ----------
+    suite:
+        The sensors attached to the controller.
+    schedule:
+        Communication schedule ordering the sensors.
+    attacker:
+        The attacker node (may control zero sensors).
+    f:
+        Controller fault bound; defaults to ``ceil(n/2) - 1``.
+    """
+
+    def __init__(
+        self,
+        suite: SensorSuite,
+        schedule: Schedule,
+        attacker: AttackerNode | None = None,
+        f: int | None = None,
+    ) -> None:
+        self._suite = suite
+        self._schedule = schedule
+        self._attacker = attacker if attacker is not None else AttackerNode(compromised_indices=())
+        self._controller = ControllerNode(FusionEngine(len(suite), f))
+        self._sensor_nodes = [
+            SensorNode(sensor=sensor, sensor_index=index) for index, sensor in enumerate(suite)
+        ]
+        self._round_index = -1
+
+    @property
+    def controller(self) -> ControllerNode:
+        """The controller node (exposes the fusion engine configuration)."""
+        return self._controller
+
+    @property
+    def attacker(self) -> AttackerNode:
+        """The attacker node (its compromised set can be changed between rounds)."""
+        return self._attacker
+
+    def run(self, bus: SharedBus, true_value: float, rng: np.random.Generator) -> BusRoundResult:
+        """Execute one complete round for the given ground-truth value."""
+        self._round_index += 1
+        round_index = bus.start_round(self._round_index)
+        readings = self._suite.measure_all(true_value, rng)
+        order = self._schedule.order(list(self._suite.widths), rng)
+        self._attacker.start_round()
+
+        messages: list[BusMessage] = []
+        for slot, sensor_index in enumerate(order):
+            if self._attacker.controls(sensor_index):
+                message = self._attacker.forge(
+                    bus,
+                    slot,
+                    round_index,
+                    sensor_index,
+                    self._suite,
+                    readings,
+                    order,
+                    self._controller.engine.f,
+                    rng,
+                )
+            else:
+                message = self._sensor_nodes[sensor_index].transmit(
+                    bus, slot, round_index, readings[sensor_index]
+                )
+            messages.append(message)
+
+        fusion, detection = self._controller.process(bus, round_index)
+        return BusRoundResult(
+            round_index=round_index,
+            order=order,
+            messages=tuple(messages),
+            readings=tuple(readings),
+            fusion=fusion,
+            detection=detection,
+            attacker_modes=self._attacker.modes,
+        )

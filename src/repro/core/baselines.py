@@ -1,0 +1,124 @@
+"""Baseline fusion schemes used for comparison with Marzullo's algorithm.
+
+The paper motivates interval-based, attack-resilient fusion by contrast with
+conventional approaches that average sensor values and with earlier
+fault-tolerant interval fusers.  To make that comparison measurable, this
+module implements the relevant baselines:
+
+* :func:`mean_fusion` — the naive scheme: average the interval bounds (and
+  therefore the measurements); a single compromised sensor can drag the
+  estimate arbitrarily within its stealth budget.
+* :func:`median_fusion` — coordinate-wise median of the interval bounds; the
+  classic robust point-estimator baseline.
+* :func:`brooks_iyengar` — the Brooks–Iyengar hybrid algorithm (reference [6]
+  of the paper), which runs the same ``n - f`` coverage analysis as Marzullo
+  but additionally returns a weighted point estimate computed from the
+  mid-points of the maximally-overlapping regions.
+
+All baselines consume the same abstract-sensor intervals as the rest of the
+library, so they can be dropped into the round simulator's outputs directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import FusionError
+from repro.core.interval import Interval
+from repro.core.marzullo import coverage_profile, validate_fault_bound
+
+__all__ = ["BrooksIyengarResult", "mean_fusion", "median_fusion", "brooks_iyengar"]
+
+
+def mean_fusion(intervals: Sequence[Interval]) -> Interval:
+    """Average the lower and upper bounds of all intervals.
+
+    Equivalent to averaging the measurements and the precisions; it has no
+    fault tolerance whatsoever and serves as the naive baseline.
+    """
+    items = list(intervals)
+    if not items:
+        raise FusionError("cannot fuse an empty collection of intervals")
+    lo = float(np.mean([s.lo for s in items]))
+    hi = float(np.mean([s.hi for s in items]))
+    return Interval(lo, hi)
+
+
+def median_fusion(intervals: Sequence[Interval]) -> Interval:
+    """Coordinate-wise median of the interval bounds.
+
+    Robust to a minority of outliers but unaware of the fault bound ``f`` and
+    of interval widths; included as the classic robust-statistics baseline.
+    """
+    items = list(intervals)
+    if not items:
+        raise FusionError("cannot fuse an empty collection of intervals")
+    lo = float(np.median([s.lo for s in items]))
+    hi = float(np.median([s.hi for s in items]))
+    if hi < lo:
+        # Can only happen with pathological (crossing) medians; collapse to a point.
+        midpoint = (lo + hi) / 2.0
+        return Interval(midpoint, midpoint)
+    return Interval(lo, hi)
+
+
+@dataclass(frozen=True)
+class BrooksIyengarResult:
+    """Output of the Brooks–Iyengar hybrid algorithm.
+
+    Attributes
+    ----------
+    interval:
+        The fused interval (hull of the regions covered by at least ``n - f``
+        intervals — identical to Marzullo's fusion interval).
+    estimate:
+        The weighted point estimate: the average of the mid-points of the
+        maximally-overlapping regions, weighted by how many intervals cover
+        each region.
+    regions:
+        The regions (with their coverage) that contributed to the estimate.
+    """
+
+    interval: Interval
+    estimate: float
+    regions: tuple[tuple[Interval, int], ...]
+
+
+def brooks_iyengar(intervals: Sequence[Interval], f: int) -> BrooksIyengarResult:
+    """Run the Brooks–Iyengar hybrid algorithm.
+
+    Parameters
+    ----------
+    intervals:
+        The abstract-sensor intervals.
+    f:
+        Assumed number of faulty sensors; must satisfy ``f < ceil(n/2)``.
+
+    Raises
+    ------
+    FusionError
+        If no region is covered by at least ``n - f`` intervals.
+    """
+    items = list(intervals)
+    validate_fault_bound(len(items), f)
+    required = len(items) - f
+    qualifying: list[tuple[Interval, int]] = []
+    for segment in coverage_profile(items):
+        if segment.coverage >= required:
+            qualifying.append((Interval(segment.lo, segment.hi), segment.coverage))
+    if not qualifying:
+        raise FusionError(
+            f"no region is covered by at least n - f = {required} intervals; "
+            "more sensors are faulty than the assumed bound"
+        )
+    fused = Interval(
+        min(region.lo for region, _coverage in qualifying),
+        max(region.hi for region, _coverage in qualifying),
+    )
+    weights = np.array([coverage for _region, coverage in qualifying], dtype=float)
+    midpoints = np.array([region.center for region, _coverage in qualifying], dtype=float)
+    estimate = float(np.average(midpoints, weights=weights))
+    return BrooksIyengarResult(interval=fused, estimate=estimate, regions=tuple(qualifying))

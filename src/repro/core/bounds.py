@@ -1,0 +1,107 @@
+"""Theoretical guarantees on the size of the fusion interval.
+
+This module encodes, as checkable predicates and bounds, the results the paper
+relies on:
+
+* Marzullo's original guarantees —
+
+  - if ``f < ceil(n/3)`` the fusion width is bounded by the width of some
+    *correct* interval,
+  - if ``f < ceil(n/2)`` the fusion width is bounded by the width of some
+    interval (not necessarily correct),
+  - if ``f >= ceil(n/2)`` the fusion interval may be arbitrarily large and can
+    miss the true value;
+
+* **Theorem 2** — with ``f < ceil(n/2)`` and at most ``f`` actually faulty
+  sensors, ``|S_{N,f}| <= |s_c1| + |s_c2|`` where ``s_c1`` and ``s_c2`` are the
+  two widest *correct* intervals.
+
+Theorems 3 and 4 (attacking the largest vs the smallest intervals) are about
+worst cases over interval *placements*; the search machinery for those lives
+in :mod:`repro.core.worst_case` and is exercised by the Figure 4 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.exceptions import FusionError
+from repro.core.interval import Interval
+
+__all__ = [
+    "marzullo_regime",
+    "theorem2_bound",
+    "satisfies_marzullo_n3_bound",
+    "satisfies_marzullo_n2_bound",
+    "satisfies_theorem2",
+    "two_largest_widths",
+]
+
+
+def marzullo_regime(n: int, f: int) -> str:
+    """Classify the ``(n, f)`` pair into one of Marzullo's three regimes.
+
+    Returns one of ``"n3"`` (``f < ceil(n/3)``), ``"n2"``
+    (``ceil(n/3) <= f < ceil(n/2)``) or ``"unbounded"`` (``f >= ceil(n/2)``).
+    """
+    if n <= 0:
+        raise FusionError(f"need at least one sensor, got n={n}")
+    if f < 0:
+        raise FusionError(f"fault bound must be non-negative, got f={f}")
+    if f < math.ceil(n / 3):
+        return "n3"
+    if f < math.ceil(n / 2):
+        return "n2"
+    return "unbounded"
+
+
+def two_largest_widths(correct_intervals: Iterable[Interval]) -> tuple[float, float]:
+    """Return the widths of the two widest correct intervals.
+
+    If there is a single correct interval its width is returned twice, which
+    keeps :func:`theorem2_bound` well defined for degenerate configurations.
+    """
+    widths = sorted((s.width for s in correct_intervals), reverse=True)
+    if not widths:
+        raise FusionError("theorem 2 needs at least one correct interval")
+    if len(widths) == 1:
+        return widths[0], widths[0]
+    return widths[0], widths[1]
+
+
+def theorem2_bound(correct_intervals: Iterable[Interval]) -> float:
+    """Theorem 2 upper bound on the fusion width: ``|s_c1| + |s_c2|``."""
+    w1, w2 = two_largest_widths(correct_intervals)
+    return w1 + w2
+
+
+def satisfies_theorem2(fusion: Interval, correct_intervals: Sequence[Interval], tol: float = 1e-9) -> bool:
+    """Check Theorem 2: the fusion width does not exceed ``|s_c1| + |s_c2|``."""
+    return fusion.width <= theorem2_bound(correct_intervals) + tol
+
+
+def satisfies_marzullo_n3_bound(
+    fusion: Interval, correct_intervals: Sequence[Interval], tol: float = 1e-9
+) -> bool:
+    """Check the ``f < ceil(n/3)`` guarantee.
+
+    The fusion width must be bounded above by the width of *some correct*
+    interval, i.e. by the maximum correct width.
+    """
+    if not correct_intervals:
+        raise FusionError("the n/3 bound needs at least one correct interval")
+    return fusion.width <= max(s.width for s in correct_intervals) + tol
+
+
+def satisfies_marzullo_n2_bound(
+    fusion: Interval, all_intervals: Sequence[Interval], tol: float = 1e-9
+) -> bool:
+    """Check the ``f < ceil(n/2)`` guarantee.
+
+    The fusion width must be bounded above by the width of *some* interval
+    (correct or not), i.e. by the maximum width over all inputs.
+    """
+    if not all_intervals:
+        raise FusionError("the n/2 bound needs at least one interval")
+    return fusion.width <= max(s.width for s in all_intervals) + tol

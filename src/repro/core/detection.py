@@ -1,0 +1,74 @@
+"""Attack/fault detection used by the controller after fusion.
+
+The detection mechanism of the paper (inherited from Marzullo's original
+work) is simple: after computing the fusion interval, every sensor interval
+that does **not** intersect the fusion interval cannot contain the true value
+and is therefore flagged as compromised (or faulty) and discarded.
+
+The module keeps the detection step separate from fusion so that attack
+policies can reason about it directly (an attack is *stealthy* exactly when it
+survives :func:`detect`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.interval import Interval
+
+__all__ = ["DetectionResult", "detect", "is_stealthy_against"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of the controller's detection pass.
+
+    Attributes
+    ----------
+    fusion:
+        The fusion interval the detection was run against.
+    flagged_indices:
+        Indices (into the original transmission order) of intervals that do
+        not intersect the fusion interval and are therefore discarded.
+    cleared_indices:
+        Indices of intervals that intersect the fusion interval.
+    """
+
+    fusion: Interval
+    flagged_indices: tuple[int, ...]
+    cleared_indices: tuple[int, ...]
+
+    @property
+    def any_flagged(self) -> bool:
+        """``True`` if at least one interval was flagged as compromised."""
+        return bool(self.flagged_indices)
+
+    def is_flagged(self, index: int) -> bool:
+        """Return ``True`` if the interval at ``index`` was flagged."""
+        return index in self.flagged_indices
+
+
+def detect(intervals: Sequence[Interval], fusion: Interval) -> DetectionResult:
+    """Run the overlap-based detection procedure.
+
+    Parameters
+    ----------
+    intervals:
+        All received sensor intervals, in transmission order.
+    fusion:
+        The fusion interval ``S_{N,f}`` computed from the same intervals.
+    """
+    flagged: list[int] = []
+    cleared: list[int] = []
+    for index, interval in enumerate(intervals):
+        if interval.intersects(fusion):
+            cleared.append(index)
+        else:
+            flagged.append(index)
+    return DetectionResult(fusion=fusion, flagged_indices=tuple(flagged), cleared_indices=tuple(cleared))
+
+
+def is_stealthy_against(interval: Interval, fusion: Interval) -> bool:
+    """Return ``True`` if ``interval`` would survive detection against ``fusion``."""
+    return interval.intersects(fusion)

@@ -1,0 +1,113 @@
+"""The controller-side fusion engine.
+
+:class:`FusionEngine` bundles the pieces the paper's controller runs every
+round once all ``n`` intervals have been received:
+
+1. Marzullo fusion with a predefined fault bound ``f`` (``f < ceil(n/2)``),
+2. the overlap-based detection procedure that discards any interval not
+   intersecting the fusion interval.
+
+The engine is deliberately stateless across rounds — the paper's analysis is
+per-round — but it validates its configuration eagerly so that experiments
+fail fast on inconsistent ``(n, f)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core import marzullo
+from repro.core.detection import DetectionResult, detect
+from repro.core.exceptions import FusionError
+from repro.core.interval import Interval, IntervalSet
+
+__all__ = ["FusionEngine", "FusionOutcome"]
+
+
+@dataclass(frozen=True)
+class FusionOutcome:
+    """Everything the controller derives from one round of measurements.
+
+    Attributes
+    ----------
+    intervals:
+        The intervals that were fused, in transmission order.
+    f:
+        The fault bound used.
+    fusion:
+        The fusion interval ``S_{N,f}``.
+    detection:
+        Result of the overlap-based detection pass.
+    """
+
+    intervals: IntervalSet
+    f: int
+    fusion: Interval
+    detection: DetectionResult
+
+    @property
+    def width(self) -> float:
+        """Width of the fusion interval — the attacker's objective function."""
+        return self.fusion.width
+
+    @property
+    def estimate(self) -> float:
+        """Point estimate handed to the low-level controller (the midpoint)."""
+        return self.fusion.center
+
+    def contains_true_value(self, true_value: float) -> bool:
+        """Return ``True`` if the fusion interval contains ``true_value``."""
+        return self.fusion.contains(true_value)
+
+
+class FusionEngine:
+    """Controller-side Marzullo fusion with a fixed number of sensors.
+
+    Parameters
+    ----------
+    n_sensors:
+        Number of sensors expected every round.
+    f:
+        Assumed number of faulty/compromised sensors.  Defaults to the paper's
+        conservative choice ``ceil(n/2) - 1`` when ``None``.
+    """
+
+    def __init__(self, n_sensors: int, f: int | None = None) -> None:
+        if f is None:
+            f = marzullo.max_safe_fault_bound(n_sensors)
+        marzullo.validate_fault_bound(n_sensors, f)
+        self._n = n_sensors
+        self._f = f
+
+    @property
+    def n_sensors(self) -> int:
+        """Number of sensors the engine expects per round."""
+        return self._n
+
+    @property
+    def f(self) -> int:
+        """Configured fault bound."""
+        return self._f
+
+    def fuse(self, intervals: Sequence[Interval]) -> Interval:
+        """Fuse one round of intervals without running detection."""
+        self._check_count(intervals)
+        return marzullo.fuse(list(intervals), self._f)
+
+    def process_round(self, intervals: Sequence[Interval]) -> FusionOutcome:
+        """Fuse one round of intervals and run the detection procedure."""
+        self._check_count(intervals)
+        interval_set = IntervalSet(intervals)
+        fusion = marzullo.fuse(list(interval_set), self._f)
+        detection = detect(list(interval_set), fusion)
+        return FusionOutcome(intervals=interval_set, f=self._f, fusion=fusion, detection=detection)
+
+    def _check_count(self, intervals: Sequence[Interval]) -> None:
+        if len(intervals) != self._n:
+            raise FusionError(
+                f"engine configured for {self._n} sensors but received {len(intervals)} intervals"
+            )
+
+    def __repr__(self) -> str:
+        return f"FusionEngine(n_sensors={self._n}, f={self._f})"

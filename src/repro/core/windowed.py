@@ -1,0 +1,208 @@
+"""Windowed fault/attack detection over time — the paper's footnote-1 extension.
+
+The base detection procedure is memoryless: every round, any interval that
+misses the fusion interval is discarded.  With random transient faults that
+would permanently discard honest sensors after a single glitch.  The paper's
+footnote 1 sketches the fix: keep a fault model over time and only treat a
+sensor as compromised "if it is faulty more than ``f_w`` out of ``w``
+measurements".
+
+:class:`WindowedDetector` implements that rule as a sliding window of the
+per-round detection flags, and :class:`WindowedFusionPipeline` combines it
+with the fusion engine: discarded sensors are excluded from subsequent rounds
+(their slots are simply ignored), while transiently faulty sensors recover as
+soon as their flags age out of the window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.detection import detect
+from repro.core.exceptions import FusionError
+from repro.core.interval import Interval, IntervalSet
+from repro.core.marzullo import fuse_or_none, max_safe_fault_bound
+
+__all__ = ["WindowedDetector", "WindowedRoundOutcome", "WindowedFusionPipeline"]
+
+
+class WindowedDetector:
+    """Sliding-window flag counter deciding which sensors to discard.
+
+    Parameters
+    ----------
+    n_sensors:
+        Number of sensors being tracked.
+    window:
+        Window length ``w`` in rounds.
+    max_flags:
+        A sensor is declared compromised once it has been flagged in strictly
+        more than ``max_flags`` of the last ``window`` rounds (the paper's
+        "faulty more than f out of w measurements").
+    """
+
+    def __init__(self, n_sensors: int, window: int, max_flags: int) -> None:
+        if n_sensors <= 0:
+            raise FusionError(f"need at least one sensor, got {n_sensors}")
+        if window <= 0:
+            raise FusionError(f"window must be positive, got {window}")
+        if not 0 <= max_flags <= window:
+            raise FusionError(f"max_flags must be in [0, {window}], got {max_flags}")
+        self._n = n_sensors
+        self._window = window
+        self._max_flags = max_flags
+        self._history: list[deque[bool]] = [deque(maxlen=window) for _ in range(n_sensors)]
+        self._discarded: set[int] = set()
+
+    @property
+    def window(self) -> int:
+        """Window length in rounds."""
+        return self._window
+
+    @property
+    def max_flags(self) -> int:
+        """Flag budget within the window."""
+        return self._max_flags
+
+    @property
+    def discarded(self) -> frozenset[int]:
+        """Sensors currently declared compromised."""
+        return frozenset(self._discarded)
+
+    def flag_count(self, sensor_index: int) -> int:
+        """Number of flags for ``sensor_index`` within the current window."""
+        return sum(self._history[sensor_index])
+
+    def reset(self) -> None:
+        """Clear all history and discard decisions."""
+        for history in self._history:
+            history.clear()
+        self._discarded.clear()
+
+    def update(self, flagged: Sequence[bool]) -> frozenset[int]:
+        """Record one round of per-sensor flags and return the discarded set.
+
+        ``flagged[i]`` is whether sensor ``i`` was flagged this round (sensors
+        already discarded should be reported as ``False``; their history is
+        frozen).  Discard decisions are permanent, as in the paper — once a
+        sensor exceeds its flag budget it is treated as compromised for good.
+        """
+        if len(flagged) != self._n:
+            raise FusionError(
+                f"expected {self._n} flags, got {len(flagged)}"
+            )
+        for index, is_flagged in enumerate(flagged):
+            if index in self._discarded:
+                continue
+            self._history[index].append(bool(is_flagged))
+            if self.flag_count(index) > self._max_flags:
+                self._discarded.add(index)
+        return self.discarded
+
+
+@dataclass(frozen=True)
+class WindowedRoundOutcome:
+    """Result of one round processed through the windowed pipeline.
+
+    Attributes
+    ----------
+    fusion:
+        The fusion interval of this round.
+    effective_f:
+        The fault bound the round was actually fused with.  It normally
+        equals the configured bound (clamped to the number of remaining
+        sensors); when even that bound leaves no point covered — i.e. more
+        sensors misbehaved this round than assumed — it is the smallest
+        larger bound that yields a non-empty fusion interval, so the round
+        still produces an (appropriately wide) estimate and the offending
+        sensors still get flagged.
+    used_indices:
+        Sensors whose intervals participated in the fusion (not yet discarded).
+    flagged_indices:
+        Sensors flagged by the memoryless detection this round.
+    discarded_indices:
+        Sensors permanently discarded so far (including earlier rounds).
+    """
+
+    fusion: Interval
+    effective_f: int
+    used_indices: tuple[int, ...]
+    flagged_indices: tuple[int, ...]
+    discarded_indices: tuple[int, ...]
+
+    def is_discarded(self, sensor_index: int) -> bool:
+        """Return ``True`` if ``sensor_index`` is permanently discarded."""
+        return sensor_index in self.discarded_indices
+
+
+class WindowedFusionPipeline:
+    """Round-by-round fusion that tolerates transient faults.
+
+    Each round the pipeline fuses the intervals of all not-yet-discarded
+    sensors (adapting ``f`` to the number of remaining sensors), runs the
+    memoryless detection, feeds the flags into the windowed detector and
+    reports which sensors are now permanently discarded.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        window: int,
+        max_flags: int,
+        f: int | None = None,
+        min_sensors: int = 2,
+    ) -> None:
+        if min_sensors < 1:
+            raise FusionError(f"min_sensors must be at least 1, got {min_sensors}")
+        self._n = n_sensors
+        self._configured_f = f
+        self._min_sensors = min_sensors
+        self._detector = WindowedDetector(n_sensors, window, max_flags)
+
+    @property
+    def detector(self) -> WindowedDetector:
+        """The underlying windowed detector (exposes counts and discards)."""
+        return self._detector
+
+    def _effective_f(self, n_active: int) -> int:
+        f = self._configured_f if self._configured_f is not None else max_safe_fault_bound(n_active)
+        return min(f, max_safe_fault_bound(n_active))
+
+    def process_round(self, intervals: Sequence[Interval]) -> WindowedRoundOutcome:
+        """Fuse one round of intervals (one per sensor, in sensor order)."""
+        if len(intervals) != self._n:
+            raise FusionError(f"expected {self._n} intervals, got {len(intervals)}")
+        active = [i for i in range(self._n) if i not in self._detector.discarded]
+        if len(active) < self._min_sensors:
+            raise FusionError(
+                f"only {len(active)} sensors remain after discards; "
+                f"at least {self._min_sensors} are required"
+            )
+        used = IntervalSet(intervals[i] for i in active)
+        # Fuse with the configured bound; if more sensors misbehave this round
+        # than the bound assumes, no point reaches the required coverage and
+        # the fusion interval is empty — widen the bound just enough to get a
+        # usable (conservative) interval so the round can still be processed
+        # and the misbehaving sensors flagged.
+        fusion: Interval | None = None
+        effective_f = self._effective_f(len(active))
+        for f_round in range(effective_f, len(active)):
+            fusion = fuse_or_none(list(used), f_round)
+            if fusion is not None:
+                effective_f = f_round
+                break
+        if fusion is None:
+            raise FusionError("no fault bound yields a non-empty fusion interval")
+        detection = detect(list(used), fusion)
+        flagged_sensors = {active[slot] for slot in detection.flagged_indices}
+        flags = [index in flagged_sensors for index in range(self._n)]
+        discarded = self._detector.update(flags)
+        return WindowedRoundOutcome(
+            fusion=fusion,
+            effective_f=effective_f,
+            used_indices=tuple(active),
+            flagged_indices=tuple(sorted(flagged_sensors)),
+            discarded_indices=tuple(sorted(discarded)),
+        )

@@ -1,0 +1,200 @@
+"""Worst-case fusion-interval search over interval placements.
+
+Theorems 3 and 4 of the paper compare worst-case (largest-width) fusion
+intervals for different choices of which sensors are attacked:
+
+* ``S_na``     — worst case when no sensor is attacked (all intervals correct,
+  i.e. all contain the true value);
+* ``S_F``      — worst case when the fixed set ``F`` of sensors is attacked;
+* ``S_wc_fa``  — worst case over *all* choices of ``fa`` attacked sensors.
+
+The worst case is taken over all placements of the intervals on the real line
+(correct intervals must contain the true value; attacked intervals may go
+anywhere but must intersect the fusion interval to stay undetected).  Interval
+*widths* are fixed and given, exactly as in the paper's "configuration"
+notion.
+
+The search discretises the placements: a correct interval of width ``w`` can
+slide over the true value in steps of ``resolution``; an attacked interval can
+slide over a window extending ``max(widths)`` beyond the correct hull on each
+side, which is sufficient because any stealthy attacked interval must
+intersect at least one correct interval (the fusion interval is contained in
+the hull of the correct intervals when ``f < ceil(n/2)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core import marzullo
+from repro.core.exceptions import FusionError
+from repro.core.interval import Interval
+
+__all__ = [
+    "WorstCaseResult",
+    "placement_grid",
+    "correct_placements",
+    "attacked_placements",
+    "worst_case_no_attack",
+    "worst_case_with_attack",
+    "worst_case_over_attacked_sets",
+]
+
+
+@dataclass(frozen=True)
+class WorstCaseResult:
+    """A worst-case configuration found by the exhaustive search.
+
+    Attributes
+    ----------
+    width:
+        Width of the worst-case fusion interval.
+    fusion:
+        The fusion interval itself.
+    intervals:
+        The interval placements (in sensor order) achieving it.
+    attacked_indices:
+        Indices of the intervals that were treated as attacked.
+    """
+
+    width: float
+    fusion: Interval
+    intervals: tuple[Interval, ...]
+    attacked_indices: tuple[int, ...]
+
+
+def placement_grid(lo: float, hi: float, resolution: float) -> list[float]:
+    """Return a uniform grid of candidate positions covering ``[lo, hi]``.
+
+    The grid always includes both endpoints so that extreme placements (which
+    typically realise the worst case) are never missed by rounding.
+    """
+    if resolution <= 0:
+        raise FusionError(f"grid resolution must be positive, got {resolution}")
+    if hi < lo:
+        raise FusionError(f"empty placement range [{lo}, {hi}]")
+    steps = int(math.floor((hi - lo) / resolution + 1e-12))
+    grid = [lo + i * resolution for i in range(steps + 1)]
+    if grid[-1] < hi - 1e-12:
+        grid.append(hi)
+    return grid
+
+
+def correct_placements(width: float, true_value: float, resolution: float) -> list[Interval]:
+    """All discretised placements of a correct interval of ``width``.
+
+    A correct interval must contain the true value, so its lower bound ranges
+    over ``[true_value - width, true_value]``.
+    """
+    return [
+        Interval(lo, lo + width)
+        for lo in placement_grid(true_value - width, true_value, resolution)
+    ]
+
+
+def attacked_placements(
+    width: float, true_value: float, max_correct_width: float, resolution: float
+) -> list[Interval]:
+    """All discretised placements of an attacked interval of ``width``.
+
+    The attacked interval must intersect the fusion interval to stay stealthy,
+    and the fusion interval is contained in the hull of the correct intervals,
+    which itself lies within ``max_correct_width`` of the true value on each
+    side.  Sliding the attacked interval over
+    ``[true_value - max_correct_width - width, true_value + max_correct_width]``
+    therefore covers every placement that can possibly matter.
+    """
+    lo_min = true_value - max_correct_width - width
+    lo_max = true_value + max_correct_width
+    return [Interval(lo, lo + width) for lo in placement_grid(lo_min, lo_max, resolution)]
+
+
+def _search(
+    widths: Sequence[float],
+    attacked: frozenset[int],
+    f: int,
+    true_value: float,
+    resolution: float,
+) -> WorstCaseResult:
+    """Exhaustive worst-case search for a fixed attacked set."""
+    n = len(widths)
+    marzullo.validate_fault_bound(n, f)
+    correct_widths = [w for i, w in enumerate(widths) if i not in attacked]
+    if not correct_widths:
+        raise FusionError("worst-case search needs at least one correct interval")
+    max_correct = max(correct_widths)
+
+    candidates: list[list[Interval]] = []
+    for index, width in enumerate(widths):
+        if index in attacked:
+            candidates.append(attacked_placements(width, true_value, max_correct, resolution))
+        else:
+            candidates.append(correct_placements(width, true_value, resolution))
+
+    best: WorstCaseResult | None = None
+    for combo in itertools.product(*candidates):
+        fusion = marzullo.fuse_or_none(list(combo), f)
+        if fusion is None:
+            continue
+        # Stealth: every attacked interval must intersect the fusion interval.
+        if any(not combo[i].intersects(fusion) for i in attacked):
+            continue
+        if best is None or fusion.width > best.width + 1e-12:
+            best = WorstCaseResult(
+                width=fusion.width,
+                fusion=fusion,
+                intervals=tuple(combo),
+                attacked_indices=tuple(sorted(attacked)),
+            )
+    if best is None:
+        raise FusionError("no feasible configuration found in worst-case search")
+    return best
+
+
+def worst_case_no_attack(
+    widths: Sequence[float], f: int, true_value: float = 0.0, resolution: float = 1.0
+) -> WorstCaseResult:
+    """Worst-case fusion interval ``S_na`` when every sensor is correct."""
+    return _search(widths, frozenset(), f, true_value, resolution)
+
+
+def worst_case_with_attack(
+    widths: Sequence[float],
+    attacked_indices: Iterable[int],
+    f: int,
+    true_value: float = 0.0,
+    resolution: float = 1.0,
+) -> WorstCaseResult:
+    """Worst-case fusion interval ``S_F`` for a fixed attacked set ``F``."""
+    attacked = frozenset(attacked_indices)
+    n = len(widths)
+    for index in attacked:
+        if not 0 <= index < n:
+            raise FusionError(f"attacked index {index} out of range for {n} sensors")
+    return _search(widths, attacked, f, true_value, resolution)
+
+
+def worst_case_over_attacked_sets(
+    widths: Sequence[float],
+    fa: int,
+    f: int,
+    true_value: float = 0.0,
+    resolution: float = 1.0,
+) -> dict[tuple[int, ...], WorstCaseResult]:
+    """Worst case ``S_F`` for every attacked set of size ``fa``.
+
+    The maximum over the returned dictionary is the paper's ``S_wc_fa``.
+    Theorem 4 states that this maximum is attained (among others) by the set
+    of the ``fa`` smallest intervals; Theorem 3 states that attacking the
+    ``fa`` largest intervals yields the same worst case as no attack at all.
+    """
+    n = len(widths)
+    if not 0 <= fa <= f:
+        raise FusionError(f"number of attacked sensors fa={fa} must satisfy 0 <= fa <= f={f}")
+    results: dict[tuple[int, ...], WorstCaseResult] = {}
+    for attacked in itertools.combinations(range(n), fa):
+        results[attacked] = _search(widths, frozenset(attacked), f, true_value, resolution)
+    return results

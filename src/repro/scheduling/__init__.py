@@ -1,0 +1,49 @@
+"""Communication schedules and the per-round / expected-width simulators."""
+
+from repro.scheduling.comparison import (
+    ScheduleComparison,
+    ScheduleComparisonConfig,
+    ScheduleRow,
+    compare_schedules,
+    default_attacked_indices,
+    expected_fusion_width_exhaustive,
+    expected_fusion_width_monte_carlo,
+)
+from repro.scheduling.enumeration import (
+    correct_placement_grid,
+    count_combinations,
+    enumerate_combinations,
+)
+from repro.scheduling.round import RoundConfig, RoundResult, run_round
+from repro.scheduling.schedule import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FixedSchedule,
+    RandomSchedule,
+    Schedule,
+    TrustAwareSchedule,
+    schedule_by_name,
+)
+
+__all__ = [
+    "Schedule",
+    "AscendingSchedule",
+    "DescendingSchedule",
+    "RandomSchedule",
+    "FixedSchedule",
+    "TrustAwareSchedule",
+    "schedule_by_name",
+    "RoundConfig",
+    "RoundResult",
+    "run_round",
+    "correct_placement_grid",
+    "enumerate_combinations",
+    "count_combinations",
+    "ScheduleComparisonConfig",
+    "ScheduleRow",
+    "ScheduleComparison",
+    "compare_schedules",
+    "default_attacked_indices",
+    "expected_fusion_width_exhaustive",
+    "expected_fusion_width_monte_carlo",
+]

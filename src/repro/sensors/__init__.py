@@ -1,0 +1,54 @@
+"""Abstract-sensor substrate: specs, noise models, sensors, suites, presets."""
+
+from repro.sensors.library import (
+    CAMERA_INTERVAL_WIDTH,
+    ENCODER_INTERVAL_WIDTH,
+    GPS_INTERVAL_WIDTH,
+    IMU_INTERVAL_WIDTH,
+    camera_spec,
+    encoder_spec,
+    gps_spec,
+    imu_spec,
+    landshark_specs,
+    make_sensor,
+    sensors_from_widths,
+)
+from repro.sensors.faults import FaultModel, FaultySensor, StuckAtFaultModel, TransientFaultModel
+from repro.sensors.noise import (
+    NoiseModel,
+    TruncatedGaussianNoise,
+    UniformNoise,
+    WorstCaseNoise,
+    ZeroNoise,
+)
+from repro.sensors.sensor import Reading, Sensor
+from repro.sensors.spec import EncoderSpec, SensorSpec
+from repro.sensors.suite import SensorSuite
+
+__all__ = [
+    "SensorSpec",
+    "EncoderSpec",
+    "Sensor",
+    "Reading",
+    "SensorSuite",
+    "FaultModel",
+    "TransientFaultModel",
+    "StuckAtFaultModel",
+    "FaultySensor",
+    "NoiseModel",
+    "ZeroNoise",
+    "UniformNoise",
+    "TruncatedGaussianNoise",
+    "WorstCaseNoise",
+    "GPS_INTERVAL_WIDTH",
+    "CAMERA_INTERVAL_WIDTH",
+    "ENCODER_INTERVAL_WIDTH",
+    "IMU_INTERVAL_WIDTH",
+    "gps_spec",
+    "camera_spec",
+    "encoder_spec",
+    "imu_spec",
+    "landshark_specs",
+    "make_sensor",
+    "sensors_from_widths",
+]

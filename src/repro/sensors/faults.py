@@ -1,0 +1,160 @@
+"""Random sensor faults — the extension sketched in the paper's conclusion.
+
+The base paper assumes uncompromised sensors are always correct and defers
+"random faults in addition to attacks" to future work (its footnote 1 sketches
+a per-sensor fault model over time).  This module provides that substrate:
+fault models that occasionally corrupt an otherwise honest sensor's reading so
+that its interval no longer contains the true value.
+
+* :class:`TransientFaultModel` — with probability ``probability`` per round
+  the reading is displaced by a random offset of at least one interval width,
+  producing an obviously faulty (non-containing) interval for that round only.
+* :class:`StuckAtFaultModel` — after a random onset round the sensor keeps
+  reporting the last value it saw (a frozen sensor); the interval stops
+  tracking the true value as soon as the true value moves away.
+* :class:`FaultySensor` — wraps a :class:`~repro.sensors.sensor.Sensor` with a
+  fault model, exposing the same ``measure`` interface so suites and vehicles
+  can use faulty sensors transparently.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import SensorError
+from repro.sensors.sensor import Reading, Sensor
+
+__all__ = ["FaultModel", "TransientFaultModel", "StuckAtFaultModel", "FaultySensor"]
+
+
+class FaultModel(abc.ABC):
+    """Decides whether and how to corrupt one reading."""
+
+    @abc.abstractmethod
+    def apply(self, reading: Reading, sensor: Sensor, rng: np.random.Generator) -> Reading:
+        """Return the (possibly corrupted) reading for this round."""
+
+    def reset(self) -> None:
+        """Clear any internal state (e.g. a stuck value) between runs."""
+
+
+@dataclass
+class TransientFaultModel(FaultModel):
+    """Independent per-round faults displacing the measurement off the truth.
+
+    Parameters
+    ----------
+    probability:
+        Per-round probability of a fault.
+    min_offset_widths / max_offset_widths:
+        The faulty measurement is displaced by a uniform multiple of the
+        sensor's interval width in this range (at least one width guarantees
+        the faulty interval does not contain the true value).
+    """
+
+    probability: float
+    min_offset_widths: float = 1.0
+    max_offset_widths: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise SensorError(f"fault probability must be in [0, 1], got {self.probability}")
+        if self.min_offset_widths < 1.0:
+            raise SensorError(
+                "min_offset_widths must be at least 1 so a faulty interval cannot contain the truth"
+            )
+        if self.max_offset_widths < self.min_offset_widths:
+            raise SensorError("max_offset_widths must be >= min_offset_widths")
+
+    def apply(self, reading: Reading, sensor: Sensor, rng: np.random.Generator) -> Reading:
+        if rng.random() >= self.probability:
+            return reading
+        offset_widths = float(rng.uniform(self.min_offset_widths, self.max_offset_widths))
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        measurement = reading.true_value + sign * offset_widths * sensor.interval_width
+        return Reading(
+            sensor_name=reading.sensor_name,
+            measurement=measurement,
+            interval=sensor.spec.interval_for(measurement),
+            true_value=reading.true_value,
+        )
+
+
+@dataclass
+class StuckAtFaultModel(FaultModel):
+    """The sensor freezes at its last healthy measurement after a random onset.
+
+    Parameters
+    ----------
+    onset_probability:
+        Per-round probability that a healthy sensor becomes stuck.
+    """
+
+    onset_probability: float
+    _stuck_value: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.onset_probability <= 1.0:
+            raise SensorError(
+                f"onset probability must be in [0, 1], got {self.onset_probability}"
+            )
+
+    def reset(self) -> None:
+        self._stuck_value = None
+
+    def apply(self, reading: Reading, sensor: Sensor, rng: np.random.Generator) -> Reading:
+        if self._stuck_value is None:
+            if rng.random() < self.onset_probability:
+                self._stuck_value = reading.measurement
+            return reading
+        measurement = self._stuck_value
+        return Reading(
+            sensor_name=reading.sensor_name,
+            measurement=measurement,
+            interval=sensor.spec.interval_for(measurement),
+            true_value=reading.true_value,
+        )
+
+
+@dataclass
+class FaultySensor:
+    """A sensor whose readings pass through a fault model.
+
+    Exposes the same ``name`` / ``interval_width`` / ``measure`` interface as
+    :class:`~repro.sensors.sensor.Sensor`, so it can be dropped into a
+    :class:`~repro.sensors.suite.SensorSuite` unchanged.
+    """
+
+    sensor: Sensor
+    fault_model: FaultModel
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped sensor."""
+        return self.sensor.name
+
+    @property
+    def spec(self):
+        """Spec of the wrapped sensor."""
+        return self.sensor.spec
+
+    @property
+    def noise(self):
+        """Noise model of the wrapped sensor."""
+        return self.sensor.noise
+
+    @property
+    def interval_width(self) -> float:
+        """Interval width of the wrapped sensor."""
+        return self.sensor.interval_width
+
+    def reset(self) -> None:
+        """Clear the fault model's state."""
+        self.fault_model.reset()
+
+    def measure(self, true_value: float, rng: np.random.Generator) -> Reading:
+        """Measure through the wrapped sensor, then apply the fault model."""
+        return self.fault_model.apply(self.sensor.measure(true_value, rng), self.sensor, rng)

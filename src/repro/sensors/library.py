@@ -1,0 +1,103 @@
+"""Preset sensor specifications used throughout the paper.
+
+The LandShark case study (Section IV-B) uses four speed sensors:
+
+* GPS — interval width 1 mph, determined empirically;
+* camera — interval width 2 mph, determined empirically;
+* two wheel encoders — interval width 0.2 mph each, derived from a 192
+  cycles/revolution encoder with 0.5 % measuring error and 0.05 % sampling
+  jitter at the 10 mph operating point.
+
+This module also provides an IMU preset (the discussion section points out
+that IMUs are much harder to spoof and should be scheduled last) and a helper
+for building anonymous sensors directly from interval widths, which is what
+the synthetic Table I experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sensors.noise import NoiseModel, UniformNoise
+from repro.sensors.sensor import Sensor
+from repro.sensors.spec import EncoderSpec, SensorSpec
+
+__all__ = [
+    "GPS_INTERVAL_WIDTH",
+    "CAMERA_INTERVAL_WIDTH",
+    "ENCODER_INTERVAL_WIDTH",
+    "IMU_INTERVAL_WIDTH",
+    "gps_spec",
+    "camera_spec",
+    "encoder_spec",
+    "imu_spec",
+    "landshark_specs",
+    "make_sensor",
+    "sensors_from_widths",
+]
+
+GPS_INTERVAL_WIDTH = 1.0
+"""Empirically determined GPS speed-interval width (mph)."""
+
+CAMERA_INTERVAL_WIDTH = 2.0
+"""Empirically determined camera speed-interval width (mph)."""
+
+ENCODER_INTERVAL_WIDTH = 0.2
+"""Wheel-encoder speed-interval width (mph), derived from the datasheet."""
+
+IMU_INTERVAL_WIDTH = 0.6
+"""Representative IMU-derived speed-interval width (mph) for the discussion
+section's "hard to spoof" sensor; not part of the paper's four-sensor suite."""
+
+
+def gps_spec(name: str = "gps") -> SensorSpec:
+    """GPS speed sensor spec (1 mph interval)."""
+    return SensorSpec.from_interval_width(name, GPS_INTERVAL_WIDTH)
+
+
+def camera_spec(name: str = "camera") -> SensorSpec:
+    """Camera speed sensor spec (2 mph interval)."""
+    return SensorSpec.from_interval_width(name, CAMERA_INTERVAL_WIDTH)
+
+
+def encoder_spec(name: str = "encoder", nominal_speed: float = 10.0) -> SensorSpec:
+    """Wheel-encoder spec derived from the LandShark datasheet quantities."""
+    return EncoderSpec(name=name, nominal_speed=nominal_speed).to_sensor_spec()
+
+
+def imu_spec(name: str = "imu") -> SensorSpec:
+    """IMU speed sensor spec (hard-to-spoof sensor from the discussion)."""
+    return SensorSpec.from_interval_width(name, IMU_INTERVAL_WIDTH)
+
+
+def landshark_specs() -> list[SensorSpec]:
+    """The four LandShark speed-sensor specs, in no particular order.
+
+    The returned widths are {0.2, 0.2, 1.0, 2.0} mph, matching the case study.
+    """
+    return [
+        encoder_spec("encoder-left"),
+        encoder_spec("encoder-right"),
+        gps_spec(),
+        camera_spec(),
+    ]
+
+
+def make_sensor(spec: SensorSpec, noise: NoiseModel | None = None) -> Sensor:
+    """Wrap a spec into a :class:`Sensor` with the given (or default) noise."""
+    return Sensor(spec=spec, noise=noise if noise is not None else UniformNoise())
+
+
+def sensors_from_widths(
+    widths: Sequence[float], noise: NoiseModel | None = None, prefix: str = "sensor"
+) -> list[Sensor]:
+    """Build anonymous sensors from a list of interval widths.
+
+    This is the entry point used by the synthetic Table I experiments, whose
+    configurations are given purely as sets of interval lengths ``L``.
+    """
+    sensors = []
+    for index, width in enumerate(widths):
+        spec = SensorSpec.from_interval_width(f"{prefix}-{index}", width)
+        sensors.append(make_sensor(spec, noise))
+    return sensors

@@ -1,0 +1,119 @@
+"""Measurement-noise models for synthetic abstract sensors.
+
+The paper makes no distributional assumptions — correctness only requires the
+measurement to lie within the sensor's precision envelope, so the interval
+constructed around it contains the true value.  The noise models here all
+respect that envelope (they never emit an error larger than the sensor's
+half-width), which is exactly what makes a *correct* sensor correct.
+
+Three models are provided:
+
+* :class:`UniformNoise` — error uniform on ``[-half_width, +half_width]``;
+  this is the natural "no further knowledge" model and the default.
+* :class:`TruncatedGaussianNoise` — Gaussian error truncated to the envelope,
+  modelling sensors that are usually much better than their guarantee.
+* :class:`WorstCaseNoise` — error pinned at ``±half_width`` (sign chosen by a
+  Bernoulli draw); the hardest correct behaviour for the fusion algorithm.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import SensorError
+
+__all__ = ["NoiseModel", "UniformNoise", "TruncatedGaussianNoise", "WorstCaseNoise", "ZeroNoise"]
+
+
+class NoiseModel(abc.ABC):
+    """Interface for bounded measurement-noise generators."""
+
+    @abc.abstractmethod
+    def sample(self, half_width: float, rng: np.random.Generator) -> float:
+        """Draw one measurement error bounded by ``half_width`` in magnitude."""
+
+    def sample_many(self, half_width: float, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` independent errors (default: loop over :meth:`sample`)."""
+        return np.array([self.sample(half_width, rng) for _ in range(size)], dtype=float)
+
+
+@dataclass(frozen=True)
+class ZeroNoise(NoiseModel):
+    """No measurement error at all: the sensor reports the true value."""
+
+    def sample(self, half_width: float, rng: np.random.Generator) -> float:
+        return 0.0
+
+    def sample_many(self, half_width: float, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.zeros(size, dtype=float)
+
+
+@dataclass(frozen=True)
+class UniformNoise(NoiseModel):
+    """Error uniform on ``[-fraction * half_width, +fraction * half_width]``."""
+
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise SensorError(f"UniformNoise fraction must be in [0, 1], got {self.fraction}")
+
+    def sample(self, half_width: float, rng: np.random.Generator) -> float:
+        bound = self.fraction * half_width
+        return float(rng.uniform(-bound, bound))
+
+    def sample_many(self, half_width: float, rng: np.random.Generator, size: int) -> np.ndarray:
+        bound = self.fraction * half_width
+        return rng.uniform(-bound, bound, size=size)
+
+
+@dataclass(frozen=True)
+class TruncatedGaussianNoise(NoiseModel):
+    """Gaussian error with standard deviation ``sigma_fraction * half_width``.
+
+    Samples falling outside the precision envelope are redrawn (rejection
+    sampling), so correctness of the sensor is preserved by construction.
+    """
+
+    sigma_fraction: float = 0.33
+    max_redraws: int = 64
+
+    def __post_init__(self) -> None:
+        if self.sigma_fraction <= 0:
+            raise SensorError(f"sigma_fraction must be positive, got {self.sigma_fraction}")
+        if self.max_redraws < 1:
+            raise SensorError(f"max_redraws must be at least 1, got {self.max_redraws}")
+
+    def sample(self, half_width: float, rng: np.random.Generator) -> float:
+        sigma = self.sigma_fraction * half_width
+        if sigma == 0.0:
+            return 0.0
+        for _ in range(self.max_redraws):
+            draw = float(rng.normal(0.0, sigma))
+            if abs(draw) <= half_width:
+                return draw
+        # Extremely unlikely with sigma_fraction <= 1; clip as a safe fallback.
+        return float(np.clip(rng.normal(0.0, sigma), -half_width, half_width))
+
+
+@dataclass(frozen=True)
+class WorstCaseNoise(NoiseModel):
+    """Error pinned at the edge of the precision envelope.
+
+    Each sample is ``+half_width`` or ``-half_width`` with probability
+    ``p_high`` / ``1 - p_high``; this is the adversarial-but-correct behaviour
+    used to probe worst-case fusion widths without any attack.
+    """
+
+    p_high: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_high <= 1.0:
+            raise SensorError(f"p_high must be in [0, 1], got {self.p_high}")
+
+    def sample(self, half_width: float, rng: np.random.Generator) -> float:
+        sign = 1.0 if rng.random() < self.p_high else -1.0
+        return sign * half_width

@@ -1,0 +1,101 @@
+"""Abstract sensors: noisy point measurements converted into intervals.
+
+A :class:`Sensor` combines a :class:`~repro.sensors.spec.SensorSpec` (which
+fixes the interval width) with a :class:`~repro.sensors.noise.NoiseModel`
+(which decides where inside the precision envelope the measurement falls).
+A correct sensor always produces an interval containing the true value; this
+invariant is guaranteed by construction because the noise models are bounded
+by the spec's half-width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import SensorError
+from repro.core.interval import Interval
+from repro.sensors.noise import NoiseModel, UniformNoise
+from repro.sensors.spec import SensorSpec
+
+__all__ = ["Reading", "Sensor"]
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One sensor observation.
+
+    Attributes
+    ----------
+    sensor_name:
+        Name of the sensor that produced the reading.
+    measurement:
+        The noisy point measurement.
+    interval:
+        The abstract-sensor interval constructed around the measurement.
+    true_value:
+        The ground-truth value of the measured variable (kept for analysis;
+        the controller never sees it).
+    """
+
+    sensor_name: str
+    measurement: float
+    interval: Interval
+    true_value: float
+
+    @property
+    def is_correct(self) -> bool:
+        """``True`` if the interval contains the true value."""
+        return self.interval.contains(self.true_value)
+
+    @property
+    def error(self) -> float:
+        """Signed measurement error ``measurement - true_value``."""
+        return self.measurement - self.true_value
+
+
+@dataclass
+class Sensor:
+    """A concrete abstract sensor.
+
+    Parameters
+    ----------
+    spec:
+        Static sensor specification (fixes the interval width).
+    noise:
+        Bounded noise model; defaults to uniform noise over the envelope.
+    """
+
+    spec: SensorSpec
+    noise: NoiseModel = field(default_factory=UniformNoise)
+
+    @property
+    def name(self) -> str:
+        """Sensor name, taken from the spec."""
+        return self.spec.name
+
+    @property
+    def interval_width(self) -> float:
+        """Width of the intervals this sensor produces."""
+        return self.spec.interval_width
+
+    def measure(self, true_value: float, rng: np.random.Generator) -> Reading:
+        """Produce one (correct) reading of ``true_value``."""
+        error = self.noise.sample(self.spec.half_width, rng)
+        if abs(error) > self.spec.half_width + 1e-12:
+            raise SensorError(
+                f"noise model produced error {error} outside the precision envelope "
+                f"±{self.spec.half_width} of sensor {self.name!r}"
+            )
+        measurement = true_value + error
+        return Reading(
+            sensor_name=self.name,
+            measurement=measurement,
+            interval=self.spec.interval_for(measurement),
+            true_value=true_value,
+        )
+
+    def measure_many(self, true_values: np.ndarray, rng: np.random.Generator) -> list[Reading]:
+        """Produce one reading per entry of ``true_values``."""
+        return [self.measure(float(value), rng) for value in np.asarray(true_values, dtype=float)]

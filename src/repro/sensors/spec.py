@@ -1,0 +1,148 @@
+"""Sensor specifications: how a point measurement becomes an abstract interval.
+
+The paper constructs each sensor's interval from manufacturer and
+implementation guarantees: a precision guarantee of ``delta`` yields an
+interval of size ``2 * delta`` centred at the measurement, further enlarged to
+account for sampling jitter and implementation limitations.  The LandShark
+case study does exactly this for the wheel encoders (192 cycles/revolution,
+0.5 % measurement error, 0.05 % sampling-jitter error → 0.2 mph interval),
+while the GPS and camera interval sizes were determined empirically.
+
+:class:`SensorSpec` captures that construction so that both the synthetic
+experiments (which specify interval lengths directly) and the case study
+(which derives them) share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import SensorError
+from repro.core.interval import Interval
+
+__all__ = ["SensorSpec", "EncoderSpec"]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of one abstract sensor.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"gps"``, ``"left-encoder"``).
+    precision:
+        Manufacturer precision guarantee ``delta``: the measurement is within
+        ``delta`` of the true value, so the base interval has width
+        ``2 * delta``.
+    jitter:
+        Additional symmetric error bound from sampling jitter, added to the
+        half-width.
+    implementation_error:
+        Additional symmetric error bound from implementation limitations
+        (quantisation, conversion), added to the half-width.
+    """
+
+    name: str
+    precision: float
+    jitter: float = 0.0
+    implementation_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SensorError("sensor spec needs a non-empty name")
+        for label, value in (
+            ("precision", self.precision),
+            ("jitter", self.jitter),
+            ("implementation_error", self.implementation_error),
+        ):
+            if value < 0:
+                raise SensorError(f"sensor {self.name!r}: {label} must be non-negative, got {value}")
+        if self.half_width <= 0:
+            raise SensorError(f"sensor {self.name!r}: total half-width must be positive")
+
+    @property
+    def half_width(self) -> float:
+        """Half of the abstract interval's width."""
+        return self.precision + self.jitter + self.implementation_error
+
+    @property
+    def interval_width(self) -> float:
+        """Width of the abstract interval constructed around a measurement."""
+        return 2.0 * self.half_width
+
+    @classmethod
+    def from_interval_width(cls, name: str, width: float) -> "SensorSpec":
+        """Build a spec directly from an empirically determined interval width.
+
+        This matches how the paper handles the GPS (1 mph) and camera (2 mph)
+        sensors, whose interval sizes were measured rather than derived.
+        """
+        if width <= 0:
+            raise SensorError(f"sensor {name!r}: interval width must be positive, got {width}")
+        return cls(name=name, precision=width / 2.0)
+
+    def interval_for(self, measurement: float) -> Interval:
+        """Construct the abstract interval for a point ``measurement``."""
+        return Interval.from_center(measurement, self.interval_width)
+
+
+@dataclass(frozen=True)
+class EncoderSpec:
+    """Derivation of a wheel-encoder interval from datasheet quantities.
+
+    The case study computes the encoder interval width from the encoder's
+    cycles-per-revolution, a relative measuring error and a relative
+    sampling-jitter error, evaluated at the platoon's nominal operating speed.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the encoder.
+    cycles_per_revolution:
+        Encoder resolution (192 for the LandShark encoders).
+    measuring_error:
+        Relative measurement error (0.5 % → ``0.005``).
+    jitter_error:
+        Relative sampling-jitter error (0.05 % → ``0.0005``).
+    nominal_speed:
+        Operating speed at which the relative errors are converted into an
+        absolute interval width (10 mph in the case study).
+    """
+
+    name: str
+    cycles_per_revolution: int = 192
+    measuring_error: float = 0.005
+    jitter_error: float = 0.0005
+    nominal_speed: float = 10.0
+    quantisation_floor: float = field(default=0.045, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_revolution <= 0:
+            raise SensorError(f"encoder {self.name!r}: cycles_per_revolution must be positive")
+        for label, value in (
+            ("measuring_error", self.measuring_error),
+            ("jitter_error", self.jitter_error),
+        ):
+            if value < 0:
+                raise SensorError(f"encoder {self.name!r}: {label} must be non-negative")
+        if self.nominal_speed <= 0:
+            raise SensorError(f"encoder {self.name!r}: nominal_speed must be positive")
+
+    def to_sensor_spec(self) -> SensorSpec:
+        """Convert the datasheet quantities into a :class:`SensorSpec`.
+
+        The relative errors are scaled by the nominal speed; a small
+        quantisation floor models the finite 192-cycle resolution so that the
+        resulting interval width comes out at the paper's 0.2 mph for the
+        default LandShark parameters.
+        """
+        precision = self.measuring_error * self.nominal_speed
+        jitter = self.jitter_error * self.nominal_speed
+        quantisation = self.quantisation_floor
+        return SensorSpec(
+            name=self.name,
+            precision=precision,
+            jitter=jitter,
+            implementation_error=quantisation,
+        )

@@ -1,0 +1,79 @@
+"""Sensor suites: the set of sensors attached to one controller.
+
+A :class:`SensorSuite` groups the sensors that measure the same physical
+variable on one vehicle, produces one round of readings for a given true
+value, and knows the widths that any communication schedule is allowed to use
+(interval lengths are the only a-priori information in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import SensorError
+from repro.sensors.sensor import Reading, Sensor
+
+__all__ = ["SensorSuite"]
+
+
+@dataclass(frozen=True)
+class SensorSuite:
+    """An ordered collection of sensors measuring the same variable."""
+
+    sensors: tuple[Sensor, ...]
+
+    def __init__(self, sensors: Iterable[Sensor]) -> None:
+        items = tuple(sensors)
+        if not items:
+            raise SensorError("a sensor suite needs at least one sensor")
+        names = [s.name for s in items]
+        if len(set(names)) != len(names):
+            raise SensorError(f"sensor names must be unique, got {names}")
+        object.__setattr__(self, "sensors", items)
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def __iter__(self) -> Iterator[Sensor]:
+        return iter(self.sensors)
+
+    def __getitem__(self, index: int) -> Sensor:
+        return self.sensors[index]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Sensor names in suite order."""
+        return tuple(s.name for s in self.sensors)
+
+    @property
+    def widths(self) -> tuple[float, ...]:
+        """Interval widths in suite order (the schedule's only a-priori input)."""
+        return tuple(s.interval_width for s in self.sensors)
+
+    def index_of(self, name: str) -> int:
+        """Return the position of the sensor called ``name``."""
+        for index, sensor in enumerate(self.sensors):
+            if sensor.name == name:
+                return index
+        raise SensorError(f"no sensor named {name!r} in suite {self.names}")
+
+    def most_precise_index(self) -> int:
+        """Index of the sensor with the smallest interval width."""
+        widths = self.widths
+        return min(range(len(widths)), key=lambda i: (widths[i], i))
+
+    def least_precise_index(self) -> int:
+        """Index of the sensor with the largest interval width."""
+        widths = self.widths
+        return max(range(len(widths)), key=lambda i: (widths[i], -i))
+
+    def measure_all(self, true_value: float, rng: np.random.Generator) -> list[Reading]:
+        """Produce one correct reading from every sensor, in suite order."""
+        return [sensor.measure(true_value, rng) for sensor in self.sensors]
+
+    def subset(self, indices: Sequence[int]) -> "SensorSuite":
+        """Return a new suite containing only the sensors at ``indices``."""
+        return SensorSuite(self.sensors[i] for i in indices)

@@ -1,0 +1,5 @@
+"""Small shared utilities (deterministic RNG construction)."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = ["make_rng", "spawn_rngs"]

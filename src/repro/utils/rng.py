@@ -1,0 +1,25 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library takes an explicit
+``numpy.random.Generator``; these helpers build them from integer seeds and
+derive independent child streams, so experiments are reproducible end to end
+and schedules/attackers never share (and therefore never perturb) each
+other's streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one base seed."""
+    seed_sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seed_sequence.spawn(count)]

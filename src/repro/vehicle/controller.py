@@ -1,0 +1,55 @@
+"""Low-level speed controller driven by the fused sensor estimate.
+
+Each LandShark has a low-level controller that tries to keep the speed at the
+platoon target ``v``.  The controller only ever sees the *fused* estimate (the
+midpoint of the fusion interval), never the true speed — this is exactly the
+attack surface the paper studies: by widening or skewing the fusion interval,
+the attacker distorts what the controller reacts to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import VehicleError
+
+__all__ = ["SpeedController"]
+
+
+@dataclass
+class SpeedController:
+    """A PI speed controller operating on the fused speed estimate.
+
+    Parameters
+    ----------
+    kp:
+        Proportional gain (acceleration per mph of speed error).
+    ki:
+        Integral gain.
+    integral_limit:
+        Anti-windup clamp on the accumulated integral term.
+    """
+
+    kp: float = 2.0
+    ki: float = 0.5
+    integral_limit: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0:
+            raise VehicleError("controller gains must be non-negative")
+        if self.integral_limit <= 0:
+            raise VehicleError("integral limit must be positive")
+        self._integral = 0.0
+
+    def reset(self) -> None:
+        """Clear the integral state (used between simulation runs)."""
+        self._integral = 0.0
+
+    def command(self, target_speed: float, estimated_speed: float, dt: float) -> float:
+        """Return the commanded acceleration for one control step."""
+        if dt <= 0:
+            raise VehicleError(f"control step must be positive, got {dt}")
+        error = target_speed - estimated_speed
+        self._integral += error * dt
+        self._integral = max(-self.integral_limit, min(self.integral_limit, self._integral))
+        return self.kp * error + self.ki * self._integral

@@ -1,0 +1,118 @@
+"""Longitudinal vehicle dynamics for the LandShark case study.
+
+The paper's case study runs on a physical LandShark UGV; per the substitution
+rule we replace it with a simple longitudinal model that preserves the only
+property the fusion/attack layer consumes: a slowly varying true speed that
+the controller regulates around a target using the fused estimate.
+
+The model is a first-order speed response
+
+    v[k+1] = v[k] + dt * (u[k] - drag * v[k]) + w[k]
+
+with the commanded acceleration ``u`` saturated at ``±max_accel`` and a small
+bounded process disturbance ``w`` modelling terrain variation.  Position is
+integrated alongside speed so the platoon layer can reason about spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import VehicleError
+
+__all__ = ["VehicleParameters", "VehicleState", "LongitudinalVehicle"]
+
+
+@dataclass(frozen=True)
+class VehicleParameters:
+    """Physical parameters of the longitudinal model.
+
+    Attributes
+    ----------
+    dt:
+        Simulation time step in seconds.
+    drag:
+        First-order speed damping coefficient (1/s).
+    max_accel:
+        Saturation of the commanded acceleration (mph/s).
+    max_disturbance:
+        Bound on the per-step process disturbance (mph); the disturbance is
+        uniform on ``[-max_disturbance, +max_disturbance]``.
+    max_speed:
+        Hard physical speed limit (mph); speed is clipped to ``[0, max_speed]``.
+    """
+
+    dt: float = 0.1
+    drag: float = 0.01
+    max_accel: float = 3.0
+    max_disturbance: float = 0.02
+    max_speed: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise VehicleError(f"time step must be positive, got {self.dt}")
+        if self.drag < 0:
+            raise VehicleError(f"drag must be non-negative, got {self.drag}")
+        if self.max_accel <= 0:
+            raise VehicleError(f"max_accel must be positive, got {self.max_accel}")
+        if self.max_disturbance < 0:
+            raise VehicleError(f"max_disturbance must be non-negative, got {self.max_disturbance}")
+        if self.max_speed <= 0:
+            raise VehicleError(f"max_speed must be positive, got {self.max_speed}")
+
+
+@dataclass
+class VehicleState:
+    """Mutable kinematic state of one vehicle."""
+
+    speed: float = 0.0
+    position: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed < 0:
+            raise VehicleError(f"speed must be non-negative, got {self.speed}")
+
+
+class LongitudinalVehicle:
+    """First-order longitudinal vehicle model."""
+
+    def __init__(
+        self,
+        parameters: VehicleParameters | None = None,
+        initial_state: VehicleState | None = None,
+    ) -> None:
+        self._parameters = parameters if parameters is not None else VehicleParameters()
+        self._state = initial_state if initial_state is not None else VehicleState()
+
+    @property
+    def parameters(self) -> VehicleParameters:
+        """The (immutable) physical parameters."""
+        return self._parameters
+
+    @property
+    def state(self) -> VehicleState:
+        """Current kinematic state (speed, position)."""
+        return self._state
+
+    @property
+    def speed(self) -> float:
+        """Current true speed (the quantity the sensors measure)."""
+        return self._state.speed
+
+    @property
+    def position(self) -> float:
+        """Current position along the road."""
+        return self._state.position
+
+    def step(self, commanded_accel: float, rng: np.random.Generator) -> VehicleState:
+        """Advance the model by one time step under ``commanded_accel``."""
+        p = self._parameters
+        accel = float(np.clip(commanded_accel, -p.max_accel, p.max_accel))
+        disturbance = float(rng.uniform(-p.max_disturbance, p.max_disturbance))
+        new_speed = self._state.speed + p.dt * (accel - p.drag * self._state.speed) + disturbance
+        new_speed = float(np.clip(new_speed, 0.0, p.max_speed))
+        new_position = self._state.position + p.dt * self._state.speed
+        self._state = VehicleState(speed=new_speed, position=new_position)
+        return self._state

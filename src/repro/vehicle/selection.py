@@ -1,0 +1,113 @@
+"""Attacked-sensor selection strategies for the case study.
+
+The paper's case study assumes "at most one sensor can be attacked at any
+given point of time" and that "any sensor can be attacked".  Which sensor the
+attacker grabs is therefore an experiment parameter:
+
+* :class:`RandomSensorSelector` — a uniformly random sensor each fusion round
+  (the paper's neutral assumption; this is the case-study default);
+* :class:`MostPreciseSelector` — always an encoder, the strongest choice by
+  Theorem 4 (used by the ablation benchmarks to show the worst case);
+* :class:`FixedSelector` — an explicit, fixed set of sensors;
+* :class:`NoAttackSelector` — nobody is attacked (baseline).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ExperimentError
+from repro.sensors.suite import SensorSuite
+
+__all__ = [
+    "AttackedSensorSelector",
+    "NoAttackSelector",
+    "FixedSelector",
+    "MostPreciseSelector",
+    "RandomSensorSelector",
+    "selector_from_spec",
+]
+
+
+class AttackedSensorSelector(abc.ABC):
+    """Strategy choosing which sensors are compromised in a fusion round."""
+
+    @abc.abstractmethod
+    def select(self, suite: SensorSuite, rng: np.random.Generator) -> tuple[int, ...]:
+        """Return the compromised sensor indices for the upcoming round."""
+
+
+@dataclass(frozen=True)
+class NoAttackSelector(AttackedSensorSelector):
+    """No sensor is ever compromised."""
+
+    def select(self, suite: SensorSuite, rng: np.random.Generator) -> tuple[int, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class FixedSelector(AttackedSensorSelector):
+    """A fixed set of compromised sensors, the same every round."""
+
+    indices: tuple[int, ...]
+
+    def select(self, suite: SensorSuite, rng: np.random.Generator) -> tuple[int, ...]:
+        for index in self.indices:
+            if not 0 <= index < len(suite):
+                raise ExperimentError(
+                    f"attacked sensor index {index} out of range for {len(suite)} sensors"
+                )
+        return tuple(sorted(set(self.indices)))
+
+
+@dataclass(frozen=True)
+class MostPreciseSelector(AttackedSensorSelector):
+    """Compromise the ``count`` most precise sensors (Theorem 4's worst case)."""
+
+    count: int = 1
+
+    def select(self, suite: SensorSuite, rng: np.random.Generator) -> tuple[int, ...]:
+        if not 1 <= self.count <= len(suite):
+            raise ExperimentError(
+                f"cannot attack {self.count} sensors out of {len(suite)}"
+            )
+        widths = suite.widths
+        order = sorted(range(len(suite)), key=lambda i: (widths[i], i))
+        return tuple(sorted(order[: self.count]))
+
+
+@dataclass(frozen=True)
+class RandomSensorSelector(AttackedSensorSelector):
+    """Compromise ``count`` uniformly random sensors, re-drawn every round."""
+
+    count: int = 1
+
+    def select(self, suite: SensorSuite, rng: np.random.Generator) -> tuple[int, ...]:
+        if not 1 <= self.count <= len(suite):
+            raise ExperimentError(
+                f"cannot attack {self.count} sensors out of {len(suite)}"
+            )
+        chosen = rng.choice(len(suite), size=self.count, replace=False)
+        return tuple(sorted(int(i) for i in chosen))
+
+
+def selector_from_spec(spec: str | int | tuple[int, ...]) -> AttackedSensorSelector:
+    """Build a selector from the case study's ``attacked_sensor`` setting.
+
+    ``"random"`` → random sensor each round, ``"most_precise"`` → the most
+    precise sensor, ``"none"`` → no attack, an integer or tuple → fixed.
+    """
+    if isinstance(spec, tuple):
+        return FixedSelector(indices=spec)
+    if isinstance(spec, int):
+        return FixedSelector(indices=(spec,))
+    if spec == "random":
+        return RandomSensorSelector()
+    if spec == "most_precise":
+        return MostPreciseSelector()
+    if spec == "none":
+        return NoAttackSelector()
+    raise ExperimentError(f"unknown attacked-sensor specification {spec!r}")

@@ -1,0 +1,5 @@
+"""ASCII visualisation of interval configurations (the paper's figure layout)."""
+
+from repro.viz.ascii import LabeledInterval, render_fusion_figure, render_intervals
+
+__all__ = ["LabeledInterval", "render_intervals", "render_fusion_figure"]

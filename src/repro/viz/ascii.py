@@ -1,0 +1,111 @@
+"""ASCII rendering of interval configurations.
+
+The paper's figures are all of the same shape: a stack of labelled sensor
+intervals on a common axis with the fusion interval(s) drawn below a dashed
+separator.  :func:`render_intervals` reproduces that layout in plain text so
+that the figure benchmarks and the examples can show configurations directly
+in a terminal (and in ``EXPERIMENTS.md``) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.exceptions import ExperimentError
+from repro.core.interval import Interval
+
+__all__ = ["LabeledInterval", "render_intervals", "render_fusion_figure"]
+
+
+@dataclass(frozen=True)
+class LabeledInterval:
+    """An interval with a display label and an optional attacked marker."""
+
+    label: str
+    interval: Interval
+    attacked: bool = False
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    """Map ``value`` from ``[lo, hi]`` to a character column."""
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return int(round(fraction * (width - 1)))
+
+
+def _render_bar(interval: Interval, lo: float, hi: float, width: int, attacked: bool) -> str:
+    start = _scale(interval.lo, lo, hi, width)
+    end = _scale(interval.hi, lo, hi, width)
+    end = max(end, start)
+    fill = "~" if attacked else "="
+    chars = [" "] * width
+    for column in range(start, end + 1):
+        chars[column] = fill
+    chars[start] = "|"
+    chars[end] = "|"
+    return "".join(chars)
+
+
+def render_intervals(
+    items: Sequence[LabeledInterval],
+    width: int = 60,
+    axis_lo: float | None = None,
+    axis_hi: float | None = None,
+) -> str:
+    """Render labelled intervals on a shared axis.
+
+    Attacked intervals are drawn with ``~`` (the paper draws them as
+    sinusoids), correct ones with ``=``.
+    """
+    if not items:
+        raise ExperimentError("nothing to render")
+    if width < 10:
+        raise ExperimentError(f"rendering width must be at least 10 columns, got {width}")
+    lo = min(item.interval.lo for item in items) if axis_lo is None else axis_lo
+    hi = max(item.interval.hi for item in items) if axis_hi is None else axis_hi
+    if hi <= lo:
+        hi = lo + 1.0
+    label_width = max(len(item.label) for item in items)
+    lines = []
+    for item in items:
+        bar = _render_bar(item.interval, lo, hi, width, item.attacked)
+        lines.append(f"{item.label.rjust(label_width)} {bar} [{item.interval.lo:g}, {item.interval.hi:g}]")
+    axis = f"{' ' * label_width} {str(round(lo, 3)).ljust(width // 2)}{str(round(hi, 3)).rjust(width - width // 2)}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_fusion_figure(
+    sensors: Sequence[LabeledInterval],
+    fusions: Sequence[LabeledInterval],
+    width: int = 60,
+) -> str:
+    """Render sensors above a dashed separator and fusion intervals below it.
+
+    This is the layout of every figure in the paper ("dashed horizontal line
+    separates sensor intervals from fusion intervals").
+    """
+    if not sensors or not fusions:
+        raise ExperimentError("need both sensor and fusion intervals to render a figure")
+    everything = list(sensors) + list(fusions)
+    lo = min(item.interval.lo for item in everything)
+    hi = max(item.interval.hi for item in everything)
+    label_width = max(len(item.label) for item in everything)
+    separator = f"{'-' * label_width} {'-' * width}"
+    top = render_intervals(
+        [LabeledInterval(i.label.rjust(label_width), i.interval, i.attacked) for i in sensors],
+        width,
+        lo,
+        hi,
+    )
+    bottom = render_intervals(
+        [LabeledInterval(i.label.rjust(label_width), i.interval, i.attacked) for i in fusions],
+        width,
+        lo,
+        hi,
+    )
+    # Drop the duplicated axis line from the top block.
+    top_lines = top.splitlines()[:-1]
+    return "\n".join([*top_lines, separator, bottom])

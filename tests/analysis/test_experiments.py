@@ -1,0 +1,67 @@
+"""Unit tests for the canonical experiment configurations."""
+
+import pytest
+
+from repro.analysis import (
+    TABLE1_CONFIGURATIONS,
+    TABLE1_PAPER_RESULTS,
+    TABLE2_PAPER_RESULTS,
+    TABLE2_SCHEDULES,
+    figure1_intervals,
+    figure2_configuration,
+    figure5a_configuration,
+    figure5b_configuration,
+)
+from repro.core import fuse, max_safe_fault_bound
+
+
+class TestTable1Configurations:
+    def test_eight_rows(self):
+        assert len(TABLE1_CONFIGURATIONS) == 8
+
+    def test_lengths_match_counts(self):
+        for entry in TABLE1_CONFIGURATIONS:
+            assert len(entry.lengths) == entry.n
+            assert 1 <= entry.fa <= max_safe_fault_bound(entry.n)
+
+    def test_paper_descending_never_below_ascending(self):
+        for entry in TABLE1_CONFIGURATIONS:
+            assert entry.paper_descending >= entry.paper_ascending
+
+    def test_lookup_table(self):
+        entry = TABLE1_CONFIGURATIONS[0]
+        assert TABLE1_PAPER_RESULTS[(entry.n, entry.fa, entry.lengths)] == (
+            entry.paper_ascending,
+            entry.paper_descending,
+        )
+
+    def test_comparison_config_construction(self):
+        config = TABLE1_CONFIGURATIONS[0].comparison_config(positions=3)
+        assert config.lengths == TABLE1_CONFIGURATIONS[0].lengths
+        assert config.positions == 3
+
+
+class TestTable2Constants:
+    def test_schedule_names(self):
+        assert [s.name for s in TABLE2_SCHEDULES] == ["ascending", "descending", "random"]
+
+    def test_paper_results_keys(self):
+        assert set(TABLE2_PAPER_RESULTS) == {"ascending", "descending", "random"}
+        assert TABLE2_PAPER_RESULTS["ascending"] == (0.0, 0.0)
+
+
+class TestFigureConfigurations:
+    def test_figure1_fusable_for_all_f(self):
+        intervals = figure1_intervals()
+        widths = [fuse(intervals, f).width for f in (0, 1, 2)]
+        assert widths == sorted(widths)
+        assert widths[0] < widths[2]
+
+    def test_figure2_fields(self):
+        config = figure2_configuration()
+        assert {"s1", "s2_left", "s2_right", "attacked_width", "f"} <= set(config)
+
+    def test_figure5_configurations_have_attacked_reading(self):
+        for config in (figure5a_configuration(), figure5b_configuration()):
+            assert "attacked_width" in config
+            assert config["f"] == 1

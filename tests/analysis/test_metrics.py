@@ -1,0 +1,63 @@
+"""Unit tests for the aggregate metrics."""
+
+import pytest
+
+from repro.analysis import containment_rate, summarize_widths, violation_rates
+from repro.core import ExperimentError, Interval
+
+
+class TestSummarizeWidths:
+    def test_basic_statistics(self):
+        stats = summarize_widths([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean_width == pytest.approx(2.5)
+        assert stats.min_width == 1.0
+        assert stats.max_width == 4.0
+        assert stats.median_width == pytest.approx(2.5)
+
+    def test_single_value(self):
+        stats = summarize_widths([2.0])
+        assert stats.std_width == 0.0
+        assert stats.mean_width == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize_widths([])
+
+    def test_as_dict_keys(self):
+        assert set(summarize_widths([1.0]).as_dict()) == {"count", "mean", "std", "min", "max", "median"}
+
+
+class TestViolationRates:
+    def test_rates(self):
+        fusions = [Interval(9.8, 10.2), Interval(9.4, 10.2), Interval(9.8, 10.8), Interval(9.0, 11.0)]
+        upper, lower = violation_rates(fusions, upper_limit=10.5, lower_limit=9.5)
+        assert upper == pytest.approx(0.5)
+        assert lower == pytest.approx(0.5)
+
+    def test_boundaries_not_violations(self):
+        upper, lower = violation_rates([Interval(9.5, 10.5)], 10.5, 9.5)
+        assert upper == 0.0
+        assert lower == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            violation_rates([], 1.0, 0.0)
+
+
+class TestContainmentRate:
+    def test_full_containment(self):
+        fusions = [Interval(0, 2), Interval(1, 3)]
+        assert containment_rate(fusions, [1.0, 2.0]) == 1.0
+
+    def test_partial_containment(self):
+        fusions = [Interval(0, 2), Interval(1, 3)]
+        assert containment_rate(fusions, [1.0, 5.0]) == 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            containment_rate([Interval(0, 1)], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            containment_rate([], [])

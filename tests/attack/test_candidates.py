@@ -1,0 +1,136 @@
+"""Unit tests for forged-interval candidate generation."""
+
+import pytest
+
+from repro.attack import (
+    AttackContext,
+    candidate_intervals,
+    endpoint_aligned,
+    grid_candidates,
+    is_admissible,
+    passive_extremes,
+)
+from repro.core import Interval
+
+
+def wide_attacker_context() -> AttackContext:
+    """Attacker interval (width 4) wider than Δ (width 2), one correct seen."""
+    return AttackContext(
+        n=3,
+        f=1,
+        slot_index=1,
+        sensor_index=1,
+        width=4.0,
+        own_reading=Interval(8.0, 12.0),
+        delta=Interval(9.0, 11.0),
+        transmitted=(Interval(9.5, 10.5),),
+        transmitted_compromised=(False,),
+        remaining_widths=(6.0,),
+        remaining_compromised=(False,),
+    )
+
+
+def narrow_attacker_context() -> AttackContext:
+    """Attacker interval exactly as wide as Δ — no freedom in passive mode."""
+    return AttackContext(
+        n=3,
+        f=1,
+        slot_index=0,
+        sensor_index=0,
+        width=2.0,
+        own_reading=Interval(9.0, 11.0),
+        delta=Interval(9.0, 11.0),
+        transmitted=(),
+        transmitted_compromised=(),
+        remaining_widths=(4.0, 6.0),
+        remaining_compromised=(False, False),
+    )
+
+
+class TestPassiveExtremes:
+    def test_extremes_contain_delta(self):
+        ctx = wide_attacker_context()
+        for candidate in passive_extremes(ctx):
+            assert candidate.contains_interval(ctx.delta)
+            assert candidate.width == pytest.approx(ctx.width)
+
+    def test_extremes_reach_both_sides(self):
+        ctx = wide_attacker_context()
+        extremes = passive_extremes(ctx)
+        assert min(c.lo for c in extremes) == pytest.approx(ctx.delta.hi - ctx.width)
+        assert max(c.hi for c in extremes) == pytest.approx(ctx.delta.lo + ctx.width)
+
+    def test_empty_when_width_below_delta(self):
+        ctx = wide_attacker_context()
+        narrow = AttackContext(
+            n=ctx.n,
+            f=ctx.f,
+            slot_index=ctx.slot_index,
+            sensor_index=ctx.sensor_index,
+            width=1.0,
+            own_reading=Interval(9.2, 10.2),
+            delta=ctx.delta,
+            transmitted=ctx.transmitted,
+            transmitted_compromised=ctx.transmitted_compromised,
+            remaining_widths=ctx.remaining_widths,
+            remaining_compromised=ctx.remaining_compromised,
+        )
+        assert passive_extremes(narrow) == []
+
+
+class TestEndpointAligned:
+    def test_candidates_have_requested_width(self):
+        ctx = wide_attacker_context()
+        for candidate in endpoint_aligned(ctx):
+            assert candidate.width == pytest.approx(ctx.width)
+
+    def test_alignment_with_seen_endpoints(self):
+        ctx = wide_attacker_context()
+        los = {round(c.lo, 9) for c in endpoint_aligned(ctx)}
+        his = {round(c.hi, 9) for c in endpoint_aligned(ctx)}
+        assert 9.5 in los or 9.5 in his
+        assert 10.5 in los or 10.5 in his
+
+
+class TestGridCandidates:
+    def test_grid_size(self):
+        ctx = wide_attacker_context()
+        assert len(grid_candidates(ctx, positions=5)) == 5
+
+    def test_minimum_positions(self):
+        ctx = wide_attacker_context()
+        assert len(grid_candidates(ctx, positions=1)) >= 1
+
+    def test_grid_spans_window(self):
+        ctx = wide_attacker_context()
+        grid = grid_candidates(ctx, positions=9)
+        assert min(c.lo for c in grid) < ctx.delta.lo
+        assert max(c.hi for c in grid) > ctx.delta.hi
+
+
+class TestCandidateIntervals:
+    def test_all_candidates_admissible(self):
+        ctx = wide_attacker_context()
+        for candidate in candidate_intervals(ctx):
+            assert is_admissible(candidate, ctx)
+
+    def test_truthful_reading_always_present(self):
+        ctx = wide_attacker_context()
+        candidates = candidate_intervals(ctx)
+        assert any(c.almost_equal(ctx.own_reading) for c in candidates)
+
+    def test_never_empty(self):
+        assert candidate_intervals(narrow_attacker_context())
+
+    def test_narrow_attacker_has_single_choice(self):
+        # Width equals Δ and active mode is unavailable: the only stealthy
+        # placement is the truthful one.
+        candidates = candidate_intervals(narrow_attacker_context())
+        assert len(candidates) == 1
+        assert candidates[0] == Interval(9.0, 11.0)
+
+    def test_no_duplicates(self):
+        ctx = wide_attacker_context()
+        candidates = candidate_intervals(ctx)
+        keys = {(round(c.lo, 9), round(c.hi, 9)) for c in candidates}
+        assert len(keys) == len(candidates)

@@ -1,0 +1,97 @@
+"""Unit tests for AttackContext."""
+
+import pytest
+
+from repro.attack import AttackContext
+from repro.core import AttackError, Interval
+
+
+def make_context(**overrides) -> AttackContext:
+    """A small valid context: n=4, f=1, attacker in slot 1, one correct seen."""
+    defaults = dict(
+        n=4,
+        f=1,
+        slot_index=1,
+        sensor_index=2,
+        width=2.0,
+        own_reading=Interval(9.0, 11.0),
+        delta=Interval(9.0, 11.0),
+        transmitted=(Interval(9.5, 10.5),),
+        transmitted_compromised=(False,),
+        remaining_widths=(0.2, 1.0),
+        remaining_compromised=(False, False),
+    )
+    defaults.update(overrides)
+    return AttackContext(**defaults)
+
+
+class TestValidation:
+    def test_valid_context(self):
+        ctx = make_context()
+        assert ctx.n == 4
+
+    def test_sensor_count_mismatch_rejected(self):
+        with pytest.raises(AttackError):
+            make_context(remaining_widths=(0.2,), remaining_compromised=(False,))
+
+    def test_transmitted_flag_length_mismatch(self):
+        with pytest.raises(AttackError):
+            make_context(transmitted_compromised=(False, True))
+
+    def test_delta_must_intersect_own_reading(self):
+        with pytest.raises(AttackError):
+            make_context(delta=Interval(20.0, 21.0))
+
+    def test_invalid_width(self):
+        with pytest.raises(AttackError):
+            make_context(width=0.0)
+
+    def test_invalid_f(self):
+        with pytest.raises(AttackError):
+            make_context(f=4)
+
+    def test_invalid_n(self):
+        with pytest.raises(AttackError):
+            make_context(n=0, transmitted=(), transmitted_compromised=(), remaining_widths=(), remaining_compromised=())
+
+
+class TestDerivedQuantities:
+    def test_n_transmitted(self):
+        assert make_context().n_transmitted == 1
+
+    def test_unsent_compromised_count_counts_current(self):
+        ctx = make_context(remaining_compromised=(True, False))
+        assert ctx.unsent_compromised_count == 2
+        assert make_context().unsent_compromised_count == 1
+
+    def test_unseen_correct_widths(self):
+        ctx = make_context(remaining_widths=(0.2, 1.0), remaining_compromised=(True, False))
+        assert ctx.unseen_correct_widths == (1.0,)
+        assert ctx.unseen_compromised_widths == (0.2,)
+
+    def test_seen_correct_and_compromised(self):
+        ctx = make_context(
+            transmitted=(Interval(9.5, 10.5), Interval(0, 1)),
+            transmitted_compromised=(False, True),
+            remaining_widths=(1.0,),
+            remaining_compromised=(False,),
+        )
+        assert ctx.seen_correct_intervals == (Interval(9.5, 10.5),)
+        assert ctx.seen_compromised_intervals == (Interval(0, 1),)
+
+    def test_with_protected_points(self):
+        ctx = make_context().with_protected_points((10.0,))
+        assert ctx.protected_points == (10.0,)
+
+    def test_cache_key_ignores_slot_and_sensor_identity(self):
+        a = make_context(slot_index=1, sensor_index=2)
+        b = make_context(slot_index=3, sensor_index=0)
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_distinguishes_transmitted(self):
+        a = make_context()
+        b = make_context(transmitted=(Interval(8.0, 9.0),))
+        assert a.cache_key() != b.cache_key()
+
+    def test_cache_key_is_hashable(self):
+        assert isinstance(hash(make_context().cache_key()), int)

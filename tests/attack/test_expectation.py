@@ -1,0 +1,163 @@
+"""Unit tests for the expectation-maximising attacker (problem (2))."""
+
+import numpy as np
+import pytest
+
+from repro.attack import AttackContext, ExpectationPolicy, TruthfulPolicy, is_admissible
+from repro.core import Interval
+from repro.scheduling import AscendingSchedule, DescendingSchedule, RoundConfig, run_round
+
+
+def last_slot_context() -> AttackContext:
+    """Attacker transmits last (full knowledge): n=3, f=1."""
+    return AttackContext(
+        n=3,
+        f=1,
+        slot_index=2,
+        sensor_index=0,
+        width=5.0,
+        own_reading=Interval(-2.5, 2.5),
+        delta=Interval(-2.5, 2.5),
+        transmitted=(Interval(-5.5, 5.5), Interval(-8.5, 8.5)),
+        transmitted_compromised=(False, False),
+        remaining_widths=(),
+        remaining_compromised=(),
+    )
+
+
+def first_slot_context() -> AttackContext:
+    """Attacker transmits first (no knowledge): n=3, f=1."""
+    return AttackContext(
+        n=3,
+        f=1,
+        slot_index=0,
+        sensor_index=0,
+        width=5.0,
+        own_reading=Interval(-2.5, 2.5),
+        delta=Interval(-2.5, 2.5),
+        transmitted=(),
+        transmitted_compromised=(),
+        remaining_widths=(11.0, 17.0),
+        remaining_compromised=(False, False),
+    )
+
+
+class TestExpectationPolicyDecisions:
+    def test_choice_is_admissible(self):
+        rng = np.random.default_rng(0)
+        policy = ExpectationPolicy()
+        ctx = last_slot_context()
+        assert is_admissible(policy.choose_interval(ctx, rng), ctx)
+
+    def test_full_knowledge_attack_extends_fusion(self):
+        rng = np.random.default_rng(0)
+        policy = ExpectationPolicy()
+        ctx = last_slot_context()
+        forged = policy.choose_interval(ctx, rng)
+        # With full knowledge the attacker should do strictly better than the
+        # truthful placement: stretching to one end of the widest interval.
+        truthful_width = 11.0  # fusion with the truth is [-5.5, 5.5]
+        from repro.core import fuse
+
+        attacked_width = fuse(list(ctx.transmitted) + [forged], ctx.f).width
+        assert attacked_width > truthful_width
+
+    def test_no_knowledge_passive_constraint_forces_truth_when_tight(self):
+        rng = np.random.default_rng(0)
+        policy = ExpectationPolicy()
+        ctx = first_slot_context()
+        forged = policy.choose_interval(ctx, rng)
+        # Width equals |Δ| and active mode is unavailable, so the only
+        # admissible interval is the correct one.
+        assert forged == ctx.own_reading
+
+    def test_decisions_are_cached(self):
+        rng = np.random.default_rng(0)
+        policy = ExpectationPolicy()
+        ctx = last_slot_context()
+        first = policy.choose_interval(ctx, rng)
+        assert policy._cache
+        second = policy.choose_interval(ctx, rng)
+        assert first == second
+
+    def test_expected_width_of_inadmissible_candidate_is_minus_inf(self):
+        policy = ExpectationPolicy()
+        ctx = first_slot_context()
+        assert policy._expected_final_width(Interval(10.0, 15.0), ctx) == -np.inf
+
+
+class TestExpectationPolicyInRounds:
+    def test_descending_attack_at_least_as_strong_as_ascending(self):
+        # The information advantage of transmitting last can only help.
+        correct = [Interval(-2.5, 2.5), Interval(-5.5, 5.5), Interval(-8.5, 8.5)]
+        rng = np.random.default_rng(0)
+        descending = run_round(
+            correct,
+            RoundConfig(schedule=DescendingSchedule(), attacked_indices=(0,), policy=ExpectationPolicy(), f=1),
+            rng,
+        )
+        ascending = run_round(
+            correct,
+            RoundConfig(schedule=AscendingSchedule(), attacked_indices=(0,), policy=ExpectationPolicy(), f=1),
+            rng,
+        )
+        assert descending.fusion_width >= ascending.fusion_width
+
+    def test_attacker_never_detected(self):
+        correct = [Interval(-2.5, 2.5), Interval(-4.0, 3.0), Interval(-3.0, 6.0)]
+        for schedule in (AscendingSchedule(), DescendingSchedule()):
+            rng = np.random.default_rng(3)
+            result = run_round(
+                correct,
+                RoundConfig(schedule=schedule, attacked_indices=(0,), policy=ExpectationPolicy(), f=1),
+                rng,
+            )
+            assert not result.attacker_detected
+
+    def test_attack_at_least_as_wide_as_truthful(self):
+        correct = [Interval(-1.0, 1.0), Interval(-4.0, 2.0), Interval(-2.0, 5.0)]
+        rng = np.random.default_rng(1)
+        truthful = run_round(
+            correct,
+            RoundConfig(schedule=DescendingSchedule(), attacked_indices=(0,), policy=TruthfulPolicy(), f=1),
+            rng,
+        )
+        attacked = run_round(
+            correct,
+            RoundConfig(schedule=DescendingSchedule(), attacked_indices=(0,), policy=ExpectationPolicy(), f=1),
+            rng,
+        )
+        assert attacked.fusion_width >= truthful.fusion_width - 1e-9
+
+    def test_two_compromised_sensors(self):
+        correct = [Interval(-1.0, 1.0), Interval(-1.5, 0.5), Interval(-3.0, 3.0), Interval(-5.0, 5.0), Interval(-7.0, 7.0)]
+        rng = np.random.default_rng(2)
+        result = run_round(
+            correct,
+            RoundConfig(
+                schedule=DescendingSchedule(),
+                attacked_indices=(0, 1),
+                policy=ExpectationPolicy(),
+                f=2,
+            ),
+            rng,
+        )
+        assert not result.attacker_detected
+        assert result.fusion.contains(0.0)
+
+    def test_fusion_always_contains_true_value(self):
+        # Stealthy attacks with fa <= f can widen but never exclude the truth.
+        rng = np.random.default_rng(4)
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            correct = [
+                Interval.from_center(float(local.uniform(-0.4, 0.4)) * w, w).shift(0.0)
+                for w in (2.0, 4.0, 8.0)
+            ]
+            correct = [s if s.contains(0.0) else Interval.from_center(0.0, s.width) for s in correct]
+            result = run_round(
+                correct,
+                RoundConfig(schedule=DescendingSchedule(), attacked_indices=(0,), policy=ExpectationPolicy(), f=1),
+                rng,
+            )
+            assert result.fusion.contains(0.0)

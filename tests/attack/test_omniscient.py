@@ -1,0 +1,106 @@
+"""Unit tests for the full-knowledge (problem (1)) attacker."""
+
+import numpy as np
+import pytest
+
+from repro.attack import OmniscientPolicy, optimal_attack, optimal_fusion_width
+from repro.core import AttackError, Interval, fuse
+from repro.scheduling import DescendingSchedule, FixedSchedule, RoundConfig, run_round
+
+
+class TestOptimalAttack:
+    def test_single_forged_interval_extends_fusion(self):
+        correct = [Interval(-5.5, 5.5), Interval(-8.5, 8.5)]
+        fusion, placement = optimal_attack(correct, [5.0], f=1)
+        assert len(placement) == 1
+        assert placement[0].width == pytest.approx(5.0)
+        # Fusion with the truthful reading would be 11 wide; the optimal
+        # attack reaches 14 by stretching along the widest correct interval.
+        assert fusion.width == pytest.approx(14.0)
+
+    def test_forged_intervals_intersect_fusion(self):
+        correct = [Interval(0, 4), Interval(1, 6), Interval(2, 9)]
+        fusion, placement = optimal_attack(correct, [3.0, 2.0], f=2)
+        for forged in placement:
+            assert forged.intersects(fusion)
+
+    def test_optimal_never_below_truthful(self):
+        correct = [Interval(0, 2), Interval(1, 3), Interval(1.5, 4)]
+        for width in (0.5, 1.0, 3.0):
+            truthful = fuse(correct + [Interval.from_center(1.75, width)], 1).width
+            assert optimal_fusion_width(correct, [width], f=1) >= truthful - 1e-9
+
+    def test_wider_forged_interval_never_hurts(self):
+        correct = [Interval(0, 2), Interval(1, 3), Interval(1.5, 4)]
+        widths = [optimal_fusion_width(correct, [w], f=1) for w in (0.5, 1.0, 2.0, 4.0)]
+        assert widths == sorted(widths)
+
+    def test_respects_theorem2_bound(self):
+        correct = [Interval(0, 3), Interval(2, 8)]
+        width = optimal_fusion_width(correct, [10.0], f=1)
+        assert width <= (3.0 + 6.0) + 1e-9
+
+    def test_empty_correct_rejected(self):
+        with pytest.raises(AttackError):
+            optimal_attack([], [1.0], f=0)
+
+    def test_no_forged_intervals(self):
+        correct = [Interval(0, 2), Interval(1, 3)]
+        fusion, placement = optimal_attack(correct, [], f=0)
+        assert placement == []
+        assert fusion == fuse(correct, 0)
+
+
+class TestOmniscientPolicy:
+    def test_requires_oracle(self):
+        correct = [Interval(-2.5, 2.5), Interval(-5.5, 5.5), Interval(-8.5, 8.5)]
+        config = RoundConfig(
+            schedule=DescendingSchedule(),
+            attacked_indices=(0,),
+            policy=OmniscientPolicy(),
+            f=1,
+            give_oracle=False,
+        )
+        with pytest.raises(AttackError):
+            run_round(correct, config, np.random.default_rng(0))
+
+    def test_matches_optimal_attack_when_last(self):
+        correct = [Interval(-2.5, 2.5), Interval(-5.5, 5.5), Interval(-8.5, 8.5)]
+        config = RoundConfig(
+            schedule=DescendingSchedule(),
+            attacked_indices=(0,),
+            policy=OmniscientPolicy(),
+            f=1,
+            give_oracle=True,
+        )
+        result = run_round(correct, config, np.random.default_rng(0))
+        expected = optimal_fusion_width([Interval(-5.5, 5.5), Interval(-8.5, 8.5)], [5.0], f=1)
+        assert result.fusion_width == pytest.approx(expected)
+
+    def test_schedule_irrelevant_for_omniscient_attacker(self):
+        # The omniscient attacker reads the oracle, so her impact is the same
+        # whether she transmits first or last.
+        correct = [Interval(-2.5, 2.5), Interval(-5.5, 5.5), Interval(-8.5, 8.5)]
+        results = []
+        for order in ((0, 1, 2), (2, 1, 0)):
+            config = RoundConfig(
+                schedule=FixedSchedule(order),
+                attacked_indices=(0,),
+                policy=OmniscientPolicy(),
+                f=1,
+                give_oracle=True,
+            )
+            results.append(run_round(correct, config, np.random.default_rng(0)).fusion_width)
+        assert results[0] == pytest.approx(results[1])
+
+    def test_never_detected(self):
+        correct = [Interval(-1.0, 1.0), Interval(-3.0, 2.0), Interval(-2.0, 4.0), Interval(-5.0, 5.0)]
+        config = RoundConfig(
+            schedule=DescendingSchedule(),
+            attacked_indices=(0,),
+            policy=OmniscientPolicy(),
+            f=1,
+            give_oracle=True,
+        )
+        result = run_round(correct, config, np.random.default_rng(0))
+        assert not result.attacker_detected

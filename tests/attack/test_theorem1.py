@@ -1,0 +1,191 @@
+"""Unit tests for Theorem 1 (optimal attacks under partial knowledge)."""
+
+import pytest
+
+from repro.attack import (
+    Theorem1Inputs,
+    case1_applies,
+    case1_placements,
+    case2_applies,
+    case2_placements,
+    optimal_policy_exists,
+)
+from repro.core import AttackError, Interval, fuse
+
+
+def case1_inputs() -> Theorem1Inputs:
+    """Figure 3(a)-style setup: the two seen intervals coincide, the unseen one is tiny."""
+    seen = (Interval(4.0, 6.0), Interval(4.0, 6.0))
+    return Theorem1Inputs(
+        n=4,
+        f=1,
+        seen_correct=seen,
+        delta=Interval(4.5, 5.5),
+        attacked_widths=(8.0,),
+        unseen_correct_widths=(1.0,),
+    )
+
+
+def case2_inputs() -> Theorem1Inputs:
+    """Figure 3(b)-style setup: the attacked interval spans the seen extremes."""
+    seen = (Interval(2.0, 6.0), Interval(5.0, 9.0))
+    return Theorem1Inputs(
+        n=4,
+        f=1,
+        seen_correct=seen,
+        delta=Interval(5.2, 5.8),
+        attacked_widths=(8.0,),
+        unseen_correct_widths=(0.1,),
+    )
+
+
+class TestInputsValidation:
+    def test_counts_must_add_up(self):
+        with pytest.raises(AttackError):
+            Theorem1Inputs(
+                n=4,
+                f=1,
+                seen_correct=(Interval(0, 1),),
+                delta=Interval(0, 1),
+                attacked_widths=(1.0,),
+                unseen_correct_widths=(),
+            )
+
+    def test_needs_attacked_sensor(self):
+        with pytest.raises(AttackError):
+            Theorem1Inputs(
+                n=2,
+                f=0,
+                seen_correct=(Interval(0, 1), Interval(0, 1)),
+                delta=Interval(0, 1),
+                attacked_widths=(),
+                unseen_correct_widths=(),
+            )
+
+    def test_derived_quantities(self):
+        inputs = case1_inputs()
+        assert inputs.fa == 1
+        assert inputs.m_min == 8.0
+        assert inputs.k == 4 - 1 - 1
+        assert inputs.precondition_holds()
+        assert inputs.seen_with_delta_intersection() == Interval(4.5, 5.5)
+
+
+class TestCase1:
+    def test_case1_applies(self):
+        assert case1_applies(case1_inputs())
+        assert optimal_policy_exists(case1_inputs())
+
+    def test_case1_fails_when_seen_differ(self):
+        inputs = case1_inputs()
+        modified = Theorem1Inputs(
+            n=inputs.n,
+            f=inputs.f,
+            seen_correct=(Interval(4.0, 6.0), Interval(3.0, 6.0)),
+            delta=inputs.delta,
+            attacked_widths=inputs.attacked_widths,
+            unseen_correct_widths=inputs.unseen_correct_widths,
+        )
+        assert not case1_applies(modified)
+
+    def test_case1_fails_when_unseen_too_wide(self):
+        inputs = case1_inputs()
+        modified = Theorem1Inputs(
+            n=inputs.n,
+            f=inputs.f,
+            seen_correct=inputs.seen_correct,
+            delta=inputs.delta,
+            attacked_widths=inputs.attacked_widths,
+            unseen_correct_widths=(7.0,),
+        )
+        assert not case1_applies(modified)
+
+    def test_case1_placements_contain_core(self):
+        inputs = case1_inputs()
+        core = inputs.seen_with_delta_intersection()
+        for placement in case1_placements(inputs):
+            assert placement.contains_interval(core)
+            assert placement.width == pytest.approx(8.0)
+
+    def test_case1_placements_rejected_when_inapplicable(self):
+        inputs = case1_inputs()
+        modified = Theorem1Inputs(
+            n=inputs.n,
+            f=inputs.f,
+            seen_correct=(Interval(4.0, 6.0), Interval(3.0, 6.0)),
+            delta=inputs.delta,
+            attacked_widths=inputs.attacked_widths,
+            unseen_correct_widths=inputs.unseen_correct_widths,
+        )
+        with pytest.raises(AttackError):
+            case1_placements(modified)
+
+    def test_case1_attack_is_optimal_for_every_unseen_realisation(self):
+        # The forged placements must achieve the maximum possible fusion width
+        # (the hull of all correct intervals) regardless of where the small
+        # unseen interval lands.
+        inputs = case1_inputs()
+        placements = case1_placements(inputs)
+        true_value = 5.0
+        unseen_width = inputs.unseen_correct_widths[0]
+        for offset in (0.0, 0.5, 1.0):
+            unseen = Interval(true_value - unseen_width * offset, true_value + unseen_width * (1 - offset))
+            all_intervals = list(inputs.seen_correct) + [unseen] + placements
+            fusion = fuse(all_intervals, inputs.f)
+            correct_hull_width = max(
+                s.hi for s in list(inputs.seen_correct) + [unseen]
+            ) - min(s.lo for s in list(inputs.seen_correct) + [unseen])
+            assert fusion.width == pytest.approx(correct_hull_width)
+
+
+class TestCase2:
+    def test_case2_applies(self):
+        assert case2_applies(case2_inputs())
+        assert optimal_policy_exists(case2_inputs())
+
+    def test_case2_fails_when_attacked_too_narrow(self):
+        # The target range [l_{n-f-fa}, u_{n-f-fa}] is [5, 6]; an attacked
+        # interval of width 0.5 cannot contain it.
+        inputs = case2_inputs()
+        modified = Theorem1Inputs(
+            n=inputs.n,
+            f=inputs.f,
+            seen_correct=inputs.seen_correct,
+            delta=inputs.delta,
+            attacked_widths=(0.5,),
+            unseen_correct_widths=inputs.unseen_correct_widths,
+        )
+        assert not case2_applies(modified)
+
+    def test_case2_placements_cover_target_range(self):
+        inputs = case2_inputs()
+        # l_{n-f-fa} is the 2nd smallest seen lower bound (=5), u the 2nd
+        # largest seen upper bound (=6).
+        for placement in case2_placements(inputs):
+            assert placement.contains(5.0)
+            assert placement.contains(6.0)
+
+    def test_case2_placements_rejected_when_inapplicable(self):
+        inputs = case2_inputs()
+        modified = Theorem1Inputs(
+            n=inputs.n,
+            f=inputs.f,
+            seen_correct=inputs.seen_correct,
+            delta=inputs.delta,
+            attacked_widths=(0.4,),
+            unseen_correct_widths=inputs.unseen_correct_widths,
+        )
+        with pytest.raises(AttackError):
+            case2_placements(modified)
+
+    def test_precondition_requires_enough_seen(self):
+        inputs = Theorem1Inputs(
+            n=5,
+            f=2,
+            seen_correct=(Interval(0, 1),),
+            delta=Interval(0, 1),
+            attacked_widths=(2.0, 2.0),
+            unseen_correct_widths=(1.0, 1.0),
+        )
+        # |C_S| = 1 < n - f - fa = 1?  (5 - 2 - 2 = 1, so 1 <= 1 < 3 holds.)
+        assert inputs.precondition_holds()

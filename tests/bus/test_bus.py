@@ -1,0 +1,94 @@
+"""Unit tests for the shared broadcast bus and its messages."""
+
+import pytest
+
+from repro.bus import BusMessage, SharedBus
+from repro.core import BusError, Interval
+
+
+def message(slot: int, round_index: int = 0, sender: str = "gps") -> BusMessage:
+    return BusMessage(
+        sender=sender, sensor_index=0, slot=slot, round_index=round_index, interval=Interval(0, 1)
+    )
+
+
+class TestBusMessage:
+    def test_valid_message(self):
+        m = message(0)
+        assert m.sender == "gps"
+        assert m.interval == Interval(0, 1)
+
+    def test_empty_sender_rejected(self):
+        with pytest.raises(BusError):
+            BusMessage(sender="", sensor_index=0, slot=0, round_index=0, interval=Interval(0, 1))
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(BusError):
+            BusMessage(sender="s", sensor_index=0, slot=-1, round_index=0, interval=Interval(0, 1))
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(BusError):
+            BusMessage(sender="s", sensor_index=0, slot=0, round_index=-1, interval=Interval(0, 1))
+
+    def test_negative_sensor_index_rejected(self):
+        with pytest.raises(BusError):
+            BusMessage(sender="s", sensor_index=-1, slot=0, round_index=0, interval=Interval(0, 1))
+
+
+class TestSharedBus:
+    def test_broadcast_appends_to_log(self):
+        bus = SharedBus()
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        bus.broadcast(message(1, sender="camera"))
+        assert len(bus) == 2
+        assert bus.senders() == ["gps", "camera"]
+
+    def test_slot_discipline(self):
+        bus = SharedBus()
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        with pytest.raises(BusError):
+            bus.broadcast(message(0))  # slot reuse
+        with pytest.raises(BusError):
+            bus.broadcast(message(2))  # slot skipped
+
+    def test_round_discipline(self):
+        bus = SharedBus()
+        bus.start_round(0)
+        with pytest.raises(BusError):
+            bus.broadcast(message(0, round_index=3))
+
+    def test_round_filtering(self):
+        bus = SharedBus()
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        bus.start_round(1)
+        bus.broadcast(message(0, round_index=1, sender="camera"))
+        assert [m.sender for m in bus.messages(0)] == ["gps"]
+        assert [m.sender for m in bus.messages(1)] == ["camera"]
+        assert bus.messages_this_round()[0].sender == "camera"
+
+    def test_subscribers_notified_in_order(self):
+        bus = SharedBus()
+        seen = []
+        bus.subscribe(lambda m: seen.append(m.sender))
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        bus.broadcast(message(1, sender="camera"))
+        assert seen == ["gps", "camera"]
+
+    def test_clear_resets_state(self):
+        bus = SharedBus()
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        bus.clear()
+        assert len(bus) == 0
+        assert bus.current_round == 0
+        assert bus.next_slot == 0
+
+    def test_start_round_returns_index(self):
+        bus = SharedBus()
+        assert bus.start_round() == 0
+        bus.broadcast(message(0))
+        assert bus.start_round() == 1

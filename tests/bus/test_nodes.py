@@ -1,0 +1,122 @@
+"""Unit tests for the bus nodes and the message-level round orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.attack import ExpectationPolicy, TruthfulPolicy
+from repro.bus import AttackerNode, BusRound, ControllerNode, SharedBus
+from repro.core import BusError, FusionEngine, Interval
+from repro.scheduling import AscendingSchedule, DescendingSchedule
+from repro.sensors import SensorSuite, ZeroNoise, sensors_from_widths
+from repro.vehicle import landshark_suite
+
+
+def small_suite() -> SensorSuite:
+    return SensorSuite(sensors_from_widths([0.2, 1.0, 2.0], noise=ZeroNoise()))
+
+
+class TestAttackerNode:
+    def test_controls(self):
+        attacker = AttackerNode(compromised_indices=(1,))
+        assert attacker.controls(1)
+        assert not attacker.controls(0)
+
+    def test_set_compromised(self):
+        attacker = AttackerNode(compromised_indices=())
+        attacker.set_compromised((2, 0, 2))
+        assert attacker.compromised_indices == (0, 2)
+
+    def test_delta_is_intersection_of_compromised_readings(self):
+        rng = np.random.default_rng(0)
+        suite = small_suite()
+        readings = suite.measure_all(10.0, rng)
+        attacker = AttackerNode(compromised_indices=(0, 1))
+        delta = attacker.delta(readings)
+        assert delta == readings[0].interval.intersection(readings[1].interval)
+
+    def test_forge_requires_control(self):
+        rng = np.random.default_rng(0)
+        suite = small_suite()
+        readings = suite.measure_all(10.0, rng)
+        attacker = AttackerNode(compromised_indices=(0,))
+        bus = SharedBus()
+        bus.start_round(0)
+        with pytest.raises(BusError):
+            attacker.forge(bus, 0, 0, 2, suite, readings, (2, 1, 0), 1, rng)
+
+
+class TestControllerNode:
+    def test_process_requires_all_messages(self):
+        controller = ControllerNode(FusionEngine(3, 1))
+        bus = SharedBus()
+        bus.start_round(0)
+        with pytest.raises(BusError):
+            controller.process(bus, 0)
+
+
+class TestBusRound:
+    def test_round_without_attack(self):
+        rng = np.random.default_rng(0)
+        suite = small_suite()
+        bus = SharedBus()
+        round_ = BusRound(suite, AscendingSchedule())
+        result = round_.run(bus, true_value=10.0, rng=rng)
+        assert len(result.messages) == 3
+        assert result.fusion.contains(10.0)
+        assert not result.detection.any_flagged
+        # With ZeroNoise every broadcast interval is centred on the truth.
+        for interval in result.broadcast_by_sensor.values():
+            assert interval.center == pytest.approx(10.0)
+
+    def test_round_indices_increment(self):
+        rng = np.random.default_rng(0)
+        suite = small_suite()
+        bus = SharedBus()
+        round_ = BusRound(suite, AscendingSchedule())
+        first = round_.run(bus, 10.0, rng)
+        second = round_.run(bus, 10.0, rng)
+        assert first.round_index == 0
+        assert second.round_index == 1
+        assert len(bus.messages(0)) == 3
+        assert len(bus.messages(1)) == 3
+
+    def test_schedule_controls_slot_order(self):
+        rng = np.random.default_rng(0)
+        suite = small_suite()
+        bus = SharedBus()
+        round_ = BusRound(suite, DescendingSchedule())
+        result = round_.run(bus, 10.0, rng)
+        assert result.order == (2, 1, 0)
+        assert [m.sensor_index for m in result.messages] == [2, 1, 0]
+
+    def test_attacked_round_stays_stealthy(self):
+        rng = np.random.default_rng(0)
+        suite = small_suite()
+        bus = SharedBus()
+        attacker = AttackerNode(compromised_indices=(0,), policy=ExpectationPolicy())
+        round_ = BusRound(suite, DescendingSchedule(), attacker)
+        result = round_.run(bus, 10.0, rng)
+        assert not result.detection.any_flagged
+        assert result.fusion.contains(10.0)
+        assert result.attacker_modes[0] is not None
+
+    def test_matches_fast_round_simulator_with_truthful_attacker(self):
+        rng = np.random.default_rng(0)
+        suite = small_suite()
+        bus = SharedBus()
+        attacker = AttackerNode(compromised_indices=(0,), policy=TruthfulPolicy())
+        round_ = BusRound(suite, AscendingSchedule(), attacker)
+        result = round_.run(bus, 10.0, rng)
+        from repro.core import fuse
+
+        expected = fuse([r.interval for r in result.readings], 1)
+        assert result.fusion == expected
+
+    def test_landshark_suite_round(self):
+        rng = np.random.default_rng(0)
+        suite = landshark_suite()
+        bus = SharedBus()
+        round_ = BusRound(suite, AscendingSchedule())
+        result = round_.run(bus, 10.0, rng)
+        assert len(result.messages) == 4
+        assert result.fusion.contains(10.0)

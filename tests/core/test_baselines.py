@@ -1,0 +1,85 @@
+"""Unit tests for the baseline fusion schemes (mean, median, Brooks–Iyengar)."""
+
+import pytest
+
+from repro.core import (
+    FusionError,
+    Interval,
+    brooks_iyengar,
+    fuse,
+    mean_fusion,
+    median_fusion,
+)
+
+
+class TestMeanFusion:
+    def test_average_of_bounds(self):
+        result = mean_fusion([Interval(0, 2), Interval(2, 4)])
+        assert result == Interval(1, 3)
+
+    def test_single_interval(self):
+        assert mean_fusion([Interval(1, 2)]) == Interval(1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FusionError):
+            mean_fusion([])
+
+    def test_outlier_drags_the_estimate(self):
+        honest = [Interval(9.9, 10.1), Interval(9.8, 10.2), Interval(9.5, 10.5)]
+        spoofed = honest + [Interval(19.5, 20.5)]
+        assert abs(mean_fusion(spoofed).center - 10.0) > 2.0
+
+
+class TestMedianFusion:
+    def test_median_of_bounds(self):
+        result = median_fusion([Interval(0, 2), Interval(1, 3), Interval(2, 4)])
+        assert result == Interval(1, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FusionError):
+            median_fusion([])
+
+    def test_robust_to_single_outlier(self):
+        honest = [Interval(9.9, 10.1), Interval(9.8, 10.2), Interval(9.5, 10.5)]
+        spoofed = honest + [Interval(19.5, 20.5)]
+        assert abs(median_fusion(spoofed).center - 10.0) < 0.5
+
+
+class TestBrooksIyengar:
+    def test_interval_matches_marzullo(self):
+        intervals = [Interval(0, 4), Interval(1.5, 5.5), Interval(3, 6), Interval(3.5, 9), Interval(3.8, 10)]
+        for f in (0, 1, 2):
+            result = brooks_iyengar(intervals, f)
+            assert result.interval == fuse(intervals, f)
+
+    def test_estimate_inside_fused_interval(self):
+        intervals = [Interval(9.9, 10.1), Interval(9.7, 10.3), Interval(9.5, 10.5), Interval(9.0, 11.0)]
+        result = brooks_iyengar(intervals, 1)
+        assert result.interval.contains(result.estimate)
+
+    def test_estimate_weighted_towards_high_coverage_regions(self):
+        # Three tight sensors around 10 and one offset sensor: the estimate
+        # must stay close to the tight cluster.
+        intervals = [Interval(9.9, 10.1), Interval(9.95, 10.15), Interval(9.85, 10.05), Interval(10.0, 12.0)]
+        result = brooks_iyengar(intervals, 1)
+        assert abs(result.estimate - 10.0) < 0.3
+
+    def test_fault_bound_validated(self):
+        with pytest.raises(FusionError):
+            brooks_iyengar([Interval(0, 1), Interval(0, 1)], 1)
+
+    def test_insufficient_coverage_rejected(self):
+        with pytest.raises(FusionError):
+            brooks_iyengar([Interval(0, 1), Interval(2, 3), Interval(4, 5)], 1)
+
+    def test_regions_have_enough_coverage(self):
+        intervals = [Interval(0, 3), Interval(1, 4), Interval(2, 5)]
+        result = brooks_iyengar(intervals, 1)
+        assert all(coverage >= 2 for _region, coverage in result.regions)
+
+    def test_resilience_to_stealthy_outlier_vs_mean(self):
+        honest = [Interval(9.9, 10.1), Interval(9.8, 10.2), Interval(9.5, 10.5)]
+        spoofed = honest + [Interval(10.4, 11.4)]
+        bi_error = abs(brooks_iyengar(spoofed, 1).estimate - 10.0)
+        mean_error = abs(mean_fusion(spoofed).center - 10.0)
+        assert bi_error < mean_error

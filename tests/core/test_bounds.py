@@ -1,0 +1,90 @@
+"""Unit tests for the theoretical bounds (Marzullo's regimes, Theorem 2)."""
+
+import pytest
+
+from repro.core import (
+    FusionError,
+    Interval,
+    fuse,
+    marzullo_regime,
+    satisfies_marzullo_n2_bound,
+    satisfies_marzullo_n3_bound,
+    satisfies_theorem2,
+    theorem2_bound,
+    two_largest_widths,
+)
+
+
+class TestRegimes:
+    @pytest.mark.parametrize(
+        "n,f,expected",
+        [
+            (3, 0, "n3"),
+            (6, 1, "n3"),
+            (3, 1, "n2"),
+            (5, 2, "n2"),
+            (4, 2, "unbounded"),
+            (5, 3, "unbounded"),
+            (2, 1, "unbounded"),
+        ],
+    )
+    def test_classification(self, n, f, expected):
+        assert marzullo_regime(n, f) == expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(FusionError):
+            marzullo_regime(0, 0)
+        with pytest.raises(FusionError):
+            marzullo_regime(3, -1)
+
+
+class TestTheorem2:
+    def test_two_largest_widths(self):
+        intervals = [Interval(0, 1), Interval(0, 5), Interval(0, 3)]
+        assert two_largest_widths(intervals) == (5.0, 3.0)
+
+    def test_single_interval_width_doubled(self):
+        assert two_largest_widths([Interval(0, 2)]) == (2.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FusionError):
+            two_largest_widths([])
+
+    def test_bound_value(self):
+        intervals = [Interval(0, 1), Interval(0, 5), Interval(0, 3)]
+        assert theorem2_bound(intervals) == 8.0
+
+    def test_satisfies_theorem2_tight_case(self):
+        # Two correct intervals touching at exactly the true value plus an
+        # attacked interval pushing to one side: the fusion width approaches
+        # but never exceeds the sum of the two largest correct widths.
+        correct = [Interval(-4, 0), Interval(0, 4)]
+        attacked = Interval(3, 7)
+        fusion = fuse(correct + [attacked], 1)
+        assert satisfies_theorem2(fusion, correct)
+
+    def test_violation_detected(self):
+        assert not satisfies_theorem2(Interval(0, 100), [Interval(0, 1), Interval(0, 2)])
+
+
+class TestMarzulloWidthBounds:
+    def test_n3_bound(self):
+        correct = [Interval(0, 2), Interval(1, 3), Interval(1.5, 3.5), Interval(1.6, 4.0)]
+        fusion = fuse(correct, 1)  # f=1 < ceil(4/3)=2
+        assert satisfies_marzullo_n3_bound(fusion, correct)
+
+    def test_n3_bound_empty_rejected(self):
+        with pytest.raises(FusionError):
+            satisfies_marzullo_n3_bound(Interval(0, 1), [])
+
+    def test_n2_bound(self):
+        intervals = [Interval(0, 2), Interval(1, 3), Interval(10, 12)]
+        fusion = fuse(intervals, 1)
+        assert satisfies_marzullo_n2_bound(fusion, intervals)
+
+    def test_n2_bound_empty_rejected(self):
+        with pytest.raises(FusionError):
+            satisfies_marzullo_n2_bound(Interval(0, 1), [])
+
+    def test_n2_bound_violation_detected(self):
+        assert not satisfies_marzullo_n2_bound(Interval(0, 10), [Interval(0, 1)])

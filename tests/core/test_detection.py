@@ -1,0 +1,49 @@
+"""Unit tests for the overlap-based detection procedure."""
+
+from repro.core import Interval, detect, fuse, is_stealthy_against
+
+
+class TestDetect:
+    def test_all_intersecting_cleared(self):
+        intervals = [Interval(0, 2), Interval(1, 3), Interval(1.5, 2.5)]
+        fusion = fuse(intervals, 1)
+        result = detect(intervals, fusion)
+        assert result.flagged_indices == ()
+        assert result.cleared_indices == (0, 1, 2)
+        assert not result.any_flagged
+
+    def test_disjoint_interval_flagged(self):
+        intervals = [Interval(0, 2), Interval(1, 3), Interval(10, 11)]
+        fusion = fuse(intervals, 1)
+        result = detect(intervals, fusion)
+        assert result.flagged_indices == (2,)
+        assert result.is_flagged(2)
+        assert not result.is_flagged(0)
+
+    def test_touching_interval_not_flagged(self):
+        fusion = Interval(0, 1)
+        result = detect([Interval(1, 2), Interval(-1, 0)], fusion)
+        assert result.flagged_indices == ()
+
+    def test_indices_follow_transmission_order(self):
+        fusion = Interval(0, 1)
+        intervals = [Interval(5, 6), Interval(0.5, 0.6), Interval(7, 8)]
+        result = detect(intervals, fusion)
+        assert result.flagged_indices == (0, 2)
+        assert result.cleared_indices == (1,)
+
+    def test_empty_input(self):
+        result = detect([], Interval(0, 1))
+        assert result.flagged_indices == ()
+        assert result.cleared_indices == ()
+
+
+class TestIsStealthyAgainst:
+    def test_overlap_is_stealthy(self):
+        assert is_stealthy_against(Interval(0.5, 3), Interval(0, 1))
+
+    def test_disjoint_is_detected(self):
+        assert not is_stealthy_against(Interval(2, 3), Interval(0, 1))
+
+    def test_touching_is_stealthy(self):
+        assert is_stealthy_against(Interval(1, 3), Interval(0, 1))

@@ -1,0 +1,70 @@
+"""Unit tests for the controller-side FusionEngine."""
+
+import pytest
+
+from repro.core import FaultBoundError, FusionEngine, FusionError, Interval
+
+
+class TestFusionEngineConfiguration:
+    def test_default_f_is_conservative(self):
+        assert FusionEngine(5).f == 2
+        assert FusionEngine(4).f == 1
+        assert FusionEngine(3).f == 1
+        assert FusionEngine(2).f == 0
+
+    def test_explicit_f(self):
+        assert FusionEngine(5, f=1).f == 1
+
+    def test_invalid_f_rejected(self):
+        with pytest.raises(FaultBoundError):
+            FusionEngine(4, f=2)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(FaultBoundError):
+            FusionEngine(0)
+
+    def test_repr_mentions_configuration(self):
+        assert "n_sensors=4" in repr(FusionEngine(4))
+
+
+class TestFusionEngineRounds:
+    def setup_method(self):
+        self.engine = FusionEngine(4, f=1)
+        self.intervals = [
+            Interval(9.9, 10.1),
+            Interval(9.95, 10.15),
+            Interval(9.5, 10.5),
+            Interval(9.0, 11.0),
+        ]
+
+    def test_fuse_matches_marzullo(self):
+        fusion = self.engine.fuse(self.intervals)
+        assert fusion == Interval(9.9, 10.15)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(FusionError):
+            self.engine.fuse(self.intervals[:3])
+        with pytest.raises(FusionError):
+            self.engine.process_round(self.intervals + [Interval(0, 1)])
+
+    def test_process_round_outcome_fields(self):
+        outcome = self.engine.process_round(self.intervals)
+        assert outcome.f == 1
+        assert outcome.fusion == Interval(9.9, 10.15)
+        assert outcome.width == pytest.approx(0.25)
+        assert outcome.estimate == pytest.approx((9.9 + 10.15) / 2)
+        assert list(outcome.intervals) == self.intervals
+
+    def test_process_round_detection_clears_honest_sensors(self):
+        outcome = self.engine.process_round(self.intervals)
+        assert not outcome.detection.any_flagged
+
+    def test_process_round_flags_outlier(self):
+        intervals = self.intervals[:3] + [Interval(20.0, 22.0)]
+        outcome = self.engine.process_round(intervals)
+        assert outcome.detection.flagged_indices == (3,)
+
+    def test_contains_true_value(self):
+        outcome = self.engine.process_round(self.intervals)
+        assert outcome.contains_true_value(10.0)
+        assert not outcome.contains_true_value(11.0)

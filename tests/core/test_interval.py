@@ -1,0 +1,211 @@
+"""Unit tests for the Interval and IntervalSet primitives."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    EmptyIntersectionError,
+    Interval,
+    IntervalError,
+    IntervalSet,
+    convex_hull,
+    intersect_all,
+)
+
+
+class TestIntervalConstruction:
+    def test_basic_bounds(self):
+        s = Interval(1.0, 3.0)
+        assert s.lo == 1.0
+        assert s.hi == 3.0
+
+    def test_degenerate_interval_allowed(self):
+        s = Interval(2.0, 2.0)
+        assert s.width == 0.0
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(3.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(math.nan, 1.0)
+
+    def test_infinite_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(0.0, math.inf)
+
+    def test_from_center(self):
+        s = Interval.from_center(10.0, 2.0)
+        assert s.lo == pytest.approx(9.0)
+        assert s.hi == pytest.approx(11.0)
+
+    def test_from_center_negative_width_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval.from_center(0.0, -1.0)
+
+    def test_point_constructor(self):
+        s = Interval.point(4.2)
+        assert s.lo == s.hi == 4.2
+
+    def test_ordering_is_lexicographic(self):
+        assert Interval(0, 1) < Interval(0, 2) < Interval(1, 1)
+
+    def test_equality_and_hash(self):
+        assert Interval(0, 1) == Interval(0.0, 1.0)
+        assert hash(Interval(0, 1)) == hash(Interval(0.0, 1.0))
+
+
+class TestIntervalGeometry:
+    def test_width_and_center(self):
+        s = Interval(2.0, 6.0)
+        assert s.width == 4.0
+        assert s.center == 4.0
+
+    def test_contains_value(self):
+        s = Interval(0.0, 1.0)
+        assert s.contains(0.0)
+        assert s.contains(1.0)
+        assert s.contains(0.5)
+        assert not s.contains(1.0001)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 3))
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+
+    def test_dunder_contains(self):
+        assert 0.5 in Interval(0, 1)
+        assert Interval(0.2, 0.8) in Interval(0, 1)
+        assert "x" not in Interval(0, 1)
+
+    def test_intersects_touching(self):
+        assert Interval(0, 1).intersects(Interval(1, 2))
+        assert Interval(1, 2).intersects(Interval(0, 1))
+
+    def test_intersects_disjoint(self):
+        assert not Interval(0, 1).intersects(Interval(1.5, 2))
+
+    def test_intersection(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+        assert Interval(0, 1).intersection(Interval(1, 2)) == Interval(1, 1)
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(3, 4)) == Interval(0, 4)
+
+    def test_shift(self):
+        assert Interval(0, 1).shift(2.5) == Interval(2.5, 3.5)
+
+    def test_expand(self):
+        assert Interval(1, 2).expand(0.5) == Interval(0.5, 2.5)
+
+    def test_expand_negative_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(1, 2).expand(-0.1)
+
+    def test_clamp(self):
+        s = Interval(0, 1)
+        assert s.clamp(-1) == 0
+        assert s.clamp(0.5) == 0.5
+        assert s.clamp(2) == 1
+
+    def test_distance_to(self):
+        s = Interval(0, 1)
+        assert s.distance_to(0.5) == 0.0
+        assert s.distance_to(-1.0) == 1.0
+        assert s.distance_to(3.0) == 2.0
+
+    def test_almost_equal(self):
+        assert Interval(0, 1).almost_equal(Interval(1e-12, 1 + 1e-12))
+        assert not Interval(0, 1).almost_equal(Interval(0.1, 1))
+
+    def test_str(self):
+        assert str(Interval(0.5, 2.0)) == "[0.5, 2]"
+
+
+class TestModuleFunctions:
+    def test_convex_hull(self):
+        hull = convex_hull([Interval(0, 1), Interval(5, 6), Interval(2, 3)])
+        assert hull == Interval(0, 6)
+
+    def test_convex_hull_empty_rejected(self):
+        with pytest.raises(IntervalError):
+            convex_hull([])
+
+    def test_intersect_all(self):
+        core = intersect_all([Interval(0, 5), Interval(1, 6), Interval(2, 7)])
+        assert core == Interval(2, 5)
+
+    def test_intersect_all_single_point(self):
+        assert intersect_all([Interval(0, 1), Interval(1, 2)]) == Interval(1, 1)
+
+    def test_intersect_all_empty_intersection(self):
+        with pytest.raises(EmptyIntersectionError):
+            intersect_all([Interval(0, 1), Interval(2, 3)])
+
+    def test_intersect_all_empty_input(self):
+        with pytest.raises(IntervalError):
+            intersect_all([])
+
+
+class TestIntervalSet:
+    def test_sequence_protocol(self):
+        items = [Interval(0, 1), Interval(2, 3)]
+        s = IntervalSet(items)
+        assert len(s) == 2
+        assert list(s) == items
+        assert s[0] == items[0]
+        assert isinstance(s[0:1], IntervalSet)
+
+    def test_rejects_non_intervals(self):
+        with pytest.raises(IntervalError):
+            IntervalSet([Interval(0, 1), (2, 3)])  # type: ignore[list-item]
+
+    def test_add_and_extend_are_pure(self):
+        s = IntervalSet([Interval(0, 1)])
+        s2 = s.add(Interval(2, 3))
+        s3 = s.extend([Interval(4, 5), Interval(6, 7)])
+        assert len(s) == 1
+        assert len(s2) == 2
+        assert len(s3) == 3
+
+    def test_remove_at(self):
+        s = IntervalSet([Interval(0, 1), Interval(2, 3), Interval(4, 5)])
+        s2 = s.remove_at(1)
+        assert list(s2) == [Interval(0, 1), Interval(4, 5)]
+
+    def test_widths(self):
+        s = IntervalSet([Interval(0, 1), Interval(0, 3)])
+        assert s.widths == (1.0, 3.0)
+
+    def test_sorted_by_width(self):
+        s = IntervalSet([Interval(0, 3), Interval(0, 1), Interval(0, 2)])
+        assert s.sorted_by_width().widths == (1.0, 2.0, 3.0)
+        assert s.sorted_by_width(descending=True).widths == (3.0, 2.0, 1.0)
+
+    def test_hull_and_intersection(self):
+        s = IntervalSet([Interval(0, 4), Interval(2, 6)])
+        assert s.hull() == Interval(0, 6)
+        assert s.intersection() == Interval(2, 4)
+
+    def test_coverage_and_containing(self):
+        s = IntervalSet([Interval(0, 2), Interval(1, 3), Interval(2, 4)])
+        assert s.coverage(0.5) == 1
+        assert s.coverage(1.5) == 2
+        assert s.coverage(2.0) == 3
+        assert len(s.containing(2.0)) == 3
+
+    def test_count_containing_true_value(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 6)])
+        assert s.count_containing_true_value(1.0) == 1
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([Interval(0, 1)])
+        b = IntervalSet([Interval(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_intervals(self):
+        assert "[0, 1]" in repr(IntervalSet([Interval(0, 1)]))

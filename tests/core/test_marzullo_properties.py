@@ -1,0 +1,158 @@
+"""Property-based tests for the fusion core (hypothesis).
+
+These tests encode the paper's and Marzullo's formal guarantees as universally
+quantified properties over randomly generated interval configurations:
+
+* the fusion interval contains the true value whenever at most ``f`` intervals
+  are actually faulty;
+* the fusion interval is monotone in ``f``;
+* the fusion interval never exceeds the hull of the correct intervals when
+  ``f < ceil(n/2)``;
+* the ``f < ceil(n/3)`` and ``f < ceil(n/2)`` width bounds;
+* Theorem 2's two-largest-correct-widths bound.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Interval,
+    convex_hull,
+    fuse,
+    fuse_or_none,
+    max_safe_fault_bound,
+    satisfies_marzullo_n2_bound,
+    satisfies_marzullo_n3_bound,
+    satisfies_theorem2,
+)
+
+TRUE_VALUE = 0.0
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+widths = st.floats(min_value=0.01, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def correct_interval(draw):
+    """An interval that contains the true value (a correct sensor reading)."""
+    width = draw(widths)
+    offset = draw(st.floats(min_value=0.0, max_value=1.0))
+    lo = TRUE_VALUE - width * offset
+    return Interval(lo, lo + width)
+
+
+@st.composite
+def arbitrary_interval(draw):
+    """Any bounded interval (possibly not containing the true value)."""
+    lo = draw(finite_floats)
+    width = draw(widths)
+    return Interval(lo, lo + width)
+
+
+@st.composite
+def mixed_configuration(draw):
+    """``n`` intervals of which at most ``f = ceil(n/2) - 1`` are faulty."""
+    n = draw(st.integers(min_value=1, max_value=9))
+    f = max_safe_fault_bound(n)
+    n_faulty = draw(st.integers(min_value=0, max_value=f))
+    correct = [draw(correct_interval()) for _ in range(n - n_faulty)]
+    faulty = [draw(arbitrary_interval()) for _ in range(n_faulty)]
+    order = draw(st.permutations(correct + faulty))
+    return list(order), correct, f
+
+
+@given(mixed_configuration())
+@settings(max_examples=200, deadline=None)
+def test_fusion_contains_true_value(config):
+    intervals, _correct, f = config
+    fusion = fuse(intervals, f)
+    assert fusion.contains(TRUE_VALUE)
+
+
+@given(mixed_configuration())
+@settings(max_examples=200, deadline=None)
+def test_fusion_within_hull_of_correct_intervals(config):
+    intervals, correct, f = config
+    fusion = fuse(intervals, f)
+    hull = convex_hull(correct)
+    assert fusion.lo >= hull.lo - 1e-9
+    assert fusion.hi <= hull.hi + 1e-9
+
+
+@given(mixed_configuration())
+@settings(max_examples=200, deadline=None)
+def test_theorem2_bound_holds(config):
+    intervals, correct, f = config
+    fusion = fuse(intervals, f)
+    assert satisfies_theorem2(fusion, correct)
+
+
+@given(mixed_configuration())
+@settings(max_examples=200, deadline=None)
+def test_marzullo_n2_width_bound(config):
+    intervals, _correct, f = config
+    fusion = fuse(intervals, f)
+    assert satisfies_marzullo_n2_bound(fusion, intervals)
+
+
+@given(st.lists(correct_interval(), min_size=3, max_size=9))
+@settings(max_examples=200, deadline=None)
+def test_marzullo_n3_width_bound_all_correct(correct):
+    # With every interval correct, any f < ceil(n/3) keeps the fusion width
+    # below the width of some correct interval.
+    n = len(correct)
+    f = max(0, math.ceil(n / 3) - 1)
+    fusion = fuse(correct, f)
+    assert satisfies_marzullo_n3_bound(fusion, correct)
+
+
+@given(st.lists(correct_interval(), min_size=1, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_fusion_monotone_in_f(correct):
+    n = len(correct)
+    previous = None
+    for f in range(max_safe_fault_bound(n) + 1):
+        fusion = fuse(correct, f)
+        if previous is not None:
+            assert fusion.lo <= previous.lo + 1e-12
+            assert fusion.hi >= previous.hi - 1e-12
+        previous = fusion
+
+
+@given(st.lists(correct_interval(), min_size=1, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_fusion_with_f0_is_intersection_of_correct(correct):
+    fusion = fuse(correct, 0)
+    lo = max(s.lo for s in correct)
+    hi = min(s.hi for s in correct)
+    assert fusion.lo == lo
+    assert fusion.hi == hi
+
+
+@given(st.lists(arbitrary_interval(), min_size=1, max_size=8), st.integers(min_value=0, max_value=7))
+@settings(max_examples=200, deadline=None)
+def test_fuse_or_none_result_is_subset_of_hull(intervals, f):
+    fusion = fuse_or_none(intervals, f)
+    if fusion is None:
+        return
+    hull = convex_hull(intervals)
+    assert hull.contains_interval(fusion)
+
+
+@given(mixed_configuration(), st.floats(min_value=-20, max_value=20))
+@settings(max_examples=150, deadline=None)
+def test_fusion_translation_equivariance(config, shift):
+    intervals, _correct, f = config
+    fusion = fuse(intervals, f)
+    shifted = fuse([s.shift(shift) for s in intervals], f)
+    assert abs(shifted.lo - (fusion.lo + shift)) < 1e-6
+    assert abs(shifted.hi - (fusion.hi + shift)) < 1e-6
+
+
+@given(mixed_configuration())
+@settings(max_examples=150, deadline=None)
+def test_fusion_order_invariance(config):
+    intervals, _correct, f = config
+    assert fuse(list(reversed(intervals)), f) == fuse(intervals, f)

@@ -1,0 +1,94 @@
+"""Unit tests for the worst-case placement search (Theorems 3 and 4)."""
+
+import pytest
+
+from repro.core import FusionError, Interval
+from repro.core.worst_case import (
+    attacked_placements,
+    correct_placements,
+    placement_grid,
+    worst_case_no_attack,
+    worst_case_over_attacked_sets,
+    worst_case_with_attack,
+)
+
+
+class TestPlacementGrids:
+    def test_grid_includes_endpoints(self):
+        grid = placement_grid(0.0, 1.0, 0.3)
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+
+    def test_grid_resolution_positive(self):
+        with pytest.raises(FusionError):
+            placement_grid(0.0, 1.0, 0.0)
+
+    def test_grid_empty_range_rejected(self):
+        with pytest.raises(FusionError):
+            placement_grid(1.0, 0.0, 0.1)
+
+    def test_correct_placements_contain_true_value(self):
+        for interval in correct_placements(4.0, true_value=2.0, resolution=1.0):
+            assert interval.contains(2.0)
+            assert interval.width == pytest.approx(4.0)
+
+    def test_attacked_placements_have_right_width(self):
+        for interval in attacked_placements(3.0, 0.0, max_correct_width=5.0, resolution=1.0):
+            assert interval.width == pytest.approx(3.0)
+
+
+class TestWorstCaseSearch:
+    def test_no_attack_search_returns_correct_intervals(self):
+        result = worst_case_no_attack([2.0, 2.0, 2.0], f=1, resolution=1.0)
+        assert result.attacked_indices == ()
+        assert all(s.contains(0.0) for s in result.intervals)
+        assert result.fusion.width == pytest.approx(result.width)
+
+    def test_worst_case_no_attack_three_equal_sensors(self):
+        # Three width-2 sensors, f = 1: the worst case is two sensors touching
+        # at the true value, giving a fusion interval of width 2.
+        result = worst_case_no_attack([2.0, 2.0, 2.0], f=1, resolution=0.5)
+        assert result.width == pytest.approx(2.0)
+
+    def test_attacked_index_out_of_range(self):
+        with pytest.raises(FusionError):
+            worst_case_with_attack([1.0, 1.0, 1.0], [5], f=1)
+
+    def test_all_attacked_rejected(self):
+        with pytest.raises(FusionError):
+            worst_case_with_attack([1.0, 1.0], [0, 1], f=0)
+
+    def test_theorem3_attacking_largest_does_not_increase_worst_case(self):
+        widths = [2.0, 4.0, 8.0]
+        baseline = worst_case_no_attack(widths, f=1, resolution=1.0)
+        attacked_largest = worst_case_with_attack(widths, [2], f=1, resolution=1.0)
+        assert attacked_largest.width == pytest.approx(baseline.width, abs=1e-9)
+
+    def test_theorem4_attacking_smallest_achieves_global_worst_case(self):
+        widths = [2.0, 4.0, 8.0]
+        per_set = worst_case_over_attacked_sets(widths, fa=1, f=1, resolution=1.0)
+        global_worst = max(result.width for result in per_set.values())
+        smallest_attack = per_set[(0,)]
+        assert smallest_attack.width == pytest.approx(global_worst, abs=1e-9)
+
+    def test_attack_never_below_no_attack(self):
+        # The attacker can always forward the correct readings, so the worst
+        # case with an attacked set is at least the no-attack worst case.
+        widths = [2.0, 3.0, 6.0]
+        baseline = worst_case_no_attack(widths, f=1, resolution=1.0)
+        for attacked in ([0], [1], [2]):
+            result = worst_case_with_attack(widths, attacked, f=1, resolution=1.0)
+            assert result.width >= baseline.width - 1e-9
+
+    def test_worst_case_over_attacked_sets_keys(self):
+        per_set = worst_case_over_attacked_sets([1.0, 2.0, 3.0], fa=1, f=1, resolution=1.0)
+        assert set(per_set.keys()) == {(0,), (1,), (2,)}
+
+    def test_invalid_fa_rejected(self):
+        with pytest.raises(FusionError):
+            worst_case_over_attacked_sets([1.0, 2.0, 3.0], fa=2, f=1)
+
+    def test_stealth_constraint_respected(self):
+        result = worst_case_with_attack([2.0, 4.0, 8.0], [0], f=1, resolution=1.0)
+        attacked_interval = result.intervals[0]
+        assert attacked_interval.intersects(result.fusion)

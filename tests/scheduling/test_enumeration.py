@@ -1,0 +1,55 @@
+"""Unit tests for the exhaustive measurement-combination enumerator."""
+
+import pytest
+
+from repro.core import ExperimentError
+from repro.scheduling import correct_placement_grid, count_combinations, enumerate_combinations
+
+
+class TestCorrectPlacementGrid:
+    def test_all_placements_contain_true_value(self):
+        for interval in correct_placement_grid(4.0, true_value=2.0, positions=5):
+            assert interval.contains(2.0)
+            assert interval.width == pytest.approx(4.0)
+
+    def test_extremes_touch_true_value(self):
+        grid = correct_placement_grid(4.0, true_value=0.0, positions=3)
+        assert grid[0].hi == pytest.approx(0.0)
+        assert grid[-1].lo == pytest.approx(0.0)
+
+    def test_single_position_is_centred(self):
+        (only,) = correct_placement_grid(2.0, true_value=1.0, positions=1)
+        assert only.center == pytest.approx(1.0)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ExperimentError):
+            correct_placement_grid(0.0, 0.0, 3)
+
+    def test_invalid_positions_rejected(self):
+        with pytest.raises(ExperimentError):
+            correct_placement_grid(1.0, 0.0, 0)
+
+
+class TestEnumerateCombinations:
+    def test_count_matches(self):
+        widths = [5.0, 11.0, 17.0]
+        combos = list(enumerate_combinations(widths, true_value=0.0, positions=3))
+        assert len(combos) == count_combinations(widths, 3) == 27
+
+    def test_each_combination_is_fully_correct(self):
+        for combo in enumerate_combinations([2.0, 3.0], true_value=1.0, positions=4):
+            assert len(combo) == 2
+            assert all(interval.contains(1.0) for interval in combo)
+
+    def test_widths_preserved_per_sensor(self):
+        for combo in enumerate_combinations([2.0, 3.0], true_value=0.0, positions=2):
+            assert combo[0].width == pytest.approx(2.0)
+            assert combo[1].width == pytest.approx(3.0)
+
+    def test_combinations_are_unique(self):
+        combos = list(enumerate_combinations([1.0, 2.0], true_value=0.0, positions=3))
+        assert len({tuple((s.lo, s.hi) for s in combo) for combo in combos}) == len(combos)
+
+    def test_count_invalid_positions(self):
+        with pytest.raises(ExperimentError):
+            count_combinations([1.0], 0)

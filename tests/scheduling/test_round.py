@@ -1,0 +1,124 @@
+"""Unit tests for the single-round simulator."""
+
+import numpy as np
+import pytest
+
+from repro.attack import ExpectationPolicy, GreedyExtendPolicy, TruthfulPolicy
+from repro.core import Interval, ScheduleError, fuse
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FixedSchedule,
+    RoundConfig,
+    run_round,
+)
+
+CORRECT = [Interval(9.9, 10.1), Interval(9.7, 10.3), Interval(9.6, 10.6), Interval(9.2, 11.2)]
+
+
+class TestRoundWithoutAttack:
+    def test_fusion_matches_direct_marzullo(self):
+        rng = np.random.default_rng(0)
+        config = RoundConfig(schedule=AscendingSchedule(), f=1)
+        result = run_round(CORRECT, config, rng)
+        assert result.fusion == fuse(CORRECT, 1)
+
+    def test_broadcast_equals_correct_without_attack(self):
+        rng = np.random.default_rng(0)
+        result = run_round(CORRECT, RoundConfig(schedule=DescendingSchedule(), f=1), rng)
+        assert result.broadcast == tuple(CORRECT)
+        assert result.attacked_indices == ()
+        assert not result.attacker_detected
+
+    def test_default_f_is_conservative(self):
+        rng = np.random.default_rng(0)
+        result = run_round(CORRECT, RoundConfig(schedule=AscendingSchedule()), rng)
+        assert result.fusion == fuse(CORRECT, 1)
+
+    def test_schedule_order_recorded(self):
+        rng = np.random.default_rng(0)
+        result = run_round(CORRECT, RoundConfig(schedule=AscendingSchedule(), f=1), rng)
+        assert result.order == (0, 1, 2, 3)
+        result = run_round(CORRECT, RoundConfig(schedule=DescendingSchedule(), f=1), rng)
+        assert result.order == (3, 2, 1, 0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ScheduleError):
+            run_round([], RoundConfig(schedule=AscendingSchedule()), np.random.default_rng(0))
+
+    def test_invalid_attacked_index_rejected(self):
+        config = RoundConfig(schedule=AscendingSchedule(), attacked_indices=(9,), f=1)
+        with pytest.raises(ScheduleError):
+            run_round(CORRECT, config, np.random.default_rng(0))
+
+
+class TestRoundWithAttack:
+    def test_truthful_attacker_equals_no_attack(self):
+        rng = np.random.default_rng(0)
+        attacked = run_round(
+            CORRECT,
+            RoundConfig(schedule=DescendingSchedule(), attacked_indices=(0,), policy=TruthfulPolicy(), f=1),
+            rng,
+        )
+        clean = run_round(CORRECT, RoundConfig(schedule=DescendingSchedule(), f=1), rng)
+        assert attacked.fusion == clean.fusion
+
+    def test_attacker_modes_recorded(self):
+        rng = np.random.default_rng(0)
+        result = run_round(
+            CORRECT,
+            RoundConfig(
+                schedule=DescendingSchedule(), attacked_indices=(0,), policy=GreedyExtendPolicy(), f=1
+            ),
+            rng,
+        )
+        assert set(result.attacker_modes.keys()) == {0}
+        assert result.attacker_modes[0] is not None
+
+    def test_attack_widens_or_preserves_fusion(self):
+        rng = np.random.default_rng(0)
+        clean = run_round(CORRECT, RoundConfig(schedule=DescendingSchedule(), f=1), rng)
+        attacked = run_round(
+            CORRECT,
+            RoundConfig(
+                schedule=DescendingSchedule(), attacked_indices=(0,), policy=ExpectationPolicy(), f=1
+            ),
+            rng,
+        )
+        assert attacked.fusion_width >= clean.fusion_width - 1e-9
+
+    def test_is_attacked_helper(self):
+        rng = np.random.default_rng(0)
+        result = run_round(
+            CORRECT,
+            RoundConfig(schedule=AscendingSchedule(), attacked_indices=(1,), policy=TruthfulPolicy(), f=1),
+            rng,
+        )
+        assert result.is_attacked(1)
+        assert not result.is_attacked(0)
+
+    def test_broadcast_keeps_sensor_order_under_any_schedule(self):
+        rng = np.random.default_rng(0)
+        for permutation in [(0, 1, 2, 3), (3, 1, 0, 2), (2, 3, 0, 1)]:
+            result = run_round(
+                CORRECT,
+                RoundConfig(schedule=FixedSchedule(permutation), attacked_indices=(), f=1),
+                rng,
+            )
+            assert result.broadcast == tuple(CORRECT)
+
+    def test_fusion_contains_true_value_under_stealthy_attack(self):
+        rng = np.random.default_rng(1)
+        for attacked in ((0,), (1,), (3,)):
+            result = run_round(
+                CORRECT,
+                RoundConfig(
+                    schedule=DescendingSchedule(),
+                    attacked_indices=attacked,
+                    policy=ExpectationPolicy(),
+                    f=1,
+                ),
+                rng,
+            )
+            assert result.fusion.contains(10.0)
+            assert not result.attacker_detected

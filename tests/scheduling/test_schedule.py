@@ -1,0 +1,103 @@
+"""Unit tests for the communication schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleError
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FixedSchedule,
+    RandomSchedule,
+    schedule_by_name,
+)
+
+WIDTHS = [2.0, 0.2, 1.0, 0.2]
+
+
+class TestAscendingDescending:
+    def test_ascending_orders_most_precise_first(self):
+        rng = np.random.default_rng(0)
+        assert AscendingSchedule().order(WIDTHS, rng) == (1, 3, 2, 0)
+
+    def test_descending_orders_least_precise_first(self):
+        rng = np.random.default_rng(0)
+        assert DescendingSchedule().order(WIDTHS, rng) == (0, 2, 1, 3)
+
+    def test_orders_are_permutations(self):
+        rng = np.random.default_rng(0)
+        for schedule in (AscendingSchedule(), DescendingSchedule()):
+            order = schedule.order(WIDTHS, rng)
+            assert sorted(order) == list(range(len(WIDTHS)))
+
+    def test_ascending_is_reverse_of_descending_without_ties(self):
+        rng = np.random.default_rng(0)
+        widths = [3.0, 1.0, 2.0]
+        asc = AscendingSchedule().order(widths, rng)
+        desc = DescendingSchedule().order(widths, rng)
+        assert asc == tuple(reversed(desc))
+
+    def test_deterministic(self):
+        asc = AscendingSchedule()
+        orders = {asc.order(WIDTHS, np.random.default_rng(seed)) for seed in range(5)}
+        assert len(orders) == 1
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ScheduleError):
+            AscendingSchedule().order([], np.random.default_rng(0))
+
+    def test_non_positive_widths_rejected(self):
+        with pytest.raises(ScheduleError):
+            DescendingSchedule().order([1.0, 0.0], np.random.default_rng(0))
+
+    def test_names(self):
+        assert AscendingSchedule().name == "ascending"
+        assert DescendingSchedule().name == "descending"
+
+
+class TestRandomSchedule:
+    def test_is_a_permutation(self):
+        rng = np.random.default_rng(0)
+        order = RandomSchedule().order(WIDTHS, rng)
+        assert sorted(order) == list(range(len(WIDTHS)))
+
+    def test_changes_between_calls(self):
+        rng = np.random.default_rng(0)
+        schedule = RandomSchedule()
+        orders = {schedule.order(list(range(1, 9)), rng) for _ in range(10)}
+        assert len(orders) > 1
+
+    def test_reproducible_with_seed(self):
+        a = RandomSchedule().order(WIDTHS, np.random.default_rng(42))
+        b = RandomSchedule().order(WIDTHS, np.random.default_rng(42))
+        assert a == b
+
+
+class TestFixedSchedule:
+    def test_returns_given_permutation(self):
+        schedule = FixedSchedule((2, 0, 1, 3))
+        assert schedule.order(WIDTHS, np.random.default_rng(0)) == (2, 0, 1, 3)
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ScheduleError):
+            FixedSchedule((0, 0, 1))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ScheduleError):
+            FixedSchedule((0, 1)).order(WIDTHS, np.random.default_rng(0))
+
+
+class TestScheduleByName:
+    def test_known_names(self):
+        assert isinstance(schedule_by_name("ascending"), AscendingSchedule)
+        assert isinstance(schedule_by_name("Descending"), DescendingSchedule)
+        assert isinstance(schedule_by_name("RANDOM"), RandomSchedule)
+
+    def test_fixed_needs_permutation(self):
+        with pytest.raises(ScheduleError):
+            schedule_by_name("fixed")
+        assert isinstance(schedule_by_name("fixed", (1, 0)), FixedSchedule)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_by_name("clockwise")

@@ -1,0 +1,54 @@
+"""Unit tests for the trust-aware schedule (the paper's discussion section)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleError
+from repro.scheduling import AscendingSchedule, TrustAwareSchedule
+
+WIDTHS = [0.2, 0.2, 1.0, 2.0]  # encoder, encoder, GPS, camera
+
+
+class TestTrustAwareSchedule:
+    def test_most_spoofable_sensor_goes_first(self):
+        # GPS and camera are easy to spoof, encoders are hard, and an IMU-like
+        # hard-to-spoof sensor would be last.
+        schedule = TrustAwareSchedule(spoofability=(0.1, 0.1, 1.0, 0.8))
+        order = schedule.order(WIDTHS, np.random.default_rng(0))
+        assert order[0] == 2  # GPS first (most spoofable)
+        assert order[1] == 3  # camera next
+        assert set(order[2:]) == {0, 1}  # trusted encoders last
+
+    def test_uniform_spoofability_degenerates_to_ascending(self):
+        schedule = TrustAwareSchedule(spoofability=(1.0, 1.0, 1.0, 1.0))
+        rng = np.random.default_rng(0)
+        assert schedule.order(WIDTHS, rng) == AscendingSchedule().order(WIDTHS, rng)
+
+    def test_known_attacked_sensor_first(self):
+        # "If it is known which sensor is being attacked then any schedule
+        # that places that sensor first would result in a smaller fusion
+        # interval" — give the suspected sensor the highest score.
+        schedule = TrustAwareSchedule(spoofability=(5.0, 0.0, 0.0, 0.0))
+        order = schedule.order(WIDTHS, np.random.default_rng(0))
+        assert order[0] == 0
+
+    def test_is_a_permutation(self):
+        schedule = TrustAwareSchedule(spoofability=(0.3, 0.9, 0.1, 0.5))
+        order = schedule.order(WIDTHS, np.random.default_rng(0))
+        assert sorted(order) == list(range(len(WIDTHS)))
+
+    def test_length_mismatch_rejected(self):
+        schedule = TrustAwareSchedule(spoofability=(1.0, 1.0))
+        with pytest.raises(ScheduleError):
+            schedule.order(WIDTHS, np.random.default_rng(0))
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(ScheduleError):
+            TrustAwareSchedule(spoofability=(1.0, -0.1))
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ScheduleError):
+            TrustAwareSchedule(spoofability=())
+
+    def test_name(self):
+        assert TrustAwareSchedule(spoofability=(1.0,)).name == "trust-aware"

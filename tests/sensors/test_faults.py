@@ -1,0 +1,108 @@
+"""Unit tests for the random-fault models (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SensorError
+from repro.sensors import (
+    FaultySensor,
+    SensorSpec,
+    StuckAtFaultModel,
+    TransientFaultModel,
+    UniformNoise,
+)
+from repro.sensors.sensor import Sensor
+
+
+def make_sensor(width: float = 1.0) -> Sensor:
+    return Sensor(spec=SensorSpec.from_interval_width("s", width), noise=UniformNoise())
+
+
+class TestTransientFaultModel:
+    def test_probability_validation(self):
+        with pytest.raises(SensorError):
+            TransientFaultModel(probability=1.5)
+
+    def test_offset_validation(self):
+        with pytest.raises(SensorError):
+            TransientFaultModel(probability=0.1, min_offset_widths=0.5)
+        with pytest.raises(SensorError):
+            TransientFaultModel(probability=0.1, min_offset_widths=2.0, max_offset_widths=1.0)
+
+    def test_zero_probability_never_faults(self):
+        rng = np.random.default_rng(0)
+        faulty = FaultySensor(make_sensor(), TransientFaultModel(probability=0.0))
+        for _ in range(100):
+            assert faulty.measure(5.0, rng).is_correct
+
+    def test_unit_probability_always_faults(self):
+        rng = np.random.default_rng(1)
+        faulty = FaultySensor(make_sensor(), TransientFaultModel(probability=1.0))
+        for _ in range(50):
+            reading = faulty.measure(5.0, rng)
+            assert not reading.is_correct
+
+    def test_fault_rate_matches_probability(self):
+        rng = np.random.default_rng(2)
+        faulty = FaultySensor(make_sensor(), TransientFaultModel(probability=0.2))
+        faults = sum(1 for _ in range(2000) if not faulty.measure(0.0, rng).is_correct)
+        assert 0.15 < faults / 2000 < 0.25
+
+    def test_faulty_reading_keeps_width(self):
+        rng = np.random.default_rng(3)
+        faulty = FaultySensor(make_sensor(2.0), TransientFaultModel(probability=1.0))
+        reading = faulty.measure(0.0, rng)
+        assert reading.interval.width == pytest.approx(2.0)
+
+
+class TestStuckAtFaultModel:
+    def test_onset_validation(self):
+        with pytest.raises(SensorError):
+            StuckAtFaultModel(onset_probability=-0.1)
+
+    def test_zero_onset_never_sticks(self):
+        rng = np.random.default_rng(0)
+        faulty = FaultySensor(make_sensor(), StuckAtFaultModel(onset_probability=0.0))
+        for step in range(50):
+            assert faulty.measure(float(step), rng).is_correct
+
+    def test_sticks_after_onset(self):
+        rng = np.random.default_rng(1)
+        faulty = FaultySensor(make_sensor(0.5), StuckAtFaultModel(onset_probability=1.0))
+        first = faulty.measure(0.0, rng)
+        later = faulty.measure(10.0, rng)
+        assert later.measurement == pytest.approx(first.measurement)
+        assert not later.is_correct
+
+    def test_reset_unsticks(self):
+        rng = np.random.default_rng(2)
+        model = StuckAtFaultModel(onset_probability=1.0)
+        faulty = FaultySensor(make_sensor(0.5), model)
+        faulty.measure(0.0, rng)
+        faulty.reset()
+        reading = faulty.measure(10.0, rng)
+        assert reading.is_correct
+
+
+class TestFaultySensorInterface:
+    def test_exposes_sensor_metadata(self):
+        faulty = FaultySensor(make_sensor(3.0), TransientFaultModel(probability=0.5))
+        assert faulty.name == "s"
+        assert faulty.interval_width == pytest.approx(3.0)
+        assert faulty.spec.interval_width == pytest.approx(3.0)
+
+    def test_usable_inside_a_suite(self):
+        from repro.sensors import SensorSuite
+
+        rng = np.random.default_rng(0)
+        suite = SensorSuite(
+            [
+                FaultySensor(
+                    Sensor(spec=SensorSpec.from_interval_width(f"s{i}", 1.0 + i)),
+                    TransientFaultModel(probability=0.0),
+                )
+                for i in range(3)
+            ]
+        )
+        readings = suite.measure_all(2.0, rng)
+        assert all(r.is_correct for r in readings)

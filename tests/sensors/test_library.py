@@ -1,0 +1,54 @@
+"""Unit tests for the preset sensor library (LandShark sensors)."""
+
+import pytest
+
+from repro.sensors import (
+    CAMERA_INTERVAL_WIDTH,
+    ENCODER_INTERVAL_WIDTH,
+    GPS_INTERVAL_WIDTH,
+    camera_spec,
+    encoder_spec,
+    gps_spec,
+    imu_spec,
+    landshark_specs,
+    make_sensor,
+    sensors_from_widths,
+)
+
+
+class TestPresets:
+    def test_gps_width_matches_paper(self):
+        assert gps_spec().interval_width == pytest.approx(GPS_INTERVAL_WIDTH) == pytest.approx(1.0)
+
+    def test_camera_width_matches_paper(self):
+        assert camera_spec().interval_width == pytest.approx(CAMERA_INTERVAL_WIDTH) == pytest.approx(2.0)
+
+    def test_encoder_width_matches_paper(self):
+        assert encoder_spec().interval_width == pytest.approx(ENCODER_INTERVAL_WIDTH) == pytest.approx(0.2)
+
+    def test_imu_spec_exists(self):
+        assert imu_spec().interval_width > 0
+
+    def test_landshark_specs_widths(self):
+        widths = sorted(spec.interval_width for spec in landshark_specs())
+        assert widths == pytest.approx([0.2, 0.2, 1.0, 2.0])
+
+    def test_landshark_specs_names_unique(self):
+        names = [spec.name for spec in landshark_specs()]
+        assert len(set(names)) == 4
+
+
+class TestFactories:
+    def test_make_sensor_wraps_spec(self):
+        sensor = make_sensor(gps_spec())
+        assert sensor.name == "gps"
+        assert sensor.interval_width == pytest.approx(1.0)
+
+    def test_sensors_from_widths(self):
+        sensors = sensors_from_widths([5.0, 11.0, 17.0])
+        assert [s.interval_width for s in sensors] == pytest.approx([5.0, 11.0, 17.0])
+        assert len({s.name for s in sensors}) == 3
+
+    def test_sensors_from_widths_prefix(self):
+        sensors = sensors_from_widths([1.0], prefix="abc")
+        assert sensors[0].name == "abc-0"

@@ -1,0 +1,104 @@
+"""Unit and property tests for the bounded measurement-noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SensorError
+from repro.sensors import TruncatedGaussianNoise, UniformNoise, WorstCaseNoise, ZeroNoise
+
+HALF_WIDTHS = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+
+
+class TestZeroNoise:
+    def test_always_zero(self):
+        rng = np.random.default_rng(0)
+        assert ZeroNoise().sample(1.0, rng) == 0.0
+        assert np.all(ZeroNoise().sample_many(1.0, rng, 10) == 0.0)
+
+
+class TestUniformNoise:
+    def test_fraction_validation(self):
+        with pytest.raises(SensorError):
+            UniformNoise(fraction=1.5)
+        with pytest.raises(SensorError):
+            UniformNoise(fraction=-0.1)
+
+    def test_samples_within_envelope(self):
+        rng = np.random.default_rng(1)
+        noise = UniformNoise()
+        draws = noise.sample_many(0.5, rng, 1000)
+        assert np.all(np.abs(draws) <= 0.5 + 1e-12)
+
+    def test_fraction_shrinks_envelope(self):
+        rng = np.random.default_rng(2)
+        draws = UniformNoise(fraction=0.1).sample_many(1.0, rng, 1000)
+        assert np.all(np.abs(draws) <= 0.1 + 1e-12)
+
+    def test_spread_is_non_trivial(self):
+        rng = np.random.default_rng(3)
+        draws = UniformNoise().sample_many(1.0, rng, 2000)
+        assert draws.std() > 0.3  # uniform(-1,1) has std ~0.577
+
+    @given(HALF_WIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded(self, half_width):
+        rng = np.random.default_rng(0)
+        noise = UniformNoise()
+        for _ in range(20):
+            assert abs(noise.sample(half_width, rng)) <= half_width + 1e-12
+
+
+class TestTruncatedGaussianNoise:
+    def test_parameter_validation(self):
+        with pytest.raises(SensorError):
+            TruncatedGaussianNoise(sigma_fraction=0.0)
+        with pytest.raises(SensorError):
+            TruncatedGaussianNoise(max_redraws=0)
+
+    def test_samples_within_envelope(self):
+        rng = np.random.default_rng(4)
+        noise = TruncatedGaussianNoise(sigma_fraction=0.5)
+        draws = noise.sample_many(1.0, rng, 500)
+        assert np.all(np.abs(draws) <= 1.0 + 1e-12)
+
+    def test_zero_half_width(self):
+        rng = np.random.default_rng(5)
+        assert TruncatedGaussianNoise().sample(0.0, rng) == 0.0
+
+    def test_concentrates_more_than_uniform(self):
+        rng = np.random.default_rng(6)
+        gaussian = TruncatedGaussianNoise(sigma_fraction=0.25).sample_many(1.0, rng, 3000)
+        uniform = UniformNoise().sample_many(1.0, rng, 3000)
+        assert np.abs(gaussian).mean() < np.abs(uniform).mean()
+
+    @given(HALF_WIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded(self, half_width):
+        rng = np.random.default_rng(0)
+        noise = TruncatedGaussianNoise()
+        for _ in range(20):
+            assert abs(noise.sample(half_width, rng)) <= half_width + 1e-12
+
+
+class TestWorstCaseNoise:
+    def test_parameter_validation(self):
+        with pytest.raises(SensorError):
+            WorstCaseNoise(p_high=1.5)
+
+    def test_samples_at_envelope_edges(self):
+        rng = np.random.default_rng(7)
+        noise = WorstCaseNoise()
+        draws = noise.sample_many(0.5, rng, 200)
+        assert set(np.round(np.abs(draws), 12)) == {0.5}
+
+    def test_p_high_one_always_high(self):
+        rng = np.random.default_rng(8)
+        draws = WorstCaseNoise(p_high=1.0).sample_many(1.0, rng, 50)
+        assert np.all(draws == 1.0)
+
+    def test_p_high_zero_always_low(self):
+        rng = np.random.default_rng(9)
+        draws = WorstCaseNoise(p_high=0.0).sample_many(1.0, rng, 50)
+        assert np.all(draws == -1.0)

@@ -1,0 +1,65 @@
+"""Unit and property tests for Sensor and Reading."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors import Sensor, SensorSpec, UniformNoise, WorstCaseNoise, ZeroNoise
+
+
+def make_sensor(width: float = 1.0, noise=None) -> Sensor:
+    return Sensor(spec=SensorSpec.from_interval_width("s", width), noise=noise or UniformNoise())
+
+
+class TestSensorMeasurement:
+    def test_reading_fields(self):
+        rng = np.random.default_rng(0)
+        sensor = make_sensor(2.0, ZeroNoise())
+        reading = sensor.measure(10.0, rng)
+        assert reading.sensor_name == "s"
+        assert reading.measurement == pytest.approx(10.0)
+        assert reading.true_value == 10.0
+        assert reading.error == pytest.approx(0.0)
+        assert reading.interval.center == pytest.approx(10.0)
+        assert reading.interval.width == pytest.approx(2.0)
+
+    def test_reading_is_correct_by_construction(self):
+        rng = np.random.default_rng(1)
+        sensor = make_sensor(0.5)
+        for _ in range(100):
+            assert sensor.measure(3.0, rng).is_correct
+
+    def test_worst_case_noise_still_correct(self):
+        rng = np.random.default_rng(2)
+        sensor = make_sensor(1.0, WorstCaseNoise())
+        for _ in range(50):
+            reading = sensor.measure(-4.0, rng)
+            assert reading.is_correct
+            # The true value sits exactly on one interval endpoint.
+            assert min(
+                abs(reading.interval.lo - (-4.0)), abs(reading.interval.hi - (-4.0))
+            ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_interval_width_property(self):
+        assert make_sensor(3.0).interval_width == pytest.approx(3.0)
+
+    def test_name_property(self):
+        assert make_sensor().name == "s"
+
+    def test_measure_many(self):
+        rng = np.random.default_rng(3)
+        sensor = make_sensor(1.0)
+        readings = sensor.measure_many(np.array([1.0, 2.0, 3.0]), rng)
+        assert len(readings) == 3
+        assert [r.true_value for r in readings] == [1.0, 2.0, 3.0]
+        assert all(r.is_correct for r in readings)
+
+    @given(st.floats(min_value=-100, max_value=100), st.floats(min_value=0.01, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_property_correctness_invariant(self, true_value, width):
+        rng = np.random.default_rng(0)
+        sensor = make_sensor(width)
+        reading = sensor.measure(true_value, rng)
+        assert reading.interval.contains(true_value)
+        assert reading.interval.width == pytest.approx(width)

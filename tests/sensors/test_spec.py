@@ -1,0 +1,71 @@
+"""Unit tests for sensor specifications and the encoder derivation."""
+
+import pytest
+
+from repro.core import SensorError
+from repro.sensors import EncoderSpec, SensorSpec
+
+
+class TestSensorSpec:
+    def test_half_width_sums_error_sources(self):
+        spec = SensorSpec(name="s", precision=0.5, jitter=0.1, implementation_error=0.05)
+        assert spec.half_width == pytest.approx(0.65)
+        assert spec.interval_width == pytest.approx(1.3)
+
+    def test_interval_for_centres_on_measurement(self):
+        spec = SensorSpec(name="s", precision=0.5)
+        interval = spec.interval_for(10.0)
+        assert interval.lo == pytest.approx(9.5)
+        assert interval.hi == pytest.approx(10.5)
+        assert interval.center == pytest.approx(10.0)
+
+    def test_from_interval_width(self):
+        spec = SensorSpec.from_interval_width("gps", 1.0)
+        assert spec.interval_width == pytest.approx(1.0)
+
+    def test_from_interval_width_rejects_non_positive(self):
+        with pytest.raises(SensorError):
+            SensorSpec.from_interval_width("gps", 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSpec(name="", precision=1.0)
+
+    def test_negative_precision_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSpec(name="s", precision=-0.1)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSpec(name="s", precision=0.1, jitter=-0.1)
+
+    def test_zero_total_width_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSpec(name="s", precision=0.0)
+
+
+class TestEncoderSpec:
+    def test_default_landshark_encoder_width(self):
+        # 192 cycles/rev, 0.5 % measuring error, 0.05 % jitter at 10 mph:
+        # the paper computes a 0.2 mph interval.
+        spec = EncoderSpec(name="enc").to_sensor_spec()
+        assert spec.interval_width == pytest.approx(0.2, abs=1e-9)
+
+    def test_width_scales_with_nominal_speed(self):
+        slow = EncoderSpec(name="enc", nominal_speed=5.0).to_sensor_spec()
+        fast = EncoderSpec(name="enc", nominal_speed=20.0).to_sensor_spec()
+        assert fast.interval_width > slow.interval_width
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(SensorError):
+            EncoderSpec(name="enc", cycles_per_revolution=0)
+
+    def test_negative_errors_rejected(self):
+        with pytest.raises(SensorError):
+            EncoderSpec(name="enc", measuring_error=-0.1)
+        with pytest.raises(SensorError):
+            EncoderSpec(name="enc", jitter_error=-0.1)
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(SensorError):
+            EncoderSpec(name="enc", nominal_speed=0.0)

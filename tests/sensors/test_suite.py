@@ -1,0 +1,65 @@
+"""Unit tests for SensorSuite."""
+
+import numpy as np
+import pytest
+
+from repro.core import SensorError
+from repro.sensors import SensorSuite, sensors_from_widths
+from repro.vehicle import landshark_suite
+
+
+class TestSensorSuite:
+    def test_empty_rejected(self):
+        with pytest.raises(SensorError):
+            SensorSuite([])
+
+    def test_duplicate_names_rejected(self):
+        sensors = sensors_from_widths([1.0]) + sensors_from_widths([2.0])
+        with pytest.raises(SensorError):
+            SensorSuite(sensors)
+
+    def test_sequence_behaviour(self):
+        suite = SensorSuite(sensors_from_widths([1.0, 2.0, 3.0]))
+        assert len(suite) == 3
+        assert suite[1].interval_width == pytest.approx(2.0)
+        assert [s.name for s in suite] == list(suite.names)
+
+    def test_widths_in_order(self):
+        suite = SensorSuite(sensors_from_widths([3.0, 1.0, 2.0]))
+        assert suite.widths == pytest.approx((3.0, 1.0, 2.0))
+
+    def test_index_of(self):
+        suite = SensorSuite(sensors_from_widths([1.0, 2.0]))
+        assert suite.index_of("sensor-1") == 1
+        with pytest.raises(SensorError):
+            suite.index_of("nope")
+
+    def test_precision_extremes(self):
+        suite = SensorSuite(sensors_from_widths([3.0, 1.0, 2.0]))
+        assert suite.most_precise_index() == 1
+        assert suite.least_precise_index() == 0
+
+    def test_precision_tie_breaking_is_deterministic(self):
+        # Ties are resolved towards the first sensor in suite order.
+        suite = SensorSuite(sensors_from_widths([1.0, 1.0, 5.0, 5.0]))
+        assert suite.most_precise_index() == 0
+        assert suite.least_precise_index() == 2
+
+    def test_measure_all(self):
+        rng = np.random.default_rng(0)
+        suite = SensorSuite(sensors_from_widths([1.0, 2.0, 3.0]))
+        readings = suite.measure_all(5.0, rng)
+        assert len(readings) == 3
+        assert all(r.is_correct for r in readings)
+        assert [r.interval.width for r in readings] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_subset(self):
+        suite = SensorSuite(sensors_from_widths([1.0, 2.0, 3.0]))
+        sub = suite.subset([2, 0])
+        assert sub.widths == pytest.approx((3.0, 1.0))
+
+    def test_landshark_suite_composition(self):
+        suite = landshark_suite()
+        assert len(suite) == 4
+        assert sorted(suite.widths) == pytest.approx([0.2, 0.2, 1.0, 2.0])
+        assert suite.most_precise_index() in (0, 1)

@@ -1,0 +1,30 @@
+"""Unit tests for the RNG helpers."""
+
+import numpy as np
+
+from repro.utils import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_reproducible(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_none_seed_allowed(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_are_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert a.random() != b.random()
+
+    def test_reproducible_streams(self):
+        first = [r.random() for r in spawn_rngs(3, 3)]
+        second = [r.random() for r in spawn_rngs(3, 3)]
+        assert first == second

@@ -1,0 +1,64 @@
+"""Unit tests for the PI speed controller."""
+
+import pytest
+
+from repro.core import VehicleError
+from repro.vehicle import SpeedController
+
+
+class TestSpeedController:
+    def test_invalid_gains_rejected(self):
+        with pytest.raises(VehicleError):
+            SpeedController(kp=-1.0)
+        with pytest.raises(VehicleError):
+            SpeedController(ki=-0.5)
+        with pytest.raises(VehicleError):
+            SpeedController(integral_limit=0.0)
+
+    def test_zero_error_zero_command(self):
+        controller = SpeedController()
+        assert controller.command(10.0, 10.0, 0.1) == pytest.approx(0.0)
+
+    def test_positive_error_accelerates(self):
+        controller = SpeedController()
+        assert controller.command(10.0, 9.0, 0.1) > 0.0
+
+    def test_negative_error_brakes(self):
+        controller = SpeedController()
+        assert controller.command(10.0, 11.0, 0.1) < 0.0
+
+    def test_integral_accumulates(self):
+        controller = SpeedController(kp=0.0, ki=1.0)
+        first = controller.command(10.0, 9.0, 0.1)
+        second = controller.command(10.0, 9.0, 0.1)
+        assert second > first
+
+    def test_integral_windup_clamped(self):
+        controller = SpeedController(kp=0.0, ki=1.0, integral_limit=0.5)
+        for _ in range(100):
+            command = controller.command(10.0, 0.0, 1.0)
+        assert command == pytest.approx(0.5)
+
+    def test_reset_clears_integral(self):
+        controller = SpeedController(kp=0.0, ki=1.0)
+        controller.command(10.0, 9.0, 1.0)
+        controller.reset()
+        assert controller.command(10.0, 10.0, 1.0) == pytest.approx(0.0)
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(VehicleError):
+            SpeedController().command(10.0, 10.0, 0.0)
+
+    def test_closed_loop_converges_to_target(self):
+        import numpy as np
+
+        from repro.vehicle import LongitudinalVehicle, VehicleParameters, VehicleState
+
+        rng = np.random.default_rng(0)
+        params = VehicleParameters(max_disturbance=0.0)
+        vehicle = LongitudinalVehicle(params, VehicleState(speed=5.0))
+        controller = SpeedController()
+        for _ in range(600):
+            command = controller.command(10.0, vehicle.speed, params.dt)
+            vehicle.step(command, rng)
+        assert vehicle.speed == pytest.approx(10.0, abs=0.05)

@@ -1,0 +1,86 @@
+"""Unit tests for the longitudinal vehicle dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core import VehicleError
+from repro.vehicle import LongitudinalVehicle, VehicleParameters, VehicleState
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        VehicleParameters()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dt": 0.0},
+            {"drag": -0.1},
+            {"max_accel": 0.0},
+            {"max_disturbance": -0.1},
+            {"max_speed": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(VehicleError):
+            VehicleParameters(**kwargs)
+
+    def test_negative_initial_speed_rejected(self):
+        with pytest.raises(VehicleError):
+            VehicleState(speed=-1.0)
+
+
+class TestDynamics:
+    def test_constant_zero_command_decays_speed(self):
+        rng = np.random.default_rng(0)
+        params = VehicleParameters(drag=0.1, max_disturbance=0.0)
+        vehicle = LongitudinalVehicle(params, VehicleState(speed=10.0))
+        for _ in range(50):
+            vehicle.step(0.0, rng)
+        assert vehicle.speed < 10.0
+
+    def test_positive_command_accelerates(self):
+        rng = np.random.default_rng(0)
+        params = VehicleParameters(max_disturbance=0.0)
+        vehicle = LongitudinalVehicle(params, VehicleState(speed=5.0))
+        vehicle.step(2.0, rng)
+        assert vehicle.speed > 5.0
+
+    def test_command_saturation(self):
+        rng = np.random.default_rng(0)
+        params = VehicleParameters(max_accel=1.0, max_disturbance=0.0, drag=0.0)
+        vehicle = LongitudinalVehicle(params, VehicleState(speed=5.0))
+        vehicle.step(100.0, rng)
+        assert vehicle.speed == pytest.approx(5.0 + params.dt * 1.0)
+
+    def test_speed_never_negative(self):
+        rng = np.random.default_rng(0)
+        vehicle = LongitudinalVehicle(VehicleParameters(max_disturbance=0.0), VehicleState(speed=0.1))
+        for _ in range(100):
+            vehicle.step(-3.0, rng)
+        assert vehicle.speed == 0.0
+
+    def test_speed_capped_at_max(self):
+        rng = np.random.default_rng(0)
+        params = VehicleParameters(max_speed=12.0, max_disturbance=0.0)
+        vehicle = LongitudinalVehicle(params, VehicleState(speed=10.0))
+        for _ in range(500):
+            vehicle.step(3.0, rng)
+        assert vehicle.speed == pytest.approx(12.0)
+
+    def test_position_integrates_speed(self):
+        rng = np.random.default_rng(0)
+        params = VehicleParameters(max_disturbance=0.0, drag=0.0)
+        vehicle = LongitudinalVehicle(params, VehicleState(speed=10.0))
+        vehicle.step(0.0, rng)
+        assert vehicle.position == pytest.approx(params.dt * 10.0)
+
+    def test_disturbance_is_bounded(self):
+        rng = np.random.default_rng(0)
+        params = VehicleParameters(max_disturbance=0.05, drag=0.0)
+        vehicle = LongitudinalVehicle(params, VehicleState(speed=10.0))
+        previous = vehicle.speed
+        for _ in range(200):
+            vehicle.step(0.0, rng)
+            assert abs(vehicle.speed - previous) <= 0.05 + 1e-12
+            previous = vehicle.speed

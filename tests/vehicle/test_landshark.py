@@ -1,0 +1,110 @@
+"""Unit tests for the LandShark vehicle assembly."""
+
+import numpy as np
+import pytest
+
+from repro.attack import ExpectationPolicy
+from repro.core import VehicleError
+from repro.scheduling import AscendingSchedule, DescendingSchedule
+from repro.vehicle import FixedSelector, LandShark, SafetyLimits, landshark_suite
+
+
+def make_landshark(**kwargs) -> LandShark:
+    defaults = dict(
+        name="shark",
+        schedule=AscendingSchedule(),
+        limits=SafetyLimits(target_speed=10.0),
+    )
+    defaults.update(kwargs)
+    return LandShark(**defaults)
+
+
+class TestLandSharkConstruction:
+    def test_needs_name(self):
+        with pytest.raises(VehicleError):
+            make_landshark(name="")
+
+    def test_default_suite_is_the_case_study_suite(self):
+        shark = make_landshark()
+        assert sorted(shark.suite.widths) == pytest.approx([0.2, 0.2, 1.0, 2.0])
+
+    def test_initial_speed_defaults_to_target(self):
+        assert make_landshark().true_speed == pytest.approx(10.0)
+
+    def test_initial_position(self):
+        assert make_landshark(initial_position=-5.0).position == pytest.approx(-5.0)
+
+
+class TestLandSharkStepping:
+    def test_step_without_attack_never_violates(self):
+        rng = np.random.default_rng(0)
+        shark = make_landshark()
+        for _ in range(50):
+            record = shark.step(rng)
+            assert not record.upper_violation
+            assert not record.lower_violation
+            assert record.fusion.contains(record.true_speed)
+
+    def test_speed_stays_near_target_without_attack(self):
+        rng = np.random.default_rng(1)
+        shark = make_landshark()
+        for _ in range(200):
+            shark.step(rng)
+        assert shark.true_speed == pytest.approx(10.0, abs=0.3)
+
+    def test_step_records_increment(self):
+        rng = np.random.default_rng(2)
+        shark = make_landshark()
+        records = [shark.step(rng) for _ in range(3)]
+        assert [r.step_index for r in records] == [0, 1, 2]
+
+    def test_attacked_descending_can_violate(self):
+        rng = np.random.default_rng(3)
+        shark = make_landshark(
+            schedule=DescendingSchedule(),
+            attacked_selector=FixedSelector((0,)),
+            attack_policy=ExpectationPolicy(true_value_positions=2, placement_positions=2),
+        )
+        violations = sum(
+            1 for _ in range(120) if (lambda r: r.upper_violation or r.lower_violation)(shark.step(rng))
+        )
+        assert violations > 0
+
+    def test_attacked_ascending_never_violates(self):
+        rng = np.random.default_rng(4)
+        shark = make_landshark(
+            schedule=AscendingSchedule(),
+            attacked_selector=FixedSelector((0,)),
+            attack_policy=ExpectationPolicy(true_value_positions=2, placement_positions=2),
+        )
+        for _ in range(120):
+            record = shark.step(rng)
+            assert not record.upper_violation
+            assert not record.lower_violation
+
+    def test_fusion_contains_true_speed_even_under_attack(self):
+        rng = np.random.default_rng(5)
+        shark = make_landshark(
+            schedule=DescendingSchedule(),
+            attacked_selector=FixedSelector((0,)),
+            attack_policy=ExpectationPolicy(true_value_positions=2, placement_positions=2),
+        )
+        for _ in range(80):
+            record = shark.step(rng)
+            assert record.fusion.contains(record.true_speed)
+
+    def test_supervisor_counters_match_records(self):
+        rng = np.random.default_rng(6)
+        shark = make_landshark(
+            schedule=DescendingSchedule(),
+            attacked_selector=FixedSelector((0,)),
+            attack_policy=ExpectationPolicy(true_value_positions=2, placement_positions=2),
+        )
+        upper = lower = 0
+        for _ in range(100):
+            record = shark.step(rng)
+            upper += record.upper_violation
+            lower += record.lower_violation
+        assert shark.supervisor.upper_violations == upper
+        assert shark.supervisor.lower_violations == lower
+        assert shark.supervisor.checks == 100

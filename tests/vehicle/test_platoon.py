@@ -1,0 +1,78 @@
+"""Unit tests for the three-vehicle platoon."""
+
+import numpy as np
+import pytest
+
+from repro.core import VehicleError
+from repro.scheduling import AscendingSchedule
+from repro.vehicle import Platoon, PlatoonConfig
+
+
+class TestPlatoonConfig:
+    def test_defaults_match_paper(self):
+        config = PlatoonConfig()
+        assert config.target_speed == 10.0
+        assert config.delta_upper == 0.5
+        assert config.delta_lower == 0.5
+        assert config.n_vehicles == 3
+
+    def test_limits(self):
+        limits = PlatoonConfig().limits()
+        assert limits.upper_limit == pytest.approx(10.5)
+        assert limits.lower_limit == pytest.approx(9.5)
+
+    def test_invalid_vehicle_count(self):
+        with pytest.raises(VehicleError):
+            PlatoonConfig(n_vehicles=0)
+
+    def test_invalid_gap(self):
+        with pytest.raises(VehicleError):
+            PlatoonConfig(initial_gap=0.0)
+
+    def test_at_most_one_attacked_sensor(self):
+        with pytest.raises(VehicleError):
+            PlatoonConfig(attacked_indices=(0, 1))
+
+
+class TestPlatoon:
+    def test_vehicles_start_spaced(self):
+        platoon = Platoon(PlatoonConfig(initial_gap=5.0), AscendingSchedule())
+        assert platoon.gaps() == pytest.approx((5.0, 5.0))
+
+    def test_step_returns_record_per_vehicle(self):
+        rng = np.random.default_rng(0)
+        platoon = Platoon(PlatoonConfig(), AscendingSchedule())
+        step = platoon.step(rng)
+        assert len(step.records) == 3
+        assert len(step.gaps) == 2
+
+    def test_run_produces_requested_steps(self):
+        rng = np.random.default_rng(0)
+        platoon = Platoon(PlatoonConfig(n_vehicles=2), AscendingSchedule())
+        steps = platoon.run(10, rng)
+        assert len(steps) == 10
+        assert steps[-1].step_index == 9
+
+    def test_run_rejects_non_positive_steps(self):
+        platoon = Platoon(PlatoonConfig(), AscendingSchedule())
+        with pytest.raises(VehicleError):
+            platoon.run(0, np.random.default_rng(0))
+
+    def test_gaps_stay_safe_without_attack(self):
+        rng = np.random.default_rng(1)
+        platoon = Platoon(PlatoonConfig(), AscendingSchedule())
+        steps = platoon.run(150, rng)
+        assert min(step.min_gap for step in steps) > 2.0
+
+    def test_no_violations_without_attack(self):
+        rng = np.random.default_rng(2)
+        platoon = Platoon(PlatoonConfig(), AscendingSchedule())
+        for step in platoon.run(100, rng):
+            assert not step.any_upper_violation
+            assert not step.any_lower_violation
+
+    def test_single_vehicle_min_gap_is_infinite(self):
+        rng = np.random.default_rng(3)
+        platoon = Platoon(PlatoonConfig(n_vehicles=1), AscendingSchedule())
+        step = platoon.step(rng)
+        assert step.min_gap == float("inf")

@@ -1,0 +1,71 @@
+"""Unit tests for attacked-sensor selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentError
+from repro.vehicle import (
+    FixedSelector,
+    MostPreciseSelector,
+    NoAttackSelector,
+    RandomSensorSelector,
+    landshark_suite,
+    selector_from_spec,
+)
+
+
+class TestSelectors:
+    def setup_method(self):
+        self.suite = landshark_suite()
+        self.rng = np.random.default_rng(0)
+
+    def test_no_attack(self):
+        assert NoAttackSelector().select(self.suite, self.rng) == ()
+
+    def test_fixed(self):
+        assert FixedSelector((2, 0)).select(self.suite, self.rng) == (0, 2)
+
+    def test_fixed_out_of_range(self):
+        with pytest.raises(ExperimentError):
+            FixedSelector((9,)).select(self.suite, self.rng)
+
+    def test_most_precise_picks_an_encoder(self):
+        (index,) = MostPreciseSelector().select(self.suite, self.rng)
+        assert self.suite.widths[index] == pytest.approx(0.2)
+
+    def test_most_precise_count(self):
+        indices = MostPreciseSelector(count=2).select(self.suite, self.rng)
+        assert len(indices) == 2
+        assert all(self.suite.widths[i] == pytest.approx(0.2) for i in indices)
+
+    def test_most_precise_count_validation(self):
+        with pytest.raises(ExperimentError):
+            MostPreciseSelector(count=9).select(self.suite, self.rng)
+
+    def test_random_single(self):
+        for _ in range(20):
+            (index,) = RandomSensorSelector().select(self.suite, self.rng)
+            assert 0 <= index < len(self.suite)
+
+    def test_random_covers_all_sensors_eventually(self):
+        chosen = {RandomSensorSelector().select(self.suite, self.rng)[0] for _ in range(200)}
+        assert chosen == {0, 1, 2, 3}
+
+    def test_random_count_validation(self):
+        with pytest.raises(ExperimentError):
+            RandomSensorSelector(count=0).select(self.suite, self.rng)
+
+
+class TestSelectorFromSpec:
+    def test_string_specs(self):
+        assert isinstance(selector_from_spec("random"), RandomSensorSelector)
+        assert isinstance(selector_from_spec("most_precise"), MostPreciseSelector)
+        assert isinstance(selector_from_spec("none"), NoAttackSelector)
+
+    def test_index_specs(self):
+        assert selector_from_spec(2) == FixedSelector(indices=(2,))
+        assert selector_from_spec((1, 3)) == FixedSelector(indices=(1, 3))
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ExperimentError):
+            selector_from_spec("everything")

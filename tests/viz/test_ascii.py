@@ -1,0 +1,63 @@
+"""Unit tests for the ASCII interval renderer."""
+
+import pytest
+
+from repro.core import ExperimentError, Interval
+from repro.viz import LabeledInterval, render_fusion_figure, render_intervals
+
+
+class TestRenderIntervals:
+    def test_renders_one_line_per_interval_plus_axis(self):
+        items = [
+            LabeledInterval("s1", Interval(0, 4)),
+            LabeledInterval("s2", Interval(2, 6)),
+        ]
+        lines = render_intervals(items).splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("s1")
+        assert lines[1].startswith("s2")
+
+    def test_attacked_marker(self):
+        items = [
+            LabeledInterval("ok", Interval(0, 4)),
+            LabeledInterval("bad", Interval(0, 4), attacked=True),
+        ]
+        text = render_intervals(items)
+        assert "=" in text.splitlines()[0]
+        assert "~" in text.splitlines()[1]
+
+    def test_bounds_shown(self):
+        text = render_intervals([LabeledInterval("s", Interval(1.5, 2.5))])
+        assert "[1.5, 2.5]" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_intervals([])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_intervals([LabeledInterval("s", Interval(0, 1))], width=5)
+
+    def test_degenerate_interval_renders(self):
+        text = render_intervals([LabeledInterval("p", Interval(2, 2))])
+        assert "|" in text
+
+
+class TestRenderFusionFigure:
+    def test_sensor_and_fusion_sections_separated(self):
+        sensors = [LabeledInterval("s1", Interval(0, 4)), LabeledInterval("s2", Interval(1, 5))]
+        fusions = [LabeledInterval("S(f=1)", Interval(0, 5))]
+        text = render_fusion_figure(sensors, fusions)
+        lines = text.splitlines()
+        separator_lines = [
+            line for line in lines if line.strip() and set(line.replace(" ", "")) == {"-"}
+        ]
+        assert len(separator_lines) == 1
+        assert lines[0].lstrip().startswith("s1")
+        assert any("S(f=1)" in line for line in lines)
+
+    def test_needs_both_sections(self):
+        with pytest.raises(ExperimentError):
+            render_fusion_figure([], [LabeledInterval("S", Interval(0, 1))])
+        with pytest.raises(ExperimentError):
+            render_fusion_figure([LabeledInterval("s", Interval(0, 1))], [])
