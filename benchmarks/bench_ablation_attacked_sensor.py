@@ -16,7 +16,6 @@ follows directly from the "camera only" row being (near) harmless.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_percentage, format_table
 from repro.scheduling import DescendingSchedule

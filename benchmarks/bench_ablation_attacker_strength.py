@@ -14,7 +14,6 @@ where the paper's "reasonable" attacker sits between the extremes.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.attack import (

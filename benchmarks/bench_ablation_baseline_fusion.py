@@ -17,7 +17,6 @@ the naive mean degrades linearly with the bias.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core import brooks_iyengar, mean_fusion, median_fusion

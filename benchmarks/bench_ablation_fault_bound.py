@@ -8,11 +8,10 @@ attacked sensors) can exclude the true value from the fusion interval.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.attack import ExpectationPolicy
-from repro.core import EmptyFusionError, Interval, fuse
+from repro.core import Interval, fuse
 from repro.scheduling import DescendingSchedule, RoundConfig, run_round
 from repro.sensors import SensorSuite, UniformNoise, sensors_from_widths
 

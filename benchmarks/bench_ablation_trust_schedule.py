@@ -20,7 +20,6 @@ either precision-only order.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.attack import ExpectationPolicy

@@ -16,7 +16,6 @@ memoryless one:
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core import WindowedFusionPipeline

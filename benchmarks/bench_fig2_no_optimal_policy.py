@@ -11,7 +11,6 @@ compares with the per-realisation optimum of problem (1); no commitment
 achieves zero regret on both realisations simultaneously.
 """
 
-import pytest
 
 from repro.analysis import figure2_configuration, format_table
 from repro.attack import optimal_fusion_width

@@ -7,7 +7,6 @@ achieved fusion width equals the full-knowledge optimum of problem (1) —
 which is exactly what "an optimal attack policy exists" means.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.attack import (

@@ -20,11 +20,9 @@ in expectation (Table I).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import figure5a_configuration, figure5b_configuration, format_table
 from repro.attack import ExpectationPolicy
-from repro.core import Interval
 from repro.scheduling import AscendingSchedule, DescendingSchedule, RoundConfig, run_round
 
 

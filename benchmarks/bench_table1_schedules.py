@@ -17,11 +17,19 @@ Two attacker variants are reported:
 The reproduction target is the *shape*: the Descending expectation is never
 smaller than the Ascending one, and the gap widens when the interval lengths
 are very different.
+
+``test_table1_batch_monte_carlo`` re-runs the whole table on the vectorized
+batch engine (greedy stretch attacker, 10⁵ Monte-Carlo trials per schedule by
+default — tune with ``REPRO_BENCH_BATCH_SAMPLES``), confirming the shape at
+a sample count the scalar path cannot reach.
 """
 
+import math
+
+import numpy as np
 import pytest
 
-from repro.analysis import TABLE1_CONFIGURATIONS, format_table, format_table1_row
+from repro.analysis import TABLE1_CONFIGURATIONS, format_table, format_table1_row, table1_batch_sweep
 from repro.attack import ExpectationPolicy
 from repro.scheduling import AscendingSchedule, DescendingSchedule, compare_schedules
 
@@ -37,13 +45,57 @@ def _run_entry(entry, positions: int, conservative: bool):
 
 
 @pytest.mark.parametrize(
-    "entry", TABLE1_CONFIGURATIONS, ids=lambda e: f"n{e.n}-fa{e.fa}-L{'-'.join(f'{l:g}' for l in e.lengths)}"
+    "entry", TABLE1_CONFIGURATIONS, ids=lambda e: f"n{e.n}-fa{e.fa}-L{'-'.join(f'{length:g}' for length in e.lengths)}"
 )
 def test_table1_row(benchmark, entry, bench_positions):
     """One row of Table I with the faithful attacker (shape assertion only)."""
     ascending, descending = benchmark(lambda: _run_entry(entry, bench_positions, conservative=False))
     assert descending >= ascending - 1e-9, (
         "the expected length under Descending must not be smaller than under Ascending"
+    )
+
+
+def test_table1_batch_monte_carlo(benchmark, report_writer, batch_samples):
+    """The full Table I on the batch engine at Monte-Carlo scale."""
+
+    def run_sweep():
+        return table1_batch_sweep(samples=batch_samples, rng=np.random.default_rng(0))
+
+    sweep = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    # Two independent sample means of similar-magnitude widths: allow a few
+    # standard errors of Monte-Carlo noise before calling the shape violated.
+    tolerance = max(0.05, 10.0 / math.sqrt(batch_samples))
+    rows = []
+    for entry, comparison in sweep:
+        ascending = comparison.expected_width("ascending")
+        descending = comparison.expected_width("descending")
+        rows.append(
+            [
+                format_table1_row(entry.n, entry.fa, entry.lengths),
+                f"{ascending:.2f}",
+                f"{descending:.2f}",
+                f"{entry.paper_ascending:.2f}",
+                f"{entry.paper_descending:.2f}",
+            ]
+        )
+        assert descending >= ascending - tolerance
+        assert comparison.row("descending").detected_fraction == 0.0
+    report_writer(
+        "table1_batch_monte_carlo",
+        format_table(
+            [
+                "configuration",
+                "E|S| asc (stretch MC)",
+                "E|S| desc (stretch MC)",
+                "paper asc",
+                "paper desc",
+            ],
+            rows,
+            title=(
+                "Table I — batched Monte-Carlo, greedy stretch attacker, "
+                f"{batch_samples:,} trials per schedule"
+            ),
+        ),
     )
 
 

@@ -11,10 +11,8 @@ Ascending ≈ 0 %, Descending the largest, Random roughly a third of
 Descending.
 """
 
-import pytest
 
 from repro.analysis import TABLE2_PAPER_RESULTS, format_percentage, format_table
-from repro.scheduling import AscendingSchedule, DescendingSchedule, RandomSchedule
 from repro.vehicle import CaseStudyConfig, run_case_study
 
 

@@ -38,6 +38,16 @@ def bench_positions() -> int:
 
 
 @pytest.fixture(scope="session")
+def batch_samples() -> int:
+    """Monte-Carlo trials per schedule for the batched sweeps (default 100 000)."""
+    value = os.environ.get("REPRO_BENCH_BATCH_SAMPLES", "")
+    try:
+        return max(1_000, int(value)) if value else 100_000
+    except ValueError:
+        return 100_000
+
+
+@pytest.fixture(scope="session")
 def case_study_steps() -> int:
     """Control periods per schedule for the Table II benchmark (default 300)."""
     value = os.environ.get("REPRO_BENCH_STEPS", "")
@@ -50,7 +60,7 @@ def case_study_steps() -> int:
 @pytest.fixture(scope="session")
 def report_writer():
     """Write a named report to ``benchmarks/results`` and echo it to stdout."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     def _write(name: str, text: str) -> Path:
         path = RESULTS_DIR / f"{name}.txt"

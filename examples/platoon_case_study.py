@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import TABLE2_PAPER_RESULTS, format_percentage, format_table
-from repro.scheduling import AscendingSchedule, DescendingSchedule, RandomSchedule
+from repro.scheduling import DescendingSchedule
 from repro.vehicle import CaseStudyConfig, Platoon, run_case_study
 
 N_STEPS = 150

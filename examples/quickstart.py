@@ -20,7 +20,6 @@ from repro import (
     AscendingSchedule,
     DescendingSchedule,
     FusionEngine,
-    Interval,
     RoundConfig,
     fuse,
     run_round,

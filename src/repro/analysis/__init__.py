@@ -10,6 +10,7 @@ from repro.analysis.experiments import (
     figure2_configuration,
     figure5a_configuration,
     figure5b_configuration,
+    table1_batch_sweep,
 )
 from repro.analysis.metrics import (
     FusionStatistics,
@@ -36,4 +37,5 @@ __all__ = [
     "figure2_configuration",
     "figure5a_configuration",
     "figure5b_configuration",
+    "table1_batch_sweep",
 ]

@@ -14,10 +14,18 @@ the examples and EXPERIMENTS.md all draw from the same source of truth:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.core.interval import Interval
-from repro.scheduling.comparison import ScheduleComparisonConfig
-from repro.scheduling.schedule import AscendingSchedule, DescendingSchedule, RandomSchedule
+from repro.scheduling.comparison import ScheduleComparison, ScheduleComparisonConfig
+from repro.scheduling.schedule import (
+    AscendingSchedule,
+    DescendingSchedule,
+    RandomSchedule,
+    Schedule,
+)
 
 __all__ = [
     "Table1Entry",
@@ -29,6 +37,7 @@ __all__ = [
     "figure2_configuration",
     "figure5a_configuration",
     "figure5b_configuration",
+    "table1_batch_sweep",
 ]
 
 
@@ -45,6 +54,28 @@ class Table1Entry:
     def comparison_config(self, positions: int = 3) -> ScheduleComparisonConfig:
         """Build the schedule-comparison configuration for this row."""
         return ScheduleComparisonConfig(lengths=self.lengths, fa=self.fa, positions=positions)
+
+    def batch_comparison(
+        self,
+        samples: int = 100_000,
+        rng: np.random.Generator | None = None,
+        schedules: Sequence[Schedule] | None = None,
+    ) -> ScheduleComparison:
+        """Run this row's schedule sweep on the vectorized batch engine.
+
+        Uses the greedy stretch attacker of :mod:`repro.batch.rounds` over
+        ``samples`` Monte-Carlo trials; the exhaustive scalar path (via
+        :meth:`comparison_config` and
+        :func:`repro.scheduling.comparison.compare_schedules`) remains the
+        reference for the paper's expectation-maximising attacker.
+        """
+        from repro.batch.comparison import compare_schedules_batch
+
+        if schedules is None:
+            schedules = (AscendingSchedule(), DescendingSchedule())
+        return compare_schedules_batch(
+            self.comparison_config(), schedules, samples=samples, rng=rng
+        )
 
 
 #: The eight configurations of Table I with the expected fusion lengths the
@@ -75,6 +106,21 @@ TABLE2_PAPER_RESULTS = {
 
 #: The schedules compared in the case study, in the paper's column order.
 TABLE2_SCHEDULES = (AscendingSchedule(), DescendingSchedule(), RandomSchedule())
+
+
+def table1_batch_sweep(
+    samples: int = 100_000,
+    rng: np.random.Generator | None = None,
+    configurations: Sequence[Table1Entry] = TABLE1_CONFIGURATIONS,
+) -> list[tuple[Table1Entry, ScheduleComparison]]:
+    """Run every Table I row on the batch engine at Monte-Carlo scale.
+
+    Returns ``(entry, comparison)`` pairs; each comparison holds one
+    :class:`~repro.scheduling.comparison.ScheduleRow` per schedule exactly
+    like the scalar path, so reporting code is shared.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return [(entry, entry.batch_comparison(samples=samples, rng=rng)) for entry in configurations]
 
 
 def figure1_intervals() -> list[Interval]:

@@ -29,6 +29,7 @@ from repro.attack.stealth import (
     required_support,
     support_point,
 )
+from repro.attack.stretch import ActiveStretchPolicy
 from repro.attack.theorem1 import (
     Theorem1Inputs,
     case1_applies,
@@ -44,6 +45,7 @@ __all__ = [
     "TruthfulPolicy",
     "RandomAdmissiblePolicy",
     "FixedShiftPolicy",
+    "ActiveStretchPolicy",
     "GreedyExtendPolicy",
     "ExpectationPolicy",
     "OmniscientPolicy",

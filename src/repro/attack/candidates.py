@@ -24,9 +24,20 @@ from repro.attack.context import AttackContext
 from repro.attack.stealth import is_admissible
 from repro.core.interval import Interval
 
-__all__ = ["candidate_intervals", "passive_extremes", "endpoint_aligned", "grid_candidates"]
+__all__ = [
+    "candidate_intervals",
+    "passive_extremes",
+    "endpoint_aligned",
+    "grid_candidates",
+    "PASSIVE_WIDTH_TOL",
+]
 
 _DEDUP_PRECISION = 9
+
+#: Tolerance for "can the forged width contain Δ" in passive-mode placement
+#: decisions.  Shared by the scalar policies and the batched attacker
+#: (:mod:`repro.batch.rounds`) so both make identical passive/truthful calls.
+PASSIVE_WIDTH_TOL = 1e-12
 
 
 def passive_extremes(context: AttackContext) -> list[Interval]:
@@ -39,7 +50,7 @@ def passive_extremes(context: AttackContext) -> list[Interval]:
     """
     delta = context.delta
     width = context.width
-    if width < delta.width - 1e-12:
+    if width < delta.width - PASSIVE_WIDTH_TOL:
         return []
     # Rightmost placement still containing Δ: lower bound at Δ.lo.
     # Leftmost placement still containing Δ: upper bound at Δ.hi.

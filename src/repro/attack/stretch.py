@@ -1,0 +1,88 @@
+"""Scalar reference implementation of the greedy one-sided stretch attacker.
+
+:class:`ActiveStretchPolicy` makes exactly the same decisions as the
+vectorized :class:`repro.batch.rounds.ActiveStretchBatchAttacker`, but through
+the ordinary :class:`~repro.attack.policy.AttackPolicy` interface so that it
+can run inside :func:`repro.scheduling.round.run_round`.  Its purpose is
+twofold:
+
+* it is the oracle the batched Monte-Carlo engine is property-tested against
+  (round-for-round bit equivalence on identical inputs);
+* it is a cheap deterministic mid-strength attacker in its own right, usable
+  wherever the expectation-maximising policy is too slow.
+
+Decision rule per compromised slot (for ``side = +1``; ``-1`` mirrors):
+
+1. if an earlier slot of this round already created a support point ``p``,
+   broadcast ``[p, p + w]`` (keeps the protection obligation);
+2. else, if active mode is available, anchor on the *rightmost* point covered
+   by at least ``n - f - far`` already-transmitted intervals and broadcast
+   ``[p, p + w]``;
+3. else, if the forged width can contain ``Δ``, broadcast the passive extreme
+   ``[Δ.lo, Δ.lo + w]``;
+4. else broadcast the truthful reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.candidates import PASSIVE_WIDTH_TOL
+from repro.attack.context import AttackContext
+from repro.attack.policy import AttackPolicy
+from repro.attack.stealth import active_mode_available, required_support
+from repro.core.exceptions import AttackError
+from repro.core.interval import Interval
+from repro.core.marzullo import fuse_or_none
+
+__all__ = ["ActiveStretchPolicy"]
+
+
+@dataclass
+class ActiveStretchPolicy(AttackPolicy):
+    """Deterministic greedy stretch attacker (scalar oracle of the batch engine).
+
+    Parameters
+    ----------
+    side:
+        ``+1`` stretches the fusion interval to the right, ``-1`` to the left.
+    """
+
+    side: int = 1
+    _support: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.side not in (1, -1):
+            raise AttackError(f"stretch side must be +1 or -1, got {self.side}")
+
+    def reset(self) -> None:
+        self._support = None
+
+    def _anchored(self, point: float, width: float) -> Interval:
+        if self.side > 0:
+            return Interval(point, point + width)
+        return Interval(point - width, point)
+
+    def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
+        width = context.width
+        if self._support is not None:
+            return self._anchored(self._support, width)
+
+        required = required_support(context)
+        if active_mode_available(context) and required >= 1:
+            # Extreme points covered by >= `required` transmitted intervals:
+            # the same sweep as fusion with fault bound `k - required`.
+            region = fuse_or_none(list(context.transmitted), context.n_transmitted - required)
+            if region is not None:
+                point = region.hi if self.side > 0 else region.lo
+                self._support = point
+                return self._anchored(point, width)
+
+        delta = context.delta
+        if width >= delta.width - PASSIVE_WIDTH_TOL:
+            if self.side > 0:
+                return Interval(delta.lo, delta.lo + width)
+            return Interval(delta.hi - width, delta.hi)
+        return context.own_reading

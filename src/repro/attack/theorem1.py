@@ -28,7 +28,6 @@ exercise against the brute-force optimum of :mod:`repro.attack.omniscient`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.core.exceptions import AttackError
 from repro.core.interval import Interval, intersect_all

@@ -1,0 +1,72 @@
+"""Vectorized batch Monte-Carlo engine.
+
+This subpackage evaluates ``B`` independent fusion rounds at once with NumPy
+array operations, where the scalar modules (:mod:`repro.core.marzullo`,
+:mod:`repro.scheduling.round`) loop over rounds in Python.
+
+When to use which path
+----------------------
+
+* **Batch** (:func:`batch_fuse`, :func:`batch_rounds`,
+  :func:`compare_schedules_batch`) — Monte-Carlo sweeps, ablations and
+  benchmarks that need 10⁴–10⁶ rounds.  Throughput is one to two orders of
+  magnitude above the scalar loop; empty-fusion rounds are reported through a
+  ``valid`` mask instead of exceptions so a single bad round cannot abort a
+  sweep.  The batched attacker is the deterministic greedy stretch policy —
+  vectorizable, stealthy, and bit-matched by the scalar
+  :class:`repro.attack.stretch.ActiveStretchPolicy`.
+
+* **Scalar** — single rounds, exhaustive Table I enumerations with the
+  expectation-maximising attacker (whose sequential grid search cannot be
+  vectorized), anything needing rich per-round objects
+  (:class:`~repro.scheduling.round.RoundResult`,
+  :class:`~repro.core.detection.DetectionResult`), and all property tests:
+  the scalar path is the reference oracle that the batch path is asserted to
+  bit-match.
+"""
+
+from repro.batch.comparison import compare_schedules_batch, expected_fusion_width_batch
+from repro.batch.fuse import (
+    BatchFusion,
+    batch_detect,
+    batch_fuse,
+    batch_fuse_or_none,
+    coverage_extremes,
+)
+from repro.batch.rounds import (
+    ActiveStretchBatchAttacker,
+    BatchAttacker,
+    BatchRoundConfig,
+    BatchRoundResult,
+    BatchSlotContext,
+    BatchTransientFaults,
+    TruthfulBatchAttacker,
+    batch_orders,
+    batch_rounds,
+    monte_carlo_rounds,
+    sample_correct_bounds,
+)
+
+__all__ = [
+    # fusion / detection
+    "BatchFusion",
+    "batch_fuse",
+    "batch_fuse_or_none",
+    "batch_detect",
+    "coverage_extremes",
+    # rounds
+    "BatchSlotContext",
+    "BatchAttacker",
+    "TruthfulBatchAttacker",
+    "ActiveStretchBatchAttacker",
+    "BatchTransientFaults",
+    "BatchRoundConfig",
+    "BatchRoundResult",
+    "batch_orders",
+    "sample_correct_bounds",
+    "batch_rounds",
+    "monte_carlo_rounds",
+    # schedule sweeps
+    "expected_fusion_width_batch",
+    "compare_schedules_batch",
+]

@@ -1,0 +1,476 @@
+"""Batched Monte-Carlo simulation of fusion rounds.
+
+:func:`batch_rounds` is the vectorized counterpart of
+:func:`repro.scheduling.round.run_round`: instead of simulating one round per
+Python call, it takes a ``(B, n)`` array of correct sensor intervals and plays
+all ``B`` rounds simultaneously — ordering sensors by the schedule, letting a
+vectorized attacker forge the compromised broadcasts slot by slot (the loop is
+over the ``n`` slots, never over the batch), optionally corrupting honest
+sensors with transient faults, then fusing and running detection with the
+batched sweep of :mod:`repro.batch.fuse`.
+
+The attacker model is :class:`ActiveStretchBatchAttacker`, a deterministic
+greedy policy designed to be vectorizable while using exactly the stealth
+machinery of the paper (Section III-A):
+
+* before active mode is available the attacker falls back to the passive
+  extreme placement (contain ``Δ``, extend maximally to one side) or, when her
+  interval is too narrow to contain ``Δ``, to the truthful reading;
+* at the first slot where active mode is available she anchors her interval on
+  the extreme point covered by at least ``n - f - far`` already-transmitted
+  intervals and stretches outward from it;
+* every later compromised interval of the round anchors on the *same* support
+  point, which keeps the protection obligation satisfied and the whole attack
+  admissible.
+
+The scalar policy :class:`repro.attack.stretch.ActiveStretchPolicy` implements
+the identical decision rule through the ordinary :class:`~repro.attack.policy.AttackPolicy`
+interface, so the batched driver can be property-tested round-for-round
+against :func:`~repro.scheduling.round.run_round`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.candidates import PASSIVE_WIDTH_TOL
+from repro.batch.fuse import BatchFusion, batch_detect, batch_fuse, coverage_extremes
+from repro.core.exceptions import EmptyIntersectionError, ScheduleError, SensorError
+from repro.core.marzullo import max_safe_fault_bound
+from repro.scheduling.schedule import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FixedSchedule,
+    RandomSchedule,
+    Schedule,
+)
+
+__all__ = [
+    "BatchSlotContext",
+    "BatchAttacker",
+    "TruthfulBatchAttacker",
+    "ActiveStretchBatchAttacker",
+    "BatchTransientFaults",
+    "BatchRoundConfig",
+    "BatchRoundResult",
+    "batch_orders",
+    "sample_correct_bounds",
+    "batch_rounds",
+    "monte_carlo_rounds",
+]
+
+@dataclass(frozen=True)
+class BatchSlotContext:
+    """What a batched attacker knows when one schedule slot comes up.
+
+    All arrays have batch length ``B``; ``rows`` selects the rounds in which
+    the sensor transmitting at this slot is compromised (the attacker must
+    only rely on the other fields where ``rows`` is ``True``).
+    """
+
+    n: int
+    f: int
+    slot: int
+    rows: np.ndarray
+    sensor: np.ndarray
+    width: np.ndarray
+    own_lo: np.ndarray
+    own_hi: np.ndarray
+    delta_lo: np.ndarray
+    delta_hi: np.ndarray
+    transmitted_lo: np.ndarray
+    transmitted_hi: np.ndarray
+    far: np.ndarray
+
+
+class BatchAttacker(abc.ABC):
+    """Vectorized attacker invoked once per schedule slot for the whole batch."""
+
+    @abc.abstractmethod
+    def forge(
+        self, context: BatchSlotContext, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(B,)`` forged bounds; entries outside ``context.rows`` are ignored."""
+
+    def reset(self, batch: int) -> None:
+        """Clear per-round state before a new batch of rounds."""
+
+
+class TruthfulBatchAttacker(BatchAttacker):
+    """Compromised sensors simply report their correct intervals."""
+
+    def forge(
+        self, context: BatchSlotContext, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return context.own_lo, context.own_hi
+
+
+@dataclass
+class ActiveStretchBatchAttacker(BatchAttacker):
+    """Greedy one-sided stretch attacker (vectorized).
+
+    Parameters
+    ----------
+    side:
+        ``+1`` stretches the fusion interval to the right, ``-1`` to the left.
+    """
+
+    side: int = 1
+    _support: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+
+    def __post_init__(self) -> None:
+        if self.side not in (1, -1):
+            raise ScheduleError(f"stretch side must be +1 or -1, got {self.side}")
+
+    def reset(self, batch: int) -> None:
+        self._support = np.full(batch, np.nan)
+
+    def forge(
+        self, context: BatchSlotContext, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._support.shape[0] != context.rows.shape[0]:
+            self.reset(context.rows.shape[0])
+        lo = context.own_lo.copy()
+        hi = context.own_hi.copy()
+        width = context.width
+        support = self._support
+
+        # Rows already carrying a protection obligation keep anchoring on it.
+        have_support = context.rows & ~np.isnan(support)
+
+        # Rows that may open active mode at this slot: enough intervals have
+        # been transmitted and the support requirement is a real constraint.
+        required = context.n - context.f - context.far
+        need = context.rows & np.isnan(support)
+        can_active = need & (context.slot >= required) & (required >= 1)
+        placed = np.zeros_like(need)
+        if context.slot > 0 and bool(can_active.any()):
+            region = coverage_extremes(
+                context.transmitted_lo,
+                context.transmitted_hi,
+                np.maximum(required, 1),
+            )
+            placed = can_active & region.valid
+            point = region.hi if self.side > 0 else region.lo
+            support = np.where(placed, point, support)
+        self._support = support
+
+        anchored = have_support | placed
+        if self.side > 0:
+            lo = np.where(anchored, support, lo)
+            hi = np.where(anchored, support + width, hi)
+        else:
+            lo = np.where(anchored, support - width, lo)
+            hi = np.where(anchored, support, hi)
+
+        # Passive extreme for rounds where active mode is not (yet) possible
+        # and the forged width can contain Δ; otherwise stay truthful.
+        rest = need & ~placed
+        delta_width = context.delta_hi - context.delta_lo
+        passive = rest & (width >= delta_width - PASSIVE_WIDTH_TOL)
+        if self.side > 0:
+            lo = np.where(passive, context.delta_lo, lo)
+            hi = np.where(passive, context.delta_lo + width, hi)
+        else:
+            lo = np.where(passive, context.delta_hi - width, lo)
+            hi = np.where(passive, context.delta_hi, hi)
+        return lo, hi
+
+
+@dataclass(frozen=True)
+class BatchTransientFaults:
+    """Vectorized transient faults for honest sensors.
+
+    With probability ``probability`` per (round, sensor) the interval is
+    displaced by a uniform ``[min_offset_widths, max_offset_widths]`` multiple
+    of its own width in a random direction.  An offset of at least one width
+    guarantees the faulty interval no longer contains the true value, matching
+    the scalar :class:`repro.sensors.faults.TransientFaultModel` semantics.
+    """
+
+    probability: float
+    min_offset_widths: float = 1.0
+    max_offset_widths: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise SensorError(f"fault probability must be in [0, 1], got {self.probability}")
+        if self.min_offset_widths < 1.0:
+            raise SensorError(
+                "min_offset_widths must be at least 1 so a faulty interval cannot contain the truth"
+            )
+        if self.max_offset_widths < self.min_offset_widths:
+            raise SensorError("max_offset_widths must be >= min_offset_widths")
+
+    def apply(
+        self,
+        lowers: np.ndarray,
+        uppers: np.ndarray,
+        eligible: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (faulted lowers, faulted uppers, fault mask) over ``(B, n)``."""
+        shape = lowers.shape
+        widths = uppers - lowers
+        hit = (rng.random(shape) < self.probability) & eligible
+        offsets = rng.uniform(self.min_offset_widths, self.max_offset_widths, shape) * widths
+        signs = np.where(rng.random(shape) < 0.5, 1.0, -1.0)
+        shift = np.where(hit, signs * offsets, 0.0)
+        return lowers + shift, uppers + shift, hit
+
+
+@dataclass(frozen=True)
+class BatchRoundConfig:
+    """Static configuration shared by every round of a batch.
+
+    Mirrors :class:`repro.scheduling.round.RoundConfig` with a vectorized
+    attacker, plus optional transient faults on honest sensors (the scalar
+    round simulator leaves faults to the sensor-suite layer; the batch driver
+    injects them directly so fault ablations can run at Monte-Carlo scale).
+    """
+
+    schedule: Schedule
+    attacked_indices: tuple[int, ...] = ()
+    attacker: BatchAttacker = field(default_factory=TruthfulBatchAttacker)
+    f: int | None = None
+    faults: BatchTransientFaults | None = None
+
+
+@dataclass(frozen=True)
+class BatchRoundResult:
+    """Array-valued outcome of a batch of fusion rounds.
+
+    All per-sensor arrays are indexed by *sensor* (not slot), like the scalar
+    :class:`~repro.scheduling.round.RoundResult.broadcast`.
+    """
+
+    orders: np.ndarray
+    correct_lo: np.ndarray
+    correct_hi: np.ndarray
+    broadcast_lo: np.ndarray
+    broadcast_hi: np.ndarray
+    fusion: BatchFusion
+    flagged: np.ndarray
+    attacked_indices: tuple[int, ...]
+    fault_mask: np.ndarray
+
+    @property
+    def batch(self) -> int:
+        """Number of rounds in the batch."""
+        return int(self.orders.shape[0])
+
+    @property
+    def fusion_widths(self) -> np.ndarray:
+        """Per-round fusion widths (``NaN`` where the fusion is empty)."""
+        return self.fusion.width
+
+    @property
+    def estimates(self) -> np.ndarray:
+        """Per-round point estimates — the fusion midpoints."""
+        return self.fusion.center
+
+    @property
+    def attacker_detected(self) -> np.ndarray:
+        """``(B,)`` mask: some compromised sensor was flagged this round."""
+        if not self.attacked_indices:
+            return np.zeros(self.batch, dtype=bool)
+        return self.flagged[:, list(self.attacked_indices)].any(axis=1)
+
+    @property
+    def fault_detected(self) -> np.ndarray:
+        """``(B,)`` mask: some transiently-faulty sensor was flagged."""
+        return (self.flagged & self.fault_mask).any(axis=1)
+
+
+def batch_orders(
+    schedule: Schedule,
+    widths: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Transmission orders for every round as a ``(B, n)`` index array.
+
+    The deterministic schedules (ascending / descending / fixed) are computed
+    with stable vectorized sorts that reproduce their scalar tie-breaking;
+    :class:`~repro.scheduling.schedule.RandomSchedule` draws one permutation
+    per row.  Unknown schedule types fall back to calling ``schedule.order``
+    row by row, which is slow but keeps any custom schedule usable.
+    """
+    batch, n = widths.shape
+    if n == 0:
+        raise ScheduleError("cannot schedule an empty sensor set")
+    if np.any(widths <= 0):
+        raise ScheduleError("interval widths must be positive")
+    # Exact type checks: a subclass overriding `order` must take the generic
+    # fallback, not a vectorized shortcut computing the wrong permutation.
+    if type(schedule) is FixedSchedule:
+        if len(schedule.permutation) != n:
+            raise ScheduleError(
+                f"fixed schedule covers {len(schedule.permutation)} sensors but {n} were given"
+            )
+        return np.tile(np.asarray(schedule.permutation, dtype=np.int64), (batch, 1))
+    if type(schedule) is AscendingSchedule:
+        return np.argsort(widths, axis=1, kind="stable")
+    if type(schedule) is DescendingSchedule:
+        return np.argsort(-widths, axis=1, kind="stable")
+    if type(schedule) is RandomSchedule:
+        return rng.permuted(np.tile(np.arange(n, dtype=np.int64), (batch, 1)), axis=1)
+    return np.array(
+        [schedule.order(row, rng) for row in widths],
+        dtype=np.int64,
+    )
+
+
+def sample_correct_bounds(
+    lengths: tuple[float, ...] | np.ndarray,
+    true_value: float,
+    samples: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``samples`` rounds of correct intervals containing ``true_value``.
+
+    Each sensor's interval has its configured length and a uniformly random
+    offset, exactly like the scalar Monte-Carlo estimator in
+    :func:`repro.scheduling.comparison.expected_fusion_width_monte_carlo`.
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    if lengths.ndim != 1 or lengths.size == 0:
+        raise ScheduleError("lengths must be a non-empty 1-D sequence")
+    if np.any(lengths <= 0):
+        raise ScheduleError("interval widths must be positive")
+    if samples <= 0:
+        raise ScheduleError(f"need a positive number of samples, got {samples}")
+    lowers = true_value - rng.uniform(0.0, 1.0, (samples, lengths.size)) * lengths
+    return lowers, lowers + lengths
+
+
+def batch_rounds(
+    correct_lo: np.ndarray,
+    correct_hi: np.ndarray,
+    config: BatchRoundConfig,
+    rng: np.random.Generator,
+) -> BatchRoundResult:
+    """Simulate ``B`` independent fusion rounds at once.
+
+    Parameters
+    ----------
+    correct_lo / correct_hi:
+        ``(B, n)`` arrays with every sensor's correct reading per round, in
+        sensor order (compromised sensors still have a correct reading — the
+        attacker sees it).
+    config:
+        Batch round configuration; ``config.f`` defaults to the conservative
+        ``ceil(n/2) - 1`` like the scalar simulator.
+    rng:
+        Random source for randomized schedules and fault injection.
+    """
+    correct_lo = np.asarray(correct_lo, dtype=np.float64)
+    correct_hi = np.asarray(correct_hi, dtype=np.float64)
+    if correct_lo.ndim != 2 or correct_hi.shape != correct_lo.shape:
+        raise ScheduleError(
+            f"batch rounds need matching (B, n) bounds, got {correct_lo.shape} and {correct_hi.shape}"
+        )
+    batch, n = correct_lo.shape
+    if n == 0:
+        raise ScheduleError("a round needs at least one sensor")
+    attacked = tuple(sorted(set(config.attacked_indices)))
+    for index in attacked:
+        if not 0 <= index < n:
+            raise ScheduleError(f"attacked sensor index {index} out of range for n={n}")
+    f = config.f if config.f is not None else max_safe_fault_bound(n)
+
+    widths = correct_hi - correct_lo
+    orders = batch_orders(config.schedule, widths, rng)
+
+    attacked_mask = np.zeros(n, dtype=bool)
+    attacked_mask[list(attacked)] = True
+    if attacked:
+        delta_lo = correct_lo[:, list(attacked)].max(axis=1)
+        delta_hi = correct_hi[:, list(attacked)].min(axis=1)
+        if np.any(delta_hi < delta_lo):
+            raise EmptyIntersectionError(
+                "the compromised sensors' correct readings have an empty intersection"
+            )
+    else:
+        delta_lo = np.zeros(batch)
+        delta_hi = np.zeros(batch)
+
+    if config.faults is not None:
+        eligible = np.broadcast_to(~attacked_mask, (batch, n))
+        sent_lo, sent_hi, fault_mask = config.faults.apply(correct_lo, correct_hi, eligible, rng)
+    else:
+        sent_lo, sent_hi = correct_lo, correct_hi
+        fault_mask = np.zeros((batch, n), dtype=bool)
+
+    config.attacker.reset(batch)
+    row_index = np.arange(batch)
+    transmitted_lo = np.empty((batch, n))
+    transmitted_hi = np.empty((batch, n))
+    sent_compromised = np.zeros(batch, dtype=np.int64)
+    fa = len(attacked)
+
+    for slot in range(n):
+        sensor = orders[:, slot]
+        slot_lo = sent_lo[row_index, sensor]
+        slot_hi = sent_hi[row_index, sensor]
+        rows = attacked_mask[sensor]
+        if fa and bool(rows.any()):
+            context = BatchSlotContext(
+                n=n,
+                f=f,
+                slot=slot,
+                rows=rows,
+                sensor=sensor,
+                width=widths[row_index, sensor],
+                own_lo=correct_lo[row_index, sensor],
+                own_hi=correct_hi[row_index, sensor],
+                delta_lo=delta_lo,
+                delta_hi=delta_hi,
+                transmitted_lo=transmitted_lo[:, :slot],
+                transmitted_hi=transmitted_hi[:, :slot],
+                far=fa - sent_compromised,
+            )
+            forged_lo, forged_hi = config.attacker.forge(context, rng)
+            slot_lo = np.where(rows, forged_lo, slot_lo)
+            slot_hi = np.where(rows, forged_hi, slot_hi)
+            sent_compromised = sent_compromised + rows
+        transmitted_lo[:, slot] = slot_lo
+        transmitted_hi[:, slot] = slot_hi
+
+    fusion = batch_fuse(transmitted_lo, transmitted_hi, f)
+    flagged_by_slot = batch_detect(transmitted_lo, transmitted_hi, fusion)
+
+    broadcast_lo = np.empty((batch, n))
+    broadcast_hi = np.empty((batch, n))
+    flagged = np.empty((batch, n), dtype=bool)
+    rows2 = row_index[:, None]
+    broadcast_lo[rows2, orders] = transmitted_lo
+    broadcast_hi[rows2, orders] = transmitted_hi
+    flagged[rows2, orders] = flagged_by_slot
+
+    return BatchRoundResult(
+        orders=orders,
+        correct_lo=correct_lo,
+        correct_hi=correct_hi,
+        broadcast_lo=broadcast_lo,
+        broadcast_hi=broadcast_hi,
+        fusion=fusion,
+        flagged=flagged,
+        attacked_indices=attacked,
+        fault_mask=fault_mask,
+    )
+
+
+def monte_carlo_rounds(
+    lengths: tuple[float, ...] | np.ndarray,
+    config: BatchRoundConfig,
+    samples: int,
+    true_value: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> BatchRoundResult:
+    """Sample correct intervals uniformly and simulate all rounds in one batch."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    lowers, uppers = sample_correct_bounds(lengths, true_value, samples, rng)
+    return batch_rounds(lowers, uppers, config, rng)

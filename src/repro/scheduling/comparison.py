@@ -11,7 +11,11 @@ Two estimators are provided:
 * :func:`expected_fusion_width_exhaustive` — the paper's method: enumerate
   every combination (deterministic, exponential in ``n``);
 * :func:`expected_fusion_width_monte_carlo` — sample combinations uniformly;
-  used for larger configurations and as a cross-check.
+  used for larger configurations and as a cross-check;
+* the vectorized batch estimator of :mod:`repro.batch.comparison` — samples
+  combinations like the Monte-Carlo estimator but evaluates all rounds at
+  once, so Table I/II style sweeps can run over 10⁵+ trials (reachable here
+  via ``method="batch"``).
 
 :func:`compare_schedules` runs several schedules on the same configuration
 and returns a :class:`ScheduleComparison` with one row per schedule, which the
@@ -231,9 +235,25 @@ def compare_schedules(
         Zero-argument callable building a fresh attack policy per schedule
         (so per-policy caches cannot leak decisions between schedules).
         Defaults to the expectation-maximising attacker of problem (2).
+        Must be left ``None`` with ``method="batch"`` (rejected otherwise):
+        the batched path's attacker is the vectorized greedy stretch policy —
+        use :func:`repro.batch.comparison.compare_schedules_batch` directly
+        to customise it.
     method:
-        ``"exhaustive"`` (paper's method) or ``"monte_carlo"``.
+        ``"exhaustive"`` (paper's method), ``"monte_carlo"``, or ``"batch"``
+        (vectorized Monte-Carlo for large ``samples``).
     """
+    if method == "batch":
+        if policy_factory is not None:
+            raise ExperimentError(
+                "method='batch' uses the vectorized stretch attacker and cannot honour "
+                "policy_factory; call repro.batch.comparison.compare_schedules_batch with "
+                "an attacker_factory instead"
+            )
+        # Imported lazily: repro.batch depends on this module.
+        from repro.batch.comparison import compare_schedules_batch
+
+        return compare_schedules_batch(config, schedules, samples=samples, rng=rng)
     if policy_factory is None:
         policy_factory = ExpectationPolicy
     rng = rng if rng is not None else np.random.default_rng(0)

@@ -16,7 +16,7 @@ integrated alongside speed so the platoon layer can reason about spacing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

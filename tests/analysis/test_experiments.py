@@ -1,6 +1,5 @@
 """Unit tests for the canonical experiment configurations."""
 
-import pytest
 
 from repro.analysis import (
     TABLE1_CONFIGURATIONS,

@@ -1,7 +1,6 @@
 """Unit tests for the expectation-maximising attacker (problem (2))."""
 
 import numpy as np
-import pytest
 
 from repro.attack import AttackContext, ExpectationPolicy, TruthfulPolicy, is_admissible
 from repro.core import Interval

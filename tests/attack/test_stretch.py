@@ -1,0 +1,66 @@
+"""Tests for the scalar greedy stretch policy (the batch engine's oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.attack import ActiveStretchPolicy
+from repro.core import AttackError, Interval
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    RoundConfig,
+    run_round,
+)
+
+
+def _random_round(lengths, schedule, attacked, side, seed, f=None):
+    rng = np.random.default_rng(seed)
+    intervals = [Interval(lo, lo + w) for w, lo in ((w, -w * rng.uniform()) for w in lengths)]
+    config = RoundConfig(
+        schedule=schedule,
+        attacked_indices=attacked,
+        policy=ActiveStretchPolicy(side=side),
+        f=f,
+    )
+    return run_round(intervals, config, rng)
+
+
+@pytest.mark.parametrize("side", [1, -1])
+@pytest.mark.parametrize("schedule", [AscendingSchedule(), DescendingSchedule()], ids=lambda s: s.name)
+def test_stretch_policy_is_always_stealthy(schedule, side):
+    for seed in range(60):
+        result = _random_round((1.0, 2.0, 3.0, 4.0, 5.0), schedule, (0, 1), side, seed, f=2)
+        assert not result.attacker_detected
+        # Every forged interval was admissible under some stealth mode.
+        assert all(mode is not None for mode in result.attacker_modes.values())
+        # Correct sensors outnumber f, so the fusion still contains the truth.
+        assert result.fusion.contains(0.0)
+
+
+def test_descending_gives_the_stretch_attacker_more_than_ascending():
+    widths = []
+    for seed in range(40):
+        descending = _random_round((1.0, 3.0, 9.0), DescendingSchedule(), (0,), 1, seed)
+        ascending = _random_round((1.0, 3.0, 9.0), AscendingSchedule(), (0,), 1, seed)
+        widths.append((ascending.fusion_width, descending.fusion_width))
+    mean_asc = float(np.mean([a for a, _ in widths]))
+    mean_desc = float(np.mean([d for _, d in widths]))
+    assert mean_desc >= mean_asc
+
+
+def test_stretch_policy_state_resets_between_rounds():
+    policy = ActiveStretchPolicy()
+    config = RoundConfig(
+        schedule=DescendingSchedule(), attacked_indices=(0,), policy=policy, f=1
+    )
+    rng = np.random.default_rng(0)
+    intervals = [Interval(-0.5, 0.5), Interval(-1.0, 1.0), Interval(-2.0, 2.0)]
+    first = run_round(intervals, config, rng)
+    second = run_round(intervals, config, rng)
+    # run_round resets the policy, so identical inputs give identical rounds.
+    assert first.broadcast == second.broadcast
+
+
+def test_invalid_side_rejected():
+    with pytest.raises(AttackError):
+        ActiveStretchPolicy(side=0)

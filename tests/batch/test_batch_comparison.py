@@ -1,0 +1,111 @@
+"""Tests for the batched schedule-comparison path (Table I/II style sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TABLE1_CONFIGURATIONS, table1_batch_sweep
+from repro.attack import ActiveStretchPolicy
+from repro.batch import (
+    ActiveStretchBatchAttacker,
+    TruthfulBatchAttacker,
+    compare_schedules_batch,
+    expected_fusion_width_batch,
+)
+from repro.core import ExperimentError
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    ScheduleComparisonConfig,
+    compare_schedules,
+)
+from repro.scheduling.comparison import expected_fusion_width_monte_carlo
+
+
+CONFIG = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1)
+
+
+def test_rows_are_schedule_comparison_compatible():
+    comparison = compare_schedules_batch(
+        CONFIG, [AscendingSchedule(), DescendingSchedule()], samples=5_000
+    )
+    ascending = comparison.row("ascending")
+    descending = comparison.row("descending")
+    assert ascending.combinations == 5_000
+    assert 0.0 <= ascending.detected_fraction <= 1.0
+    assert comparison.expected_width("descending") == descending.expected_width
+    # The paper's headline shape: Descending is never better for the attacker.
+    assert descending.expected_width >= ascending.expected_width - 1e-9
+
+
+def test_compare_schedules_method_batch_dispatches():
+    comparison = compare_schedules(
+        CONFIG, [AscendingSchedule(), DescendingSchedule()], method="batch", samples=2_000
+    )
+    assert {row.schedule_name for row in comparison.rows} == {"ascending", "descending"}
+    assert all(row.combinations == 2_000 for row in comparison.rows)
+
+
+def test_batch_mean_agrees_with_scalar_monte_carlo_same_attacker():
+    """Same attacker model scalar vs batched: means agree within MC noise."""
+    samples = 4_000
+    batch_row = expected_fusion_width_batch(
+        CONFIG,
+        DescendingSchedule(),
+        samples,
+        rng=np.random.default_rng(0),
+        attacker=ActiveStretchBatchAttacker(),
+    )
+    scalar_row = expected_fusion_width_monte_carlo(
+        CONFIG,
+        DescendingSchedule(),
+        ActiveStretchPolicy(),
+        samples=800,
+        rng=np.random.default_rng(1),
+    )
+    assert batch_row.expected_width == pytest.approx(scalar_row.expected_width, rel=0.1)
+    assert batch_row.detected_fraction == 0.0
+    assert scalar_row.detected_fraction == 0.0
+
+
+def test_truthful_attacker_factory_is_respected():
+    comparison = compare_schedules_batch(
+        CONFIG,
+        [AscendingSchedule(), DescendingSchedule()],
+        samples=4_000,
+        attacker_factory=TruthfulBatchAttacker,
+    )
+    # With a truthful "attacker" both schedules see identically-distributed
+    # rounds, so the means are statistically indistinguishable.
+    asc = comparison.expected_width("ascending")
+    desc = comparison.expected_width("descending")
+    assert desc == pytest.approx(asc, rel=0.05)
+
+
+def test_table1_batch_sweep_shape():
+    sweep = table1_batch_sweep(samples=2_000, configurations=TABLE1_CONFIGURATIONS[:3])
+    assert len(sweep) == 3
+    for entry, comparison in sweep:
+        ascending = comparison.expected_width("ascending")
+        descending = comparison.expected_width("descending")
+        assert descending >= ascending - 0.1
+        # The batched attacker is stealthy: it is never flagged.
+        assert comparison.row("descending").detected_fraction == 0.0
+        # Magnitudes land in the same regime as the paper's numbers.
+        assert 0.5 * entry.paper_ascending < ascending < 3.0 * entry.paper_descending
+
+
+def test_invalid_samples_rejected():
+    with pytest.raises(ExperimentError):
+        expected_fusion_width_batch(CONFIG, AscendingSchedule(), 0)
+
+
+def test_policy_factory_rejected_with_batch_method():
+    # The batched path cannot honour scalar policy factories; passing one
+    # must fail loudly instead of silently switching attacker models.
+    with pytest.raises(ExperimentError):
+        compare_schedules(
+            CONFIG,
+            [AscendingSchedule()],
+            policy_factory=ActiveStretchPolicy,
+            method="batch",
+        )

@@ -5,7 +5,7 @@ import pytest
 
 from repro.attack import ExpectationPolicy, TruthfulPolicy
 from repro.bus import AttackerNode, BusRound, ControllerNode, SharedBus
-from repro.core import BusError, FusionEngine, Interval
+from repro.core import BusError, FusionEngine
 from repro.scheduling import AscendingSchedule, DescendingSchedule
 from repro.sensors import SensorSuite, ZeroNoise, sensors_from_widths
 from repro.vehicle import landshark_suite

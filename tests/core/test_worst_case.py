@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FusionError, Interval
+from repro.core import FusionError
 from repro.core.worst_case import (
     attacked_placements,
     correct_placements,

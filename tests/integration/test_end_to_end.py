@@ -5,7 +5,7 @@ import pytest
 
 from repro.attack import ExpectationPolicy, GreedyExtendPolicy, TruthfulPolicy
 from repro.bus import AttackerNode, BusRound, SharedBus
-from repro.core import FusionEngine, Interval
+from repro.core import FusionEngine
 from repro.scheduling import (
     AscendingSchedule,
     DescendingSchedule,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import ExperimentError
-from repro.scheduling import AscendingSchedule, DescendingSchedule, RandomSchedule
+from repro.scheduling import AscendingSchedule, DescendingSchedule
 from repro.vehicle import CaseStudyConfig, ViolationStats, run_case_study, run_case_study_for_schedule
 
 

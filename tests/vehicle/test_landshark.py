@@ -6,7 +6,7 @@ import pytest
 from repro.attack import ExpectationPolicy
 from repro.core import VehicleError
 from repro.scheduling import AscendingSchedule, DescendingSchedule
-from repro.vehicle import FixedSelector, LandShark, SafetyLimits, landshark_suite
+from repro.vehicle import FixedSelector, LandShark, SafetyLimits
 
 
 def make_landshark(**kwargs) -> LandShark:
