@@ -9,7 +9,6 @@ scalar-versus-batch throughput ratio and fails if vectorization ever degrades
 below 10x at the reference point (n=9, B=10 000).
 """
 
-import os
 import time
 
 import numpy as np
@@ -29,19 +28,6 @@ from repro.scheduling import DescendingSchedule, RoundConfig, run_round
 
 SPEEDUP_N = 9
 SPEEDUP_BATCH = 10_000
-
-
-def _speedup_floor() -> float:
-    """Required batch-vs-scalar ratio (default 10x).
-
-    ``REPRO_BENCH_SPEEDUP_FLOOR`` loosens the gate on noisy shared runners
-    (CI smoke uses 5) without giving up the regression guard entirely.
-    """
-    value = os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "")
-    try:
-        return float(value) if value else 10.0
-    except ValueError:
-        return 10.0
 
 
 def _random_intervals(n: int, seed: int = 0) -> list[Interval]:
@@ -115,7 +101,7 @@ def test_scaling_batch_attacked_rounds(benchmark):
     assert not result.attacker_detected.any()
 
 
-def test_batch_fuse_speedup_report(report_writer):
+def test_batch_fuse_speedup_report(report_writer, speedup_floor):
     """Scalar-vs-batch fusion throughput at the reference point (n=9, B=10k)."""
     f = (SPEEDUP_N + 1) // 2 - 1
     lowers, uppers = _random_bounds(SPEEDUP_BATCH, SPEEDUP_N)
@@ -145,10 +131,9 @@ def test_batch_fuse_speedup_report(report_writer):
             title=f"Marzullo fusion throughput — n={SPEEDUP_N}, B={SPEEDUP_BATCH:,}",
         ),
     )
-    floor = _speedup_floor()
-    assert speedup >= floor, (
+    assert speedup >= speedup_floor, (
         f"batch fusion is only {speedup:.1f}x faster than the scalar loop "
-        f"(floor: {floor}x at n={SPEEDUP_N}, B={SPEEDUP_BATCH})"
+        f"(floor: {speedup_floor}x at n={SPEEDUP_N}, B={SPEEDUP_BATCH})"
     )
 
 

@@ -58,6 +58,35 @@ def case_study_steps() -> int:
 
 
 @pytest.fixture(scope="session")
+def case_study_replicas() -> int:
+    """Parallel platoon replicas for the batched Table II benchmark (default 32).
+
+    ``REPRO_BENCH_REPLICAS`` scales the batched case study's round count
+    (``replicas × vehicles × steps``); the CI smoke job uses a tiny value.
+    """
+    value = os.environ.get("REPRO_BENCH_REPLICAS", "")
+    try:
+        return max(1, int(value)) if value else 32
+    except ValueError:
+        return 32
+
+
+@pytest.fixture(scope="session")
+def speedup_floor() -> float:
+    """Required batch-vs-scalar throughput ratio for regression gates (default 10x).
+
+    ``REPRO_BENCH_SPEEDUP_FLOOR`` loosens the gates on noisy shared runners
+    (CI smoke uses 5) without giving up the regression guard entirely.
+    Shared by the fusion-kernel and case-study speedup benchmarks.
+    """
+    value = os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "")
+    try:
+        return float(value) if value else 10.0
+    except ValueError:
+        return 10.0
+
+
+@pytest.fixture(scope="session")
 def report_writer():
     """Write a named report to ``benchmarks/results`` and echo it to stdout."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -55,6 +55,16 @@ from repro.scheduling import (
 )
 from repro.sensors import Sensor, SensorSpec, SensorSuite, landshark_specs, sensors_from_widths
 from repro.vehicle import CaseStudyConfig, Platoon, PlatoonConfig, run_case_study
+from repro.engine import (
+    BatchEngine,
+    Engine,
+    RoundsResult,
+    ScalarEngine,
+    available_engines,
+    default_engine_name,
+    get_engine,
+    register_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -104,4 +114,13 @@ __all__ = [
     "Platoon",
     "CaseStudyConfig",
     "run_case_study",
+    # engine
+    "Engine",
+    "ScalarEngine",
+    "BatchEngine",
+    "RoundsResult",
+    "get_engine",
+    "register_engine",
+    "available_engines",
+    "default_engine_name",
 ]

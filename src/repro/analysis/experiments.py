@@ -55,27 +55,37 @@ class Table1Entry:
         """Build the schedule-comparison configuration for this row."""
         return ScheduleComparisonConfig(lengths=self.lengths, fa=self.fa, positions=positions)
 
+    def engine_comparison(
+        self,
+        engine: str | object | None = "batch",
+        samples: int = 100_000,
+        rng: np.random.Generator | None = None,
+        schedules: Sequence[Schedule] | None = None,
+    ) -> ScheduleComparison:
+        """Run this row's schedule sweep on a registered simulation engine.
+
+        Uses the engines' greedy stretch attacker over ``samples``
+        Monte-Carlo trials; the exhaustive scalar path (via
+        :meth:`comparison_config` and
+        :func:`repro.scheduling.comparison.compare_schedules`) remains the
+        reference for the paper's expectation-maximising attacker.
+        """
+        from repro.engine import get_engine
+
+        if schedules is None:
+            schedules = (AscendingSchedule(), DescendingSchedule())
+        return get_engine(engine).compare(
+            self.comparison_config(), schedules, samples=samples, rng=rng
+        )
+
     def batch_comparison(
         self,
         samples: int = 100_000,
         rng: np.random.Generator | None = None,
         schedules: Sequence[Schedule] | None = None,
     ) -> ScheduleComparison:
-        """Run this row's schedule sweep on the vectorized batch engine.
-
-        Uses the greedy stretch attacker of :mod:`repro.batch.rounds` over
-        ``samples`` Monte-Carlo trials; the exhaustive scalar path (via
-        :meth:`comparison_config` and
-        :func:`repro.scheduling.comparison.compare_schedules`) remains the
-        reference for the paper's expectation-maximising attacker.
-        """
-        from repro.batch.comparison import compare_schedules_batch
-
-        if schedules is None:
-            schedules = (AscendingSchedule(), DescendingSchedule())
-        return compare_schedules_batch(
-            self.comparison_config(), schedules, samples=samples, rng=rng
-        )
+        """Shorthand for :meth:`engine_comparison` on the batch engine."""
+        return self.engine_comparison("batch", samples=samples, rng=rng, schedules=schedules)
 
 
 #: The eight configurations of Table I with the expected fusion lengths the
@@ -112,15 +122,21 @@ def table1_batch_sweep(
     samples: int = 100_000,
     rng: np.random.Generator | None = None,
     configurations: Sequence[Table1Entry] = TABLE1_CONFIGURATIONS,
+    engine: str | object | None = "batch",
 ) -> list[tuple[Table1Entry, ScheduleComparison]]:
-    """Run every Table I row on the batch engine at Monte-Carlo scale.
+    """Run every Table I row on a simulation engine at Monte-Carlo scale.
 
     Returns ``(entry, comparison)`` pairs; each comparison holds one
     :class:`~repro.scheduling.comparison.ScheduleRow` per schedule exactly
-    like the scalar path, so reporting code is shared.
+    like the scalar path, so reporting code is shared.  The backend defaults
+    to the vectorized batch engine and is resolved through the
+    :mod:`repro.engine` registry.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
-    return [(entry, entry.batch_comparison(samples=samples, rng=rng)) for entry in configurations]
+    return [
+        (entry, entry.engine_comparison(engine, samples=samples, rng=rng))
+        for entry in configurations
+    ]
 
 
 def figure1_intervals() -> list[Interval]:

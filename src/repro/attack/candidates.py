@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.attack.context import AttackContext
 from repro.attack.stealth import is_admissible
 from repro.core.interval import Interval
@@ -29,7 +31,9 @@ __all__ = [
     "passive_extremes",
     "endpoint_aligned",
     "grid_candidates",
+    "batch_side_preference",
     "PASSIVE_WIDTH_TOL",
+    "SIDE_SCORE_TOL",
 ]
 
 _DEDUP_PRECISION = 9
@@ -38,6 +42,51 @@ _DEDUP_PRECISION = 9
 #: decisions.  Shared by the scalar policies and the batched attacker
 #: (:mod:`repro.batch.rounds`) so both make identical passive/truthful calls.
 PASSIVE_WIDTH_TOL = 1e-12
+
+#: Tolerance below which the two sides' candidate scores are considered tied
+#: in :func:`batch_side_preference` (ties are broken uniformly at random).
+SIDE_SCORE_TOL = 1e-9
+
+
+def batch_side_preference(
+    right_score: np.ndarray,
+    left_score: np.ndarray,
+    rng: np.random.Generator,
+    tol: float = SIDE_SCORE_TOL,
+    right_tiebreak: np.ndarray | None = None,
+    left_tiebreak: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vectorized side selection over the two extreme candidate placements.
+
+    The scalar search policies enumerate :func:`passive_extremes` and
+    :func:`endpoint_aligned` candidates per round and keep the one maximising
+    the (expected) fusion width.  For a one-sided stretch attacker the whole
+    search collapses to a binary choice — stretch right or stretch left — so
+    a batched attacker only needs one score per side and per round: typically
+    the fusion width the candidate placement would produce over everything
+    transmitted so far (see
+    :class:`repro.batch.rounds.ExpectationProxyBatchAttacker`).
+
+    Returns a ``(B,)`` array holding ``+1`` where the right candidate scores
+    higher and ``-1`` where the left one does.  Where the primary scores are
+    within ``tol`` of each other the optional tie-break scores decide (they
+    stand in for the lookahead the scalar expectation policy performs over
+    the still-unseen sensors); rows still tied fall to a uniformly random
+    side — mirroring the scalar policy's random tie-breaking, so a symmetric
+    configuration yields the symmetric violation statistics of the paper's
+    Table II.  ``NaN`` scores (no feasible placement on that side) lose
+    against any finite score.
+    """
+
+    def _decide(right: np.ndarray, left: np.ndarray, fallback: np.ndarray) -> np.ndarray:
+        right = np.nan_to_num(np.asarray(right, dtype=np.float64), nan=-np.inf)
+        left = np.nan_to_num(np.asarray(left, dtype=np.float64), nan=-np.inf)
+        return np.where(right > left + tol, 1.0, np.where(left > right + tol, -1.0, fallback))
+
+    sides = np.where(rng.random(np.shape(right_score)) < 0.5, 1.0, -1.0)
+    if right_tiebreak is not None and left_tiebreak is not None:
+        sides = _decide(right_tiebreak, left_tiebreak, sides)
+    return _decide(right_score, left_score, sides)
 
 
 def passive_extremes(context: AttackContext) -> list[Interval]:

@@ -25,6 +25,7 @@ When to use which path
   bit-match.
 """
 
+from repro.batch.case_study import batch_case_study, batch_case_study_for_schedule
 from repro.batch.comparison import compare_schedules_batch, expected_fusion_width_batch
 from repro.batch.fuse import (
     BatchFusion,
@@ -40,6 +41,7 @@ from repro.batch.rounds import (
     BatchRoundResult,
     BatchSlotContext,
     BatchTransientFaults,
+    ExpectationProxyBatchAttacker,
     TruthfulBatchAttacker,
     batch_orders,
     batch_rounds,
@@ -59,6 +61,7 @@ __all__ = [
     "BatchAttacker",
     "TruthfulBatchAttacker",
     "ActiveStretchBatchAttacker",
+    "ExpectationProxyBatchAttacker",
     "BatchTransientFaults",
     "BatchRoundConfig",
     "BatchRoundResult",
@@ -69,4 +72,7 @@ __all__ = [
     # schedule sweeps
     "expected_fusion_width_batch",
     "compare_schedules_batch",
+    # case study
+    "batch_case_study",
+    "batch_case_study_for_schedule",
 ]

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.attack.candidates import PASSIVE_WIDTH_TOL
+from repro.attack.candidates import PASSIVE_WIDTH_TOL, batch_side_preference
 from repro.batch.fuse import BatchFusion, batch_detect, batch_fuse, coverage_extremes
 from repro.core.exceptions import EmptyIntersectionError, ScheduleError, SensorError
 from repro.core.marzullo import max_safe_fault_bound
@@ -53,6 +53,7 @@ __all__ = [
     "BatchAttacker",
     "TruthfulBatchAttacker",
     "ActiveStretchBatchAttacker",
+    "ExpectationProxyBatchAttacker",
     "BatchTransientFaults",
     "BatchRoundConfig",
     "BatchRoundResult",
@@ -61,6 +62,7 @@ __all__ = [
     "batch_rounds",
     "monte_carlo_rounds",
 ]
+
 
 @dataclass(frozen=True)
 class BatchSlotContext:
@@ -116,10 +118,17 @@ class ActiveStretchBatchAttacker(BatchAttacker):
     ----------
     side:
         ``+1`` stretches the fusion interval to the right, ``-1`` to the left.
+
+    The stretch direction is carried as a per-row array internally so that
+    side-adaptive subclasses (:class:`ExpectationProxyBatchAttacker`) can pick
+    a different side for every round of the batch; this base class fills the
+    array with its fixed ``side`` and stays bit-identical to the scalar
+    :class:`repro.attack.stretch.ActiveStretchPolicy`.
     """
 
     side: int = 1
     _support: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+    _sides: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
 
     def __post_init__(self) -> None:
         if self.side not in (1, -1):
@@ -127,6 +136,20 @@ class ActiveStretchBatchAttacker(BatchAttacker):
 
     def reset(self, batch: int) -> None:
         self._support = np.full(batch, np.nan)
+        self._sides = np.full(batch, float(self.side))
+
+    def _resolve_sides(
+        self,
+        context: BatchSlotContext,
+        can_active: np.ndarray,
+        region: BatchFusion | None,
+        rng: np.random.Generator,
+    ) -> None:
+        """Hook deciding the stretch side for rows forging for the first time.
+
+        The fixed-side base class has nothing to decide; ``self._sides`` was
+        filled at :meth:`reset`.
+        """
 
     def forge(
         self, context: BatchSlotContext, rng: np.random.Generator
@@ -146,38 +169,120 @@ class ActiveStretchBatchAttacker(BatchAttacker):
         required = context.n - context.f - context.far
         need = context.rows & np.isnan(support)
         can_active = need & (context.slot >= required) & (required >= 1)
-        placed = np.zeros_like(need)
+        region: BatchFusion | None = None
         if context.slot > 0 and bool(can_active.any()):
             region = coverage_extremes(
                 context.transmitted_lo,
                 context.transmitted_hi,
                 np.maximum(required, 1),
             )
+        self._resolve_sides(context, can_active, region, rng)
+        right = self._sides > 0
+
+        placed = np.zeros_like(need)
+        if region is not None:
             placed = can_active & region.valid
-            point = region.hi if self.side > 0 else region.lo
+            point = np.where(right, region.hi, region.lo)
             support = np.where(placed, point, support)
         self._support = support
 
         anchored = have_support | placed
-        if self.side > 0:
-            lo = np.where(anchored, support, lo)
-            hi = np.where(anchored, support + width, hi)
-        else:
-            lo = np.where(anchored, support - width, lo)
-            hi = np.where(anchored, support, hi)
+        lo = np.where(anchored, np.where(right, support, support - width), lo)
+        hi = np.where(anchored, np.where(right, support + width, support), hi)
 
         # Passive extreme for rounds where active mode is not (yet) possible
         # and the forged width can contain Δ; otherwise stay truthful.
         rest = need & ~placed
         delta_width = context.delta_hi - context.delta_lo
         passive = rest & (width >= delta_width - PASSIVE_WIDTH_TOL)
-        if self.side > 0:
-            lo = np.where(passive, context.delta_lo, lo)
-            hi = np.where(passive, context.delta_lo + width, hi)
-        else:
-            lo = np.where(passive, context.delta_hi - width, lo)
-            hi = np.where(passive, context.delta_hi, hi)
+        lo = np.where(passive, np.where(right, context.delta_lo, context.delta_hi - width), lo)
+        hi = np.where(passive, np.where(right, context.delta_lo + width, context.delta_hi), hi)
         return lo, hi
+
+
+@dataclass
+class ExpectationProxyBatchAttacker(ActiveStretchBatchAttacker):
+    """Side-adaptive stretch attacker — batch stand-in for the expectation policy.
+
+    The scalar case study drives a coarse-grid
+    :class:`repro.attack.expectation.ExpectationPolicy`, whose sequential
+    candidate search cannot be vectorized.  This attacker reproduces its
+    qualitative behaviour — attack towards whichever side the already-seen
+    intervals leave the most room for — by scoring the two extreme candidate
+    placements with :func:`repro.attack.candidates.batch_side_preference` at
+    each row's first compromised slot and then running the regular stretch
+    machinery on the chosen side.
+
+    The stand-in is validated at the *statistics* level (violation-rate
+    tolerance against the scalar Table II driver), not bit-for-bit: the
+    decision grid of the expectation policy and the binary side choice here
+    agree on direction, not on exact placements.
+    """
+
+    def reset(self, batch: int) -> None:
+        self._support = np.full(batch, np.nan)
+        self._sides = np.full(batch, np.nan)
+
+    def _resolve_sides(
+        self,
+        context: BatchSlotContext,
+        can_active: np.ndarray,
+        region: BatchFusion | None,
+        rng: np.random.Generator,
+    ) -> None:
+        undecided = context.rows & np.isnan(self._sides)
+        if not bool(undecided.any()):
+            return
+        batch = undecided.shape[0]
+        if context.slot == 0:
+            # Nothing observed yet: no basis for a preference.
+            sides = np.where(rng.random(batch) < 0.5, 1.0, -1.0)
+        else:
+            width = context.width
+            delta_width = context.delta_hi - context.delta_lo
+            passive_ok = width >= delta_width - PASSIVE_WIDTH_TOL
+            # Extreme admissible candidate per side: active support anchor
+            # when available, else the passive extreme, else the truthful
+            # reading (whose score then ties and falls to a random side).
+            right_lo = np.where(passive_ok, context.delta_lo, context.own_lo)
+            left_hi = np.where(passive_ok, context.delta_hi, context.own_hi)
+            if region is not None:
+                active = can_active & region.valid
+                right_lo = np.where(active, region.hi, right_lo)
+                left_hi = np.where(active, region.lo, left_hi)
+            # Tie-break on the anchor's protrusion from the attacker's best
+            # true-value estimate (Δ's centre): still-unseen honest sensors
+            # collapse the opposite fusion bound towards the true value, so
+            # when the prefix-only widths tie, the side whose anchor sits
+            # farther from the truth wins the lookahead the scalar
+            # expectation policy computes explicitly.
+            delta_center = (context.delta_lo + context.delta_hi) / 2.0
+            sides = batch_side_preference(
+                self._candidate_width(context, right_lo, right_lo + width),
+                self._candidate_width(context, left_hi - width, left_hi),
+                rng,
+                right_tiebreak=right_lo - delta_center,
+                left_tiebreak=delta_center - left_hi,
+            )
+        self._sides = np.where(undecided, sides, self._sides)
+
+    @staticmethod
+    def _candidate_width(
+        context: BatchSlotContext, cand_lo: np.ndarray, cand_hi: np.ndarray
+    ) -> np.ndarray:
+        """Fusion width over (transmitted prefix + candidate) — the side score.
+
+        This is exactly the quantity the scalar expectation policy maximises
+        once every other sensor has transmitted; at earlier slots it is a
+        surrogate that ignores the still-unseen sensors (whose placements are
+        symmetric in expectation, so they do not bias the side choice).
+        """
+        k = context.transmitted_lo.shape[1]
+        lowers = np.concatenate([context.transmitted_lo, cand_lo[:, None]], axis=1)
+        uppers = np.concatenate([context.transmitted_hi, cand_hi[:, None]], axis=1)
+        required = max(k + 1 - context.f, 1)
+        fusion = coverage_extremes(lowers, uppers, required)
+        return fusion.hi - fusion.lo
 
 
 @dataclass(frozen=True)
@@ -230,6 +335,11 @@ class BatchRoundConfig:
     attacker, plus optional transient faults on honest sensors (the scalar
     round simulator leaves faults to the sensor-suite layer; the batch driver
     injects them directly so fault ablations can run at Monte-Carlo scale).
+
+    The compromised set is given either as ``attacked_indices`` (the same
+    sensors in every round, like the scalar simulator) or as a per-round
+    ``attacked_mask`` of shape ``(B, n)`` — the form the batched case study
+    needs, where a different sensor is attacked in every fusion round.
     """
 
     schedule: Schedule
@@ -237,6 +347,7 @@ class BatchRoundConfig:
     attacker: BatchAttacker = field(default_factory=TruthfulBatchAttacker)
     f: int | None = None
     faults: BatchTransientFaults | None = None
+    attacked_mask: np.ndarray | None = None
 
 
 @dataclass(frozen=True)
@@ -256,6 +367,7 @@ class BatchRoundResult:
     flagged: np.ndarray
     attacked_indices: tuple[int, ...]
     fault_mask: np.ndarray
+    attacked_mask: np.ndarray
 
     @property
     def batch(self) -> int:
@@ -275,9 +387,7 @@ class BatchRoundResult:
     @property
     def attacker_detected(self) -> np.ndarray:
         """``(B,)`` mask: some compromised sensor was flagged this round."""
-        if not self.attacked_indices:
-            return np.zeros(self.batch, dtype=bool)
-        return self.flagged[:, list(self.attacked_indices)].any(axis=1)
+        return (self.flagged & self.attacked_mask).any(axis=1)
 
     @property
     def fault_detected(self) -> np.ndarray:
@@ -379,27 +489,43 @@ def batch_rounds(
     for index in attacked:
         if not 0 <= index < n:
             raise ScheduleError(f"attacked sensor index {index} out of range for n={n}")
+    if config.attacked_mask is not None:
+        if attacked:
+            raise ScheduleError(
+                "give either attacked_indices or a per-round attacked_mask, not both"
+            )
+        attacked_mask = np.asarray(config.attacked_mask, dtype=bool)
+        if attacked_mask.shape != (batch, n):
+            raise ScheduleError(
+                f"attacked_mask must have shape {(batch, n)}, got {attacked_mask.shape}"
+            )
+    else:
+        static_mask = np.zeros(n, dtype=bool)
+        static_mask[list(attacked)] = True
+        attacked_mask = np.broadcast_to(static_mask, (batch, n))
+    any_attacked = attacked_mask.any(axis=1)
     f = config.f if config.f is not None else max_safe_fault_bound(n)
 
     widths = correct_hi - correct_lo
     orders = batch_orders(config.schedule, widths, rng)
 
-    attacked_mask = np.zeros(n, dtype=bool)
-    attacked_mask[list(attacked)] = True
-    if attacked:
-        delta_lo = correct_lo[:, list(attacked)].max(axis=1)
-        delta_hi = correct_hi[:, list(attacked)].min(axis=1)
-        if np.any(delta_hi < delta_lo):
+    if bool(any_attacked.any()):
+        delta_lo = np.where(attacked_mask, correct_lo, -np.inf).max(axis=1)
+        delta_hi = np.where(attacked_mask, correct_hi, np.inf).min(axis=1)
+        if np.any((delta_hi < delta_lo) & any_attacked):
             raise EmptyIntersectionError(
                 "the compromised sensors' correct readings have an empty intersection"
             )
+        delta_lo = np.where(any_attacked, delta_lo, 0.0)
+        delta_hi = np.where(any_attacked, delta_hi, 0.0)
     else:
         delta_lo = np.zeros(batch)
         delta_hi = np.zeros(batch)
 
     if config.faults is not None:
-        eligible = np.broadcast_to(~attacked_mask, (batch, n))
-        sent_lo, sent_hi, fault_mask = config.faults.apply(correct_lo, correct_hi, eligible, rng)
+        sent_lo, sent_hi, fault_mask = config.faults.apply(
+            correct_lo, correct_hi, ~attacked_mask, rng
+        )
     else:
         sent_lo, sent_hi = correct_lo, correct_hi
         fault_mask = np.zeros((batch, n), dtype=bool)
@@ -409,14 +535,14 @@ def batch_rounds(
     transmitted_lo = np.empty((batch, n))
     transmitted_hi = np.empty((batch, n))
     sent_compromised = np.zeros(batch, dtype=np.int64)
-    fa = len(attacked)
+    fa_rows = attacked_mask.sum(axis=1)
 
     for slot in range(n):
         sensor = orders[:, slot]
         slot_lo = sent_lo[row_index, sensor]
         slot_hi = sent_hi[row_index, sensor]
-        rows = attacked_mask[sensor]
-        if fa and bool(rows.any()):
+        rows = attacked_mask[row_index, sensor]
+        if bool(rows.any()):
             context = BatchSlotContext(
                 n=n,
                 f=f,
@@ -430,7 +556,7 @@ def batch_rounds(
                 delta_hi=delta_hi,
                 transmitted_lo=transmitted_lo[:, :slot],
                 transmitted_hi=transmitted_hi[:, :slot],
-                far=fa - sent_compromised,
+                far=fa_rows - sent_compromised,
             )
             forged_lo, forged_hi = config.attacker.forge(context, rng)
             slot_lo = np.where(rows, forged_lo, slot_lo)
@@ -460,6 +586,7 @@ def batch_rounds(
         flagged=flagged,
         attacked_indices=attacked,
         fault_mask=fault_mask,
+        attacked_mask=attacked_mask,
     )
 
 

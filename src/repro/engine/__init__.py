@@ -1,0 +1,54 @@
+"""Pluggable simulation engines: one protocol, two registered backends.
+
+``repro.engine`` is the single seam through which every experiment selects
+its simulation backend:
+
+>>> from repro.engine import get_engine
+>>> engine = get_engine("batch")          # or "scalar", or None for default
+>>> result = engine.run_rounds(config, schedule, samples=100_000)
+
+The default backend is ``"scalar"`` (the reference Python loop) unless the
+``REPRO_ENGINE`` environment variable names another registered engine.  The
+high-level call sites — :func:`repro.scheduling.comparison.compare_schedules`
+(``engine=...``), :func:`repro.vehicle.case_study.run_case_study`
+(``engine=...``) and the Table I/II benchmarks — all resolve their backend
+here, so a future numba or jax engine only needs one
+:func:`register_engine` call to become reachable everywhere.
+"""
+
+from repro.engine.base import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    AttackSpec,
+    Engine,
+    RoundsResult,
+    StretchAttack,
+    TruthfulAttack,
+    available_engines,
+    default_engine_name,
+    get_engine,
+    register_engine,
+    resolve_attack,
+)
+from repro.engine.batch import BatchEngine
+from repro.engine.scalar import ScalarEngine
+
+register_engine(ScalarEngine.name, ScalarEngine, replace=True)
+register_engine(BatchEngine.name, BatchEngine, replace=True)
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "DEFAULT_ENGINE",
+    "AttackSpec",
+    "TruthfulAttack",
+    "StretchAttack",
+    "resolve_attack",
+    "RoundsResult",
+    "Engine",
+    "ScalarEngine",
+    "BatchEngine",
+    "register_engine",
+    "available_engines",
+    "default_engine_name",
+    "get_engine",
+]

@@ -1,0 +1,291 @@
+"""The pluggable simulation-engine layer: protocol, result type, registry.
+
+Before this layer existed the repository exposed two parallel APIs for the
+same experiments — the scalar reference loop (:mod:`repro.scheduling.round`,
+:mod:`repro.vehicle.platoon`) and the vectorized batch path
+(:mod:`repro.batch`) — and every call site hard-coded which one it used.
+``repro.engine`` turns the choice into data:
+
+* :class:`Engine` is the backend protocol.  An engine can simulate a batch
+  of fusion rounds for one schedule (:meth:`Engine.run_rounds`), sweep a
+  whole schedule comparison (:meth:`Engine.compare`), and run the Table II
+  platoon case study (:meth:`Engine.run_case_study`).
+* :class:`RoundsResult` is the backend-agnostic result of ``run_rounds``:
+  plain per-round arrays, so two engines can be compared bit-for-bit (the
+  parity test-suite does exactly that for the deterministic stretch
+  attacker).
+* :func:`register_engine` / :func:`get_engine` form the registry every call
+  site goes through.  ``get_engine(None)`` resolves the default backend,
+  which is ``"scalar"`` unless overridden by the ``REPRO_ENGINE``
+  environment variable — the deployment-side knob for flipping experiments
+  onto the batch engine (or a future numba/jax backend) without touching
+  code.
+
+Attack models are requested by *specification* (:class:`StretchAttack`,
+:class:`TruthfulAttack`, or their string spellings) rather than by policy
+object, because each backend owns its implementation of the same decision
+rule (e.g. :class:`repro.attack.stretch.ActiveStretchPolicy` versus
+:class:`repro.batch.rounds.ActiveStretchBatchAttacker`).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Sequence, Union
+
+import numpy as np
+
+from repro.core.exceptions import ExperimentError
+from repro.scheduling.comparison import (
+    ScheduleComparison,
+    ScheduleComparisonConfig,
+    ScheduleRow,
+)
+from repro.scheduling.schedule import Schedule
+from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "DEFAULT_ENGINE",
+    "TruthfulAttack",
+    "StretchAttack",
+    "AttackSpec",
+    "resolve_attack",
+    "RoundsResult",
+    "Engine",
+    "register_engine",
+    "available_engines",
+    "default_engine_name",
+    "get_engine",
+]
+
+#: Environment variable overriding the default backend name.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Backend used when neither the caller nor the environment picks one.
+DEFAULT_ENGINE = "scalar"
+
+
+@dataclass(frozen=True)
+class TruthfulAttack:
+    """Compromised sensors forward their correct readings (baseline)."""
+
+
+@dataclass(frozen=True)
+class StretchAttack:
+    """The deterministic greedy stretch attacker.
+
+    Attributes
+    ----------
+    side:
+        ``+1`` stretches the fusion interval to the right, ``-1`` to the
+        left.  Both backends implement the identical decision rule, which is
+        what makes engine results bit-comparable under this spec.
+    """
+
+    side: int = 1
+
+    def __post_init__(self) -> None:
+        if self.side not in (1, -1):
+            raise ExperimentError(f"stretch side must be +1 or -1, got {self.side}")
+
+
+AttackSpec = Union[str, TruthfulAttack, StretchAttack]
+
+_ATTACK_NAMES = {
+    "truthful": TruthfulAttack(),
+    "stretch": StretchAttack(side=1),
+    "stretch-left": StretchAttack(side=-1),
+}
+
+
+def resolve_attack(attack: AttackSpec) -> TruthfulAttack | StretchAttack:
+    """Normalise an attack specification (string spellings included)."""
+    if isinstance(attack, (TruthfulAttack, StretchAttack)):
+        return attack
+    resolved = _ATTACK_NAMES.get(attack)
+    if resolved is None:
+        raise ExperimentError(
+            f"unknown attack specification {attack!r}; expected one of "
+            f"{sorted(_ATTACK_NAMES)} or a TruthfulAttack/StretchAttack instance"
+        )
+    return resolved
+
+
+@dataclass(frozen=True)
+class RoundsResult:
+    """Backend-agnostic outcome of a batch of simulated fusion rounds.
+
+    All arrays have length ``B`` (one entry per round).  Rounds whose fusion
+    is empty — possible only with fault injection — carry ``valid=False``
+    and ``NaN`` bounds; they count towards ``samples`` but not towards
+    :attr:`mean_width`.
+    """
+
+    schedule_name: str
+    fusion_lo: np.ndarray
+    fusion_hi: np.ndarray
+    valid: np.ndarray
+    attacker_detected: np.ndarray
+
+    @property
+    def samples(self) -> int:
+        """Number of simulated rounds."""
+        return int(self.fusion_lo.shape[0])
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Per-round fusion widths (``NaN`` for empty-fusion rounds)."""
+        return self.fusion_hi - self.fusion_lo
+
+    @property
+    def mean_width(self) -> float:
+        """Mean fusion width over the valid rounds (``NaN`` if none are)."""
+        widths = self.widths[self.valid]
+        return float(widths.mean()) if widths.size else float("nan")
+
+    @property
+    def detected_fraction(self) -> float:
+        """Fraction of all rounds in which the attacker was flagged."""
+        return float(np.asarray(self.attacker_detected, dtype=np.float64).mean())
+
+    def to_row(self) -> ScheduleRow:
+        """Render as a Table I style :class:`~repro.scheduling.comparison.ScheduleRow`."""
+        if not bool(self.valid.any()):
+            raise ExperimentError("every sampled round produced an empty fusion")
+        return ScheduleRow(
+            schedule_name=self.schedule_name,
+            expected_width=self.mean_width,
+            combinations=self.samples,
+            detected_fraction=self.detected_fraction,
+        )
+
+
+def check_samples(samples: int) -> None:
+    """Shared validation for the per-engine ``samples`` argument."""
+    if samples <= 0:
+        raise ExperimentError(f"need a positive number of samples, got {samples}")
+
+
+class Engine(abc.ABC):
+    """One simulation backend (scalar reference loop, vectorized batch, ...)."""
+
+    #: Registry name of the backend (also its ``engine="..."`` spelling).
+    name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def run_rounds(
+        self,
+        config: ScheduleComparisonConfig,
+        schedule: Schedule,
+        attack: AttackSpec = "stretch",
+        faults=None,
+        samples: int = 10_000,
+        rng: np.random.Generator | None = None,
+    ) -> RoundsResult:
+        """Simulate ``samples`` Monte-Carlo fusion rounds for one schedule.
+
+        Every engine draws the correct intervals with
+        :func:`repro.batch.rounds.sample_correct_bounds` and the
+        transmission orders with :func:`repro.batch.rounds.batch_orders`
+        before simulating, so under the deterministic attack specs two
+        engines given equal ``rng`` states return identical
+        :class:`RoundsResult` arrays (the parity tests rely on this).
+        ``faults`` takes a :class:`repro.batch.rounds.BatchTransientFaults`.
+        """
+
+    def compare(
+        self,
+        config: ScheduleComparisonConfig,
+        schedules: Sequence[Schedule],
+        samples: int = 10_000,
+        rng: np.random.Generator | None = None,
+        attack: AttackSpec = "stretch",
+        faults=None,
+    ) -> ScheduleComparison:
+        """Run every schedule on one configuration (Table I style).
+
+        The schedules share one RNG stream, consumed in order — matching the
+        behaviour of the legacy ``compare_schedules_batch`` so the engine
+        route reproduces its numbers exactly.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        rows = tuple(
+            self.run_rounds(config, schedule, attack, faults, samples, rng).to_row()
+            for schedule in schedules
+        )
+        return ScheduleComparison(config=config, rows=rows)
+
+    @abc.abstractmethod
+    def run_case_study(
+        self,
+        config: CaseStudyConfig | None = None,
+        schedules: Sequence[Schedule] | None = None,
+        **options,
+    ) -> CaseStudyResult:
+        """Run the Table II platoon case study on this backend.
+
+        Backend-specific options (``policy_factory`` for the scalar engine,
+        ``attacker_factory`` / ``n_replicas`` for the batch engine) are
+        keyword-only; engines must reject options they cannot honour instead
+        of silently ignoring them.
+        """
+
+
+_REGISTRY: dict[str, Callable[[], Engine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], Engine], replace: bool = False) -> None:
+    """Register an engine factory under ``name`` (e.g. at import time).
+
+    Third-party backends (numba, jax, ...) plug in here; after registration
+    every ``engine="name"`` call site can reach them.
+    """
+    if not name:
+        raise ExperimentError("an engine needs a non-empty registry name")
+    if name in _REGISTRY and not replace:
+        raise ExperimentError(f"engine {name!r} is already registered (pass replace=True)")
+    _REGISTRY[name] = factory
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def default_engine_name() -> str:
+    """The backend used when no explicit choice is made.
+
+    Resolution order: the ``REPRO_ENGINE`` environment variable if set (and
+    validated against the registry), else ``"scalar"``.
+    """
+    name = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    if not name:
+        return DEFAULT_ENGINE
+    if name not in _REGISTRY:
+        raise ExperimentError(
+            f"{ENGINE_ENV_VAR}={name!r} does not name a registered engine; "
+            f"available: {', '.join(available_engines())}"
+        )
+    return name
+
+
+def get_engine(engine: str | Engine | None = None) -> Engine:
+    """Resolve an engine selection to a backend instance.
+
+    ``None`` resolves the default (env-overridable) backend, a string looks
+    up the registry, and an :class:`Engine` instance passes through — so
+    call sites accept all three forms with one line.
+    """
+    if engine is None:
+        engine = default_engine_name()
+    if isinstance(engine, Engine):
+        return engine
+    factory = _REGISTRY.get(engine)
+    if factory is None:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; available: {', '.join(available_engines())}"
+        )
+    return factory()

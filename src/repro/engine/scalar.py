@@ -1,0 +1,155 @@
+"""The scalar reference engine: one Python call per simulated round.
+
+:class:`ScalarEngine` wraps the repository's original simulators —
+:func:`repro.scheduling.round.run_round` for fusion rounds and the
+:class:`repro.vehicle.platoon.Platoon` loop for the Table II case study —
+behind the :class:`repro.engine.base.Engine` protocol.  It is the oracle the
+vectorized :class:`repro.engine.batch.BatchEngine` is tested against: both
+engines draw correct intervals through the same
+:func:`repro.batch.rounds.sample_correct_bounds` call, compute transmission
+orders through the same :func:`repro.batch.rounds.batch_orders` call, and
+apply transient faults through the same
+:class:`repro.batch.rounds.BatchTransientFaults` model — so their RNG
+streams coincide and their :class:`~repro.engine.base.RoundsResult` arrays
+match bit-for-bit under the deterministic attack specs (randomized
+schedules included).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.attack.policy import AttackPolicy, TruthfulPolicy
+from repro.attack.stretch import ActiveStretchPolicy
+from repro.batch.rounds import BatchTransientFaults, batch_orders, sample_correct_bounds
+from repro.core.exceptions import EmptyFusionError, ExperimentError
+from repro.core.interval import Interval
+from repro.engine.base import (
+    AttackSpec,
+    Engine,
+    RoundsResult,
+    StretchAttack,
+    TruthfulAttack,
+    check_samples,
+    resolve_attack,
+)
+from repro.scheduling.comparison import ScheduleComparisonConfig
+from repro.scheduling.round import RoundConfig, run_round
+from repro.scheduling.schedule import FixedSchedule, Schedule
+from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
+
+__all__ = ["ScalarEngine"]
+
+
+class ScalarEngine(Engine):
+    """Reference backend built on the per-round Python simulator."""
+
+    name = "scalar"
+
+    @staticmethod
+    def _policy(attack: TruthfulAttack | StretchAttack) -> AttackPolicy:
+        if isinstance(attack, TruthfulAttack):
+            return TruthfulPolicy()
+        return ActiveStretchPolicy(side=attack.side)
+
+    def run_rounds(
+        self,
+        config: ScheduleComparisonConfig,
+        schedule: Schedule,
+        attack: AttackSpec = "stretch",
+        faults: BatchTransientFaults | None = None,
+        samples: int = 10_000,
+        rng: np.random.Generator | None = None,
+    ) -> RoundsResult:
+        check_samples(samples)
+        spec = resolve_attack(attack)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        n = config.n
+        attacked = config.resolved_attacked
+
+        lowers, uppers = sample_correct_bounds(config.lengths, config.true_value, samples, rng)
+        # Schedules order sensors by their *correct* widths (widths are the
+        # public a-priori information, and transient faults only displace an
+        # interval).  Precomputing the orders with the same vectorized call
+        # as the batch engine keeps the two RNG streams — and, down to
+        # floating-point tie-breaking on faulted rounds, the simulated
+        # rounds — bit-identical across engines.
+        orders = batch_orders(schedule, uppers - lowers, rng)
+        if faults is not None:
+            # Same fault model, mask semantics and RNG consumption as the
+            # batch engine: honest sensors only, drawn for the whole batch.
+            eligible = np.ones((samples, n), dtype=bool)
+            if attacked:
+                eligible[:, list(attacked)] = False
+            lowers, uppers, _fault_mask = faults.apply(lowers, uppers, eligible, rng)
+
+        policy = self._policy(spec)
+        fusion_lo = np.full(samples, np.nan)
+        fusion_hi = np.full(samples, np.nan)
+        valid = np.zeros(samples, dtype=bool)
+        detected = np.zeros(samples, dtype=bool)
+        for index in range(samples):
+            intervals = [Interval(lowers[index, i], uppers[index, i]) for i in range(n)]
+            round_config = RoundConfig(
+                schedule=FixedSchedule(tuple(int(i) for i in orders[index])),
+                attacked_indices=attacked,
+                policy=policy,
+                f=config.resolved_f,
+            )
+            try:
+                result = run_round(intervals, round_config, rng)
+            except EmptyFusionError:
+                # The batch engine reports these rounds through its `valid`
+                # mask; mirror that instead of aborting the sweep.
+                continue
+            fusion_lo[index] = result.fusion.lo
+            fusion_hi[index] = result.fusion.hi
+            valid[index] = True
+            detected[index] = result.attacker_detected
+        return RoundsResult(
+            schedule_name=schedule.name,
+            fusion_lo=fusion_lo,
+            fusion_hi=fusion_hi,
+            valid=valid,
+            attacker_detected=detected,
+        )
+
+    def run_case_study(
+        self,
+        config: CaseStudyConfig | None = None,
+        schedules: Sequence[Schedule] | None = None,
+        **options,
+    ) -> CaseStudyResult:
+        """Table II on the original per-vehicle object stack.
+
+        Accepts ``policy_factory`` (defaults to the paper's coarse-grid
+        expectation attacker); any other option is rejected.
+        """
+        # Imported lazily: repro.vehicle.case_study dispatches through this
+        # module via the registry.
+        from repro.vehicle.case_study import (
+            default_attack_policy,
+            run_case_study_for_schedule,
+        )
+        from repro.scheduling.schedule import (
+            AscendingSchedule,
+            DescendingSchedule,
+            RandomSchedule,
+        )
+
+        policy_factory = options.pop("policy_factory", None) or default_attack_policy
+        if options:
+            raise ExperimentError(
+                f"scalar engine does not understand case-study options {sorted(options)}; "
+                "n_replicas/attacker_factory belong to the batch engine"
+            )
+        config = config if config is not None else CaseStudyConfig()
+        if schedules is None:
+            schedules = (AscendingSchedule(), DescendingSchedule(), RandomSchedule())
+        stats = []
+        for index, schedule in enumerate(schedules):
+            rng = np.random.default_rng(config.seed + index)
+            stats.append(run_case_study_for_schedule(config, schedule, policy_factory, rng))
+        return CaseStudyResult(config=config, stats=tuple(stats))

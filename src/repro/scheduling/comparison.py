@@ -12,10 +12,11 @@ Two estimators are provided:
   every combination (deterministic, exponential in ``n``);
 * :func:`expected_fusion_width_monte_carlo` — sample combinations uniformly;
   used for larger configurations and as a cross-check;
-* the vectorized batch estimator of :mod:`repro.batch.comparison` — samples
-  combinations like the Monte-Carlo estimator but evaluates all rounds at
-  once, so Table I/II style sweeps can run over 10⁵+ trials (reachable here
-  via ``method="batch"``).
+* the engine-layer Monte-Carlo sweep — samples combinations like the
+  Monte-Carlo estimator but runs them on a registered simulation backend
+  (:mod:`repro.engine`), reachable here via ``engine="batch"`` (vectorized,
+  10⁵+ trials) or ``engine="scalar"``; the legacy ``method="batch"``
+  spelling still works but is deprecated.
 
 :func:`compare_schedules` runs several schedules on the same configuration
 and returns a :class:`ScheduleComparison` with one row per schedule, which the
@@ -24,6 +25,8 @@ Table I benchmark renders directly.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -224,8 +227,9 @@ def compare_schedules(
     schedules: Sequence[Schedule],
     policy_factory=None,
     rng: np.random.Generator | None = None,
-    method: str = "exhaustive",
+    method: str | None = None,
     samples: int = 500,
+    engine: str | object | None = None,
 ) -> ScheduleComparison:
     """Run every schedule on one configuration and collect the rows.
 
@@ -235,25 +239,62 @@ def compare_schedules(
         Zero-argument callable building a fresh attack policy per schedule
         (so per-policy caches cannot leak decisions between schedules).
         Defaults to the expectation-maximising attacker of problem (2).
-        Must be left ``None`` with ``method="batch"`` (rejected otherwise):
-        the batched path's attacker is the vectorized greedy stretch policy —
-        use :func:`repro.batch.comparison.compare_schedules_batch` directly
-        to customise it.
+        Must be left ``None`` when an ``engine`` is selected (rejected
+        otherwise): the engine layer's attacker is the vectorized-capable
+        greedy stretch policy — use :meth:`repro.engine.base.Engine.compare`
+        with an ``attack`` spec, or the scalar estimators below, to
+        customise it.
     method:
-        ``"exhaustive"`` (paper's method), ``"monte_carlo"``, or ``"batch"``
-        (vectorized Monte-Carlo for large ``samples``).
+        ``"exhaustive"`` (paper's method, the default) or ``"monte_carlo"``
+        — the scalar estimator variants.  The legacy spelling
+        ``method="batch"`` is deprecated and forwards to
+        ``engine="batch"``.
+    engine:
+        Select a simulation backend by name (``"scalar"``/``"batch"``, or
+        any :class:`~repro.engine.base.Engine` instance) and run the
+        Monte-Carlo sweep through the :mod:`repro.engine` registry.  When
+        neither ``engine`` nor ``method`` is given, the ``REPRO_ENGINE``
+        environment variable may route the call onto a *non-default*
+        backend (``REPRO_ENGINE=scalar`` is a no-op); otherwise the scalar
+        exhaustive estimator runs.
     """
     if method == "batch":
+        warnings.warn(
+            "compare_schedules(method='batch') is deprecated; use engine='batch' "
+            "(the call is forwarded through the repro.engine registry)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if engine is not None:
+            raise ExperimentError("pass either method='batch' or engine=..., not both")
+        engine = "batch"
+        method = None
+    if engine is None and method is None:
+        # Env-overridable default: an explicit method always wins, and a bare
+        # call keeps the paper's exhaustive estimator unless REPRO_ENGINE
+        # selects a non-default backend (REPRO_ENGINE=scalar is a no-op here:
+        # "scalar" is already the default backend, so nothing is rerouted).
+        from repro.engine.base import DEFAULT_ENGINE, ENGINE_ENV_VAR
+
+        env_name = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+        if env_name and env_name != DEFAULT_ENGINE:
+            engine = env_name
+        else:
+            method = "exhaustive"
+    if method is None:
+        # Engine route: all backend selection goes through the registry.
         if policy_factory is not None:
             raise ExperimentError(
-                "method='batch' uses the vectorized stretch attacker and cannot honour "
-                "policy_factory; call repro.batch.comparison.compare_schedules_batch with "
-                "an attacker_factory instead"
+                "engine selection uses the engines' own attack specs and cannot honour "
+                "policy_factory; call repro.engine.get_engine(...).compare with an "
+                "attack spec, or repro.batch.comparison.compare_schedules_batch with "
+                "an attacker_factory, instead"
             )
-        # Imported lazily: repro.batch depends on this module.
-        from repro.batch.comparison import compare_schedules_batch
+        from repro.engine import get_engine
 
-        return compare_schedules_batch(config, schedules, samples=samples, rng=rng)
+        return get_engine(engine).compare(config, schedules, samples=samples, rng=rng)
+    if engine is not None:
+        raise ExperimentError("pass either method=... or engine=..., not both")
     if policy_factory is None:
         policy_factory = ExpectationPolicy
     rng = rng if rng is not None else np.random.default_rng(0)

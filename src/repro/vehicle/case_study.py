@@ -20,6 +20,11 @@ Which sensor is attacked is configurable:
   encoders, the strongest choice by Theorem 4 (roughly doubles the violation
   rates; used by the ablation benchmark);
 * an integer index — a fixed sensor.
+
+:func:`run_case_study` dispatches through the :mod:`repro.engine` registry:
+``engine="scalar"`` steps the original per-vehicle object stack,
+``engine="batch"`` runs the vectorized closed-loop stepper of
+:mod:`repro.batch.case_study` (10⁴+ platoon rounds per schedule in seconds).
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ import numpy as np
 from repro.attack.expectation import ExpectationPolicy
 from repro.attack.policy import AttackPolicy
 from repro.core.exceptions import ExperimentError
-from repro.scheduling.schedule import AscendingSchedule, DescendingSchedule, RandomSchedule, Schedule
+from repro.scheduling.schedule import Schedule
 from repro.vehicle.platoon import Platoon, PlatoonConfig
 from repro.vehicle.selection import AttackedSensorSelector, selector_from_spec
 
@@ -144,7 +149,12 @@ def run_case_study_for_schedule(
     policy_factory: Callable[[], AttackPolicy] = default_attack_policy,
     rng: np.random.Generator | None = None,
 ) -> ViolationStats:
-    """Run the platoon under one schedule and count critical speed violations."""
+    """Run the platoon under one schedule and count critical speed violations.
+
+    This is the scalar reference driver (one Python call per control period
+    and vehicle); the vectorized counterpart is
+    :func:`repro.batch.case_study.batch_case_study_for_schedule`.
+    """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     platoon = Platoon(
         config.platoon_config(),
@@ -174,14 +184,33 @@ def run_case_study_for_schedule(
 def run_case_study(
     config: CaseStudyConfig | None = None,
     schedules: Sequence[Schedule] | None = None,
-    policy_factory: Callable[[], AttackPolicy] = default_attack_policy,
+    policy_factory: Callable[[], AttackPolicy] | None = None,
+    engine: str | object | None = None,
+    **engine_options,
 ) -> CaseStudyResult:
-    """Run the full Table II experiment (all three schedules)."""
-    config = config if config is not None else CaseStudyConfig()
-    if schedules is None:
-        schedules = (AscendingSchedule(), DescendingSchedule(), RandomSchedule())
-    stats = []
-    for index, schedule in enumerate(schedules):
-        rng = np.random.default_rng(config.seed + index)
-        stats.append(run_case_study_for_schedule(config, schedule, policy_factory, rng))
-    return CaseStudyResult(config=config, stats=tuple(stats))
+    """Run the full Table II experiment (all three schedules by default).
+
+    Parameters
+    ----------
+    policy_factory:
+        Scalar attack-policy factory (defaults to the paper's coarse-grid
+        expectation attacker).  Only the scalar engine can honour it; the
+        batch engine rejects it and takes ``attacker_factory`` instead.
+    engine:
+        Simulation backend: ``"scalar"`` (the reference per-vehicle object
+        stack), ``"batch"`` (the vectorized closed-loop stepper of
+        :mod:`repro.batch.case_study`, typically 10–100x faster and scaled
+        up by the ``n_replicas`` option), any registered engine name, or an
+        :class:`~repro.engine.base.Engine` instance.  ``None`` picks the
+        default backend, overridable via the ``REPRO_ENGINE`` environment
+        variable.
+    engine_options:
+        Backend-specific options forwarded verbatim, e.g. ``n_replicas=64``
+        or ``attacker_factory=...`` for the batch engine.
+    """
+    # Imported lazily: the engine backends wrap the drivers in this module.
+    from repro.engine import get_engine
+
+    if policy_factory is not None:
+        engine_options = {"policy_factory": policy_factory, **engine_options}
+    return get_engine(engine).run_case_study(config, schedules, **engine_options)

@@ -134,3 +134,69 @@ class TestCandidateIntervals:
         candidates = candidate_intervals(ctx)
         keys = {(round(c.lo, 9), round(c.hi, 9)) for c in candidates}
         assert len(keys) == len(candidates)
+
+
+class TestBatchSidePreference:
+    def test_clear_winners(self):
+        import numpy as np
+
+        from repro.attack.candidates import batch_side_preference
+
+        rng = np.random.default_rng(0)
+        sides = batch_side_preference(
+            np.array([3.0, 1.0]), np.array([1.0, 3.0]), rng
+        )
+        assert sides.tolist() == [1.0, -1.0]
+
+    def test_nan_scores_lose(self):
+        import numpy as np
+
+        from repro.attack.candidates import batch_side_preference
+
+        rng = np.random.default_rng(0)
+        sides = batch_side_preference(
+            np.array([np.nan, 0.5]), np.array([0.5, np.nan]), rng
+        )
+        assert sides.tolist() == [-1.0, 1.0]
+
+    def test_ties_break_randomly_and_symmetrically(self):
+        import numpy as np
+
+        from repro.attack.candidates import batch_side_preference
+
+        rng = np.random.default_rng(1)
+        sides = batch_side_preference(np.zeros(4000), np.zeros(4000), rng)
+        assert set(sides.tolist()) == {1.0, -1.0}
+        assert abs(float(sides.mean())) < 0.1
+
+    def test_tiebreak_scores_decide_near_ties(self):
+        import numpy as np
+
+        from repro.attack.candidates import batch_side_preference
+
+        rng = np.random.default_rng(2)
+        sides = batch_side_preference(
+            np.zeros(3),
+            np.zeros(3),
+            rng,
+            right_tiebreak=np.array([2.0, 0.0, 0.0]),
+            left_tiebreak=np.array([0.0, 2.0, 0.0]),
+        )
+        assert sides[0] == 1.0
+        assert sides[1] == -1.0
+        assert sides[2] in (1.0, -1.0)
+
+    def test_primary_score_overrides_tiebreak(self):
+        import numpy as np
+
+        from repro.attack.candidates import batch_side_preference
+
+        rng = np.random.default_rng(3)
+        sides = batch_side_preference(
+            np.array([5.0]),
+            np.array([1.0]),
+            rng,
+            right_tiebreak=np.array([0.0]),
+            left_tiebreak=np.array([10.0]),
+        )
+        assert sides.tolist() == [1.0]

@@ -37,10 +37,11 @@ def test_rows_are_schedule_comparison_compatible():
     assert descending.expected_width >= ascending.expected_width - 1e-9
 
 
-def test_compare_schedules_method_batch_dispatches():
-    comparison = compare_schedules(
-        CONFIG, [AscendingSchedule(), DescendingSchedule()], method="batch", samples=2_000
-    )
+def test_compare_schedules_method_batch_dispatches_with_deprecation():
+    with pytest.warns(DeprecationWarning, match="engine='batch'"):
+        comparison = compare_schedules(
+            CONFIG, [AscendingSchedule(), DescendingSchedule()], method="batch", samples=2_000
+        )
     assert {row.schedule_name for row in comparison.rows} == {"ascending", "descending"}
     assert all(row.combinations == 2_000 for row in comparison.rows)
 
@@ -102,10 +103,23 @@ def test_invalid_samples_rejected():
 def test_policy_factory_rejected_with_batch_method():
     # The batched path cannot honour scalar policy factories; passing one
     # must fail loudly instead of silently switching attacker models.
-    with pytest.raises(ExperimentError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ExperimentError):
         compare_schedules(
             CONFIG,
             [AscendingSchedule()],
             policy_factory=ActiveStretchPolicy,
             method="batch",
         )
+
+
+def test_method_batch_matches_engine_batch_exactly():
+    # The deprecation shim must be a pure forwarding layer: same registry
+    # engine, same RNG stream, identical rows.
+    with pytest.warns(DeprecationWarning):
+        legacy = compare_schedules(
+            CONFIG, [AscendingSchedule(), DescendingSchedule()], method="batch", samples=3_000
+        )
+    engine = compare_schedules(
+        CONFIG, [AscendingSchedule(), DescendingSchedule()], engine="batch", samples=3_000
+    )
+    assert legacy.rows == engine.rows

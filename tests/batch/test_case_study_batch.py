@@ -1,0 +1,139 @@
+"""Statistics-level validation of the vectorized Table II case study.
+
+The batched platoon stepper replaces the scalar expectation attacker with
+the vectorized :class:`~repro.batch.rounds.ExpectationProxyBatchAttacker`,
+so equivalence with the scalar driver is asserted on the *statistics* —
+zero violations under Ascending, the paper's Ascending < Random < Descending
+ordering, and violation rates within tolerance of the scalar reference —
+rather than bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.case_study import batch_case_study, batch_case_study_for_schedule
+from repro.core import ExperimentError
+from repro.scheduling import AscendingSchedule, DescendingSchedule, RandomSchedule
+from repro.vehicle import CaseStudyConfig, run_case_study
+
+
+def total_rate(stats) -> float:
+    return stats.upper_percentage + stats.lower_percentage
+
+
+@pytest.fixture(scope="module")
+def batch_result():
+    # ~4.8k fusion rounds per schedule: plenty for stable percentages while
+    # keeping the suite fast.
+    return batch_case_study(CaseStudyConfig(n_steps=100), n_replicas=16)
+
+
+class TestBatchCaseStudyStatistics:
+    def test_round_accounting(self, batch_result):
+        for stats in batch_result.stats:
+            assert stats.rounds == 16 * 3 * 100
+
+    def test_ascending_eliminates_violations(self, batch_result):
+        ascending = batch_result.for_schedule("ascending")
+        assert ascending.upper_violations == 0
+        assert ascending.lower_violations == 0
+
+    def test_paper_ordering(self, batch_result):
+        ascending = batch_result.for_schedule("ascending")
+        descending = batch_result.for_schedule("descending")
+        random_row = batch_result.for_schedule("random")
+        assert total_rate(ascending) < total_rate(random_row) < total_rate(descending)
+
+    def test_rates_within_tolerance_of_scalar(self, batch_result):
+        # The scalar reference at a reduced-but-stable scale; the proxy
+        # attacker must land in the same statistical regime (the measured
+        # ratio is ~0.9 for Descending and ~1.05 for Random).
+        scalar = run_case_study(CaseStudyConfig(n_steps=60, n_vehicles=2), engine="scalar")
+        for name in ("descending", "random"):
+            batch_rate = total_rate(batch_result.for_schedule(name))
+            scalar_rate = total_rate(scalar.for_schedule(name))
+            assert 0.5 * scalar_rate < batch_rate < 1.5 * scalar_rate, (
+                f"{name}: batch {batch_rate:.2f}% vs scalar {scalar_rate:.2f}%"
+            )
+
+    def test_upper_lower_roughly_symmetric(self, batch_result):
+        # Table II's two rows are nearly equal in the paper; the random
+        # tie-breaking of the side choice must preserve that symmetry.
+        descending = batch_result.for_schedule("descending")
+        assert descending.upper_percentage == pytest.approx(
+            descending.lower_percentage, rel=0.35
+        )
+
+
+class TestBatchCaseStudyConfigurations:
+    def test_engine_route_through_run_case_study(self):
+        result = run_case_study(
+            CaseStudyConfig(n_steps=40), engine="batch", n_replicas=4
+        )
+        assert result.for_schedule("ascending").rounds == 4 * 3 * 40
+        ordering = [total_rate(s) for s in result.stats]
+        assert ordering[0] < ordering[1]  # ascending < descending
+
+    def test_most_precise_attack_is_stronger_than_random(self):
+        base = CaseStudyConfig(n_steps=80, attacked_sensor="random")
+        precise = CaseStudyConfig(n_steps=80, attacked_sensor="most_precise")
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        random_stats = batch_case_study_for_schedule(
+            base, DescendingSchedule(), n_replicas=8, rng=rng1
+        )
+        precise_stats = batch_case_study_for_schedule(
+            precise, DescendingSchedule(), n_replicas=8, rng=rng2
+        )
+        assert total_rate(precise_stats) > total_rate(random_stats)
+
+    def test_no_attack_has_no_violations(self):
+        stats = batch_case_study_for_schedule(
+            CaseStudyConfig(n_steps=60, attacked_sensor="none"),
+            DescendingSchedule(),
+            n_replicas=8,
+            rng=np.random.default_rng(0),
+        )
+        assert stats.upper_violations == 0
+        assert stats.lower_violations == 0
+
+    def test_fixed_sensor_attack(self):
+        stats = batch_case_study_for_schedule(
+            CaseStudyConfig(n_steps=60, attacked_sensor=0),
+            DescendingSchedule(),
+            n_replicas=8,
+            rng=np.random.default_rng(0),
+        )
+        # Sensor 0 is an encoder — the strong case — so violations do occur.
+        assert stats.upper_violations + stats.lower_violations > 0
+
+    def test_random_schedule_sits_between(self):
+        config = CaseStudyConfig(n_steps=100)
+        rows = {}
+        for index, schedule in enumerate(
+            (AscendingSchedule(), DescendingSchedule(), RandomSchedule())
+        ):
+            rows[schedule.name] = batch_case_study_for_schedule(
+                config, schedule, n_replicas=8, rng=np.random.default_rng(config.seed + index)
+            )
+        assert (
+            total_rate(rows["ascending"])
+            < total_rate(rows["random"])
+            < total_rate(rows["descending"])
+        )
+
+    def test_invalid_replicas_rejected(self):
+        with pytest.raises(ExperimentError):
+            batch_case_study_for_schedule(
+                CaseStudyConfig(n_steps=5), AscendingSchedule(), n_replicas=0
+            )
+
+    def test_out_of_range_attacked_sensor_rejected(self):
+        # Same descriptive error as the scalar engine, not a raw IndexError
+        # from the vectorized mask assignment.
+        with pytest.raises(ExperimentError, match="out of range"):
+            batch_case_study_for_schedule(
+                CaseStudyConfig(n_steps=5, attacked_sensor=9),
+                AscendingSchedule(),
+                n_replicas=2,
+            )

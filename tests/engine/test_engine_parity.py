@@ -1,0 +1,118 @@
+"""Scalar/Batch engine parity: identical RoundsResult under the stretch attacker.
+
+Both engines draw correct intervals through the same
+``sample_correct_bounds`` call and (when faults are configured) the same
+``BatchTransientFaults.apply`` call, so for deterministic schedules their
+RNG streams coincide and the per-round result arrays must match
+bit-for-bit.  This extends the ``tests/batch`` equivalence suites from the
+raw drivers to the public engine API.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import BatchTransientFaults
+from repro.engine import BatchEngine, ScalarEngine, StretchAttack
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FixedSchedule,
+    RandomSchedule,
+    ScheduleComparisonConfig,
+)
+
+
+def _assert_rounds_equal(a, b):
+    assert a.schedule_name == b.schedule_name
+    np.testing.assert_array_equal(a.fusion_lo, b.fusion_lo)
+    np.testing.assert_array_equal(a.fusion_hi, b.fusion_hi)
+    np.testing.assert_array_equal(a.valid, b.valid)
+    np.testing.assert_array_equal(a.attacker_detected, b.attacker_detected)
+
+
+def _run_both(config, schedule, seed, attack="stretch", faults=None, samples=48):
+    scalar = ScalarEngine().run_rounds(
+        config, schedule, attack, faults, samples, np.random.default_rng(seed)
+    )
+    batch = BatchEngine().run_rounds(
+        config, schedule, attack, faults, samples, np.random.default_rng(seed)
+    )
+    return scalar, batch
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=7),
+    st.integers(min_value=0, max_value=6),
+    st.sampled_from([1, -1]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_engines_bitmatch_random_configs(lengths, attacked_index, side, seed):
+    lengths = tuple(lengths)
+    config = ScheduleComparisonConfig(
+        lengths=lengths, fa=1, attacked_indices=(attacked_index % len(lengths),)
+    )
+    schedule = AscendingSchedule() if seed % 2 else DescendingSchedule()
+    scalar, batch = _run_both(config, schedule, seed, attack=StretchAttack(side=side), samples=8)
+    _assert_rounds_equal(scalar, batch)
+
+
+@pytest.mark.parametrize(
+    "schedule",
+    [AscendingSchedule(), DescendingSchedule(), FixedSchedule((2, 0, 3, 1, 4))],
+    ids=lambda s: s.name,
+)
+@pytest.mark.parametrize("attack", ["stretch", "stretch-left", "truthful"])
+def test_engines_bitmatch_fa2(schedule, attack):
+    config = ScheduleComparisonConfig(lengths=(2.0, 3.0, 3.0, 6.0, 8.0), fa=2)
+    scalar, batch = _run_both(config, schedule, seed=11, attack=attack)
+    _assert_rounds_equal(scalar, batch)
+    assert scalar.valid.all()
+
+
+def test_engines_bitmatch_random_schedule():
+    # Both engines draw per-round permutations through the same vectorized
+    # batch_orders call, so even RandomSchedule is bit-reproducible.
+    config = ScheduleComparisonConfig(lengths=(1.0, 2.0, 3.0, 4.0, 5.0), fa=1)
+    scalar, batch = _run_both(config, RandomSchedule(), seed=23, samples=64)
+    _assert_rounds_equal(scalar, batch)
+
+
+def test_engines_bitmatch_with_transient_faults():
+    # Faults can produce empty fusions; both engines must report the same
+    # rows as invalid (the scalar engine converts EmptyFusionError into the
+    # batch engine's valid=False convention).
+    config = ScheduleComparisonConfig(lengths=(1.0, 1.0, 1.0, 1.0, 1.0), fa=1, f=2)
+    faults = BatchTransientFaults(probability=0.35)
+    scalar, batch = _run_both(
+        config, AscendingSchedule(), seed=7, faults=faults, samples=256
+    )
+    _assert_rounds_equal(scalar, batch)
+    assert not scalar.valid.all(), "expected some empty fusions under heavy faults"
+    assert np.isnan(scalar.fusion_lo[~scalar.valid]).all()
+
+
+def test_engine_compare_rows_match():
+    config = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1)
+    schedules = [AscendingSchedule(), DescendingSchedule()]
+    scalar = ScalarEngine().compare(
+        config, schedules, samples=64, rng=np.random.default_rng(9)
+    )
+    batch = BatchEngine().compare(
+        config, schedules, samples=64, rng=np.random.default_rng(9)
+    )
+    assert scalar.rows == batch.rows
+
+
+def test_rounds_result_accessors():
+    config = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1)
+    result = BatchEngine().run_rounds(config, DescendingSchedule(), samples=500)
+    assert result.samples == 500
+    assert result.valid.all()
+    assert result.mean_width == pytest.approx(float(result.widths.mean()))
+    assert 0.0 <= result.detected_fraction <= 1.0
+    row = result.to_row()
+    assert row.schedule_name == "descending"
+    assert row.combinations == 500

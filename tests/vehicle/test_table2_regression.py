@@ -1,0 +1,57 @@
+"""Seeded regression pin of the scalar Table II reference numbers.
+
+The scalar case study is the oracle the batched engine is validated
+against, so its seeded output must not drift silently under refactors.
+These counts were produced by the scalar driver at a reduced-but-stable
+scale (60 steps, 2 vehicles, seed 2014); the percentages land close to the
+paper's Table II (Ascending 0/0, Descending 17.42/17.65, Random 5.72/5.97)
+and preserve its Ascending < Random < Descending ordering exactly.
+"""
+
+import pytest
+
+from repro.vehicle import CaseStudyConfig, run_case_study
+
+#: (upper_violations, lower_violations) per schedule for the pinned config.
+PINNED_COUNTS = {
+    "ascending": (0, 0),
+    "descending": (20, 23),
+    "random": (7, 6),
+}
+
+PINNED_CONFIG = dict(n_steps=60, n_vehicles=2, seed=2014)
+
+
+@pytest.fixture(scope="module")
+def pinned_result():
+    return run_case_study(CaseStudyConfig(**PINNED_CONFIG), engine="scalar")
+
+
+def test_scalar_violation_counts_are_pinned(pinned_result):
+    for name, (upper, lower) in PINNED_COUNTS.items():
+        stats = pinned_result.for_schedule(name)
+        assert stats.rounds == PINNED_CONFIG["n_steps"] * PINNED_CONFIG["n_vehicles"]
+        assert (stats.upper_violations, stats.lower_violations) == (upper, lower), (
+            f"{name}: scalar Table II reference numbers drifted — got "
+            f"({stats.upper_violations}, {stats.lower_violations}), pinned ({upper}, {lower})"
+        )
+
+
+def test_paper_ordering_holds_at_pin(pinned_result):
+    totals = {
+        name: sum(PINNED_COUNTS[name]) for name in ("ascending", "random", "descending")
+    }
+    measured = {
+        name: stats.upper_violations + stats.lower_violations
+        for name, stats in ((s.schedule_name, s) for s in pinned_result.stats)
+    }
+    assert measured == totals
+    assert totals["ascending"] < totals["random"] < totals["descending"]
+
+
+def test_default_engine_matches_scalar_pin(pinned_result, monkeypatch):
+    # run_case_study with no engine choice must keep producing the scalar
+    # reference numbers (REPRO_ENGINE unset).
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    default = run_case_study(CaseStudyConfig(**PINNED_CONFIG))
+    assert default.stats == pinned_result.stats
