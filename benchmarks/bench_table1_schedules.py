@@ -22,15 +22,27 @@ are very different.
 batch engine (greedy stretch attacker, 10⁵ Monte-Carlo trials per schedule by
 default — tune with ``REPRO_BENCH_BATCH_SAMPLES``), confirming the shape at
 a sample count the scalar path cannot reach.
+
+``test_table1_expectation_engine`` re-runs the table with the **exact**
+expectation attacker of problem (2) on both engines: the batch engine's
+vectorized grid evaluation (:mod:`repro.batch.expectation`) against the
+scalar grid search, round-for-round identical, at 10³+ Monte-Carlo trials
+per schedule (``REPRO_BENCH_EXPECTATION_SAMPLES``).
+``test_table1_expectation_speedup`` gates the throughput on the heaviest
+Table I row (n=5, fa=2 — full lookahead recursion) at the paper's finer
+discretisation: the batch engine must beat the scalar grid search by at
+least ``REPRO_BENCH_SPEEDUP_FLOOR`` (default 10x) in rounds per second.
 """
 
 import math
+import time
 
 import numpy as np
 import pytest
 
 from repro.analysis import TABLE1_CONFIGURATIONS, format_table, format_table1_row, table1_batch_sweep
 from repro.attack import ExpectationPolicy
+from repro.engine import BatchEngine, ExpectationAttack, ScalarEngine
 from repro.scheduling import AscendingSchedule, DescendingSchedule, compare_schedules
 
 
@@ -96,6 +108,111 @@ def test_table1_batch_monte_carlo(benchmark, report_writer, batch_samples):
                 f"{batch_samples:,} trials per schedule"
             ),
         ),
+    )
+
+
+def test_table1_expectation_engine(benchmark, report_writer, expectation_samples):
+    """The full Table I with the exact expectation attacker, batched.
+
+    The vectorized :class:`~repro.batch.expectation.ExactExpectationBatchAttacker`
+    runs every row at Monte-Carlo scale; the shape assertions of the scalar
+    Table I benchmarks must keep holding and the stealthy attacker must never
+    be detected.
+    """
+
+    def run_sweep():
+        return table1_batch_sweep(
+            samples=expectation_samples, rng=np.random.default_rng(0), attack="expectation"
+        )
+
+    sweep = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    tolerance = max(0.05, 10.0 / math.sqrt(expectation_samples))
+    rows = []
+    for entry, comparison in sweep:
+        ascending = comparison.expected_width("ascending")
+        descending = comparison.expected_width("descending")
+        rows.append(
+            [
+                format_table1_row(entry.n, entry.fa, entry.lengths),
+                f"{ascending:.2f}",
+                f"{descending:.2f}",
+                f"{entry.paper_ascending:.2f}",
+                f"{entry.paper_descending:.2f}",
+            ]
+        )
+        assert descending >= ascending - tolerance
+        assert comparison.row("ascending").detected_fraction == 0.0
+        assert comparison.row("descending").detected_fraction == 0.0
+    report_writer(
+        "table1_expectation_engine",
+        format_table(
+            [
+                "configuration",
+                "E|S| asc (exact MC)",
+                "E|S| desc (exact MC)",
+                "paper asc",
+                "paper desc",
+            ],
+            rows,
+            title=(
+                "Table I — batched exact expectation attacker (problem (2)), "
+                f"{expectation_samples:,} Monte-Carlo trials per schedule"
+            ),
+        ),
+    )
+
+
+def test_table1_expectation_speedup(report_writer, expectation_samples, speedup_floor):
+    """Batched exact attacker vs the scalar grid search: rounds/sec floor.
+
+    Benchmarked on the heaviest Table I configuration (n=5, fa=2: two
+    compromised sensors, so every decision recurses over the later
+    compromised slot) at the paper's finer discretisation, Ascending
+    schedule, B >= 1000 — the workload the ROADMAP flagged as "the exact
+    grid search is still scalar".
+    """
+    entry = TABLE1_CONFIGURATIONS[-1]  # n=5, fa=2, L=(5, 5, 5, 14, 17)
+    config = entry.comparison_config()
+    schedule = AscendingSchedule()
+    spec = ExpectationAttack(true_value_positions=4, placement_positions=4, grid_positions=12)
+
+    scalar_samples = 4
+    scalar_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        ScalarEngine().run_rounds(
+            config, schedule, spec, None, scalar_samples, np.random.default_rng(0)
+        )
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+    scalar_rate = scalar_samples / scalar_seconds
+
+    start = time.perf_counter()
+    result = BatchEngine().run_rounds(
+        config, schedule, spec, None, expectation_samples, np.random.default_rng(0)
+    )
+    batch_seconds = time.perf_counter() - start
+    batch_rate = expectation_samples / batch_seconds
+    speedup = batch_rate / scalar_rate
+    assert result.valid.all()
+
+    report_writer(
+        "table1_expectation_speedup",
+        format_table(
+            ["engine", "rounds", "seconds", "rounds/s"],
+            [
+                ["scalar", f"{scalar_samples:,}", f"{scalar_seconds:.3f}", f"{scalar_rate:,.1f}"],
+                ["batch", f"{expectation_samples:,}", f"{batch_seconds:.3f}", f"{batch_rate:,.0f}"],
+                ["speedup", "", "", f"{speedup:.1f}x"],
+            ],
+            title=(
+                "Exact expectation attacker throughput — scalar grid search vs "
+                f"batch engine (n={entry.n}, fa={entry.fa}, ascending)"
+            ),
+        ),
+    )
+    assert speedup >= speedup_floor, (
+        f"batched exact expectation attacker is only {speedup:.1f}x faster than the "
+        f"scalar grid search (floor: {speedup_floor}x)"
     )
 
 

@@ -48,6 +48,22 @@ def batch_samples() -> int:
 
 
 @pytest.fixture(scope="session")
+def expectation_samples() -> int:
+    """Monte-Carlo trials per schedule for the batched *exact* expectation
+    attacker (default 1 000, floor 1 000 — the acceptance scale for the
+    vectorized problem (2) sweeps).  ``REPRO_BENCH_EXPECTATION_SAMPLES``
+    raises it for publication-grade statistics; the exact attacker costs far
+    more per round than the greedy stretch attacker, so the default is three
+    orders of magnitude below ``REPRO_BENCH_BATCH_SAMPLES``.
+    """
+    value = os.environ.get("REPRO_BENCH_EXPECTATION_SAMPLES", "")
+    try:
+        return max(1_000, int(value)) if value else 1_000
+    except ValueError:
+        return 1_000
+
+
+@pytest.fixture(scope="session")
 def case_study_steps() -> int:
     """Control periods per schedule for the Table II benchmark (default 300)."""
     value = os.environ.get("REPRO_BENCH_STEPS", "")

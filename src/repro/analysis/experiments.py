@@ -14,9 +14,12 @@ the examples and EXPERIMENTS.md all draw from the same source of truth:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # annotation-only: repro.engine is imported lazily below
+    from repro.engine.base import AttackSpec
 
 from repro.core.interval import Interval
 from repro.scheduling.comparison import ScheduleComparison, ScheduleComparisonConfig
@@ -61,21 +64,26 @@ class Table1Entry:
         samples: int = 100_000,
         rng: np.random.Generator | None = None,
         schedules: Sequence[Schedule] | None = None,
+        attack: "AttackSpec" = "stretch",
     ) -> ScheduleComparison:
         """Run this row's schedule sweep on a registered simulation engine.
 
-        Uses the engines' greedy stretch attacker over ``samples``
-        Monte-Carlo trials; the exhaustive scalar path (via
-        :meth:`comparison_config` and
+        ``attack`` selects the engine attacker spec: the greedy stretch
+        attacker by default, or ``"expectation"`` for the paper's exact
+        problem (2) attacker (vectorized on the batch engine by
+        :class:`repro.batch.expectation.ExactExpectationBatchAttacker`, so
+        Table I rows run at 10³–10⁵ Monte-Carlo trials; drop ``samples``
+        accordingly — the exact attacker costs more per round).  The scalar
+        exhaustive path (via :meth:`comparison_config` and
         :func:`repro.scheduling.comparison.compare_schedules`) remains the
-        reference for the paper's expectation-maximising attacker.
+        paper-methodology reference.
         """
         from repro.engine import get_engine
 
         if schedules is None:
             schedules = (AscendingSchedule(), DescendingSchedule())
         return get_engine(engine).compare(
-            self.comparison_config(), schedules, samples=samples, rng=rng
+            self.comparison_config(), schedules, samples=samples, rng=rng, attack=attack
         )
 
     def batch_comparison(
@@ -83,9 +91,12 @@ class Table1Entry:
         samples: int = 100_000,
         rng: np.random.Generator | None = None,
         schedules: Sequence[Schedule] | None = None,
+        attack: "AttackSpec" = "stretch",
     ) -> ScheduleComparison:
         """Shorthand for :meth:`engine_comparison` on the batch engine."""
-        return self.engine_comparison("batch", samples=samples, rng=rng, schedules=schedules)
+        return self.engine_comparison(
+            "batch", samples=samples, rng=rng, schedules=schedules, attack=attack
+        )
 
 
 #: The eight configurations of Table I with the expected fusion lengths the
@@ -123,6 +134,7 @@ def table1_batch_sweep(
     rng: np.random.Generator | None = None,
     configurations: Sequence[Table1Entry] = TABLE1_CONFIGURATIONS,
     engine: str | object | None = "batch",
+    attack: "AttackSpec" = "stretch",
 ) -> list[tuple[Table1Entry, ScheduleComparison]]:
     """Run every Table I row on a simulation engine at Monte-Carlo scale.
 
@@ -130,11 +142,13 @@ def table1_batch_sweep(
     :class:`~repro.scheduling.comparison.ScheduleRow` per schedule exactly
     like the scalar path, so reporting code is shared.  The backend defaults
     to the vectorized batch engine and is resolved through the
-    :mod:`repro.engine` registry.
+    :mod:`repro.engine` registry; ``attack="expectation"`` swaps the greedy
+    stretch attacker for the exact problem (2) attacker (use ~10³ samples —
+    exact decisions cost more per round).
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     return [
-        (entry, entry.engine_comparison(engine, samples=samples, rng=rng))
+        (entry, entry.engine_comparison(engine, samples=samples, rng=rng, attack=attack))
         for entry in configurations
     ]
 

@@ -10,6 +10,9 @@ The subpackage implements Section III of the paper:
   and the omniscient solver of problem (1);
 * :mod:`repro.attack.theorem1` — Theorem 1's sufficient conditions for an
   optimal attack under partial knowledge.
+
+The full catalogue — every policy, the paper equation it implements, and its
+batched counterpart in :mod:`repro.batch` — is in ``docs/ATTACKERS.md``.
 """
 
 from repro.attack.candidates import candidate_intervals, endpoint_aligned, grid_candidates, passive_extremes

@@ -21,10 +21,16 @@ same one the experiments use to generate measurements:
   backward induction.
 
 Decisions are memoised on the decision-relevant part of the context
-(:meth:`AttackContext.cache_key`), which is what makes the exhaustive Table I
-style experiments tractable: under the Ascending schedule the attacker's
-context barely varies across the outer enumeration, so her (expensive)
-decision is computed only a handful of times.
+(:meth:`AttackContext.cache_key`, extended with the policy's ``conservative``
+flag), which is what makes the exhaustive Table I style experiments
+tractable: under the Ascending schedule the attacker's context barely varies
+across the outer enumeration, so her (expensive) decision is computed only a
+handful of times.
+
+The NumPy-vectorized counterpart — identical decisions, the inner
+(true-value × placement × candidate) grid evaluated as broadcast tensor ops —
+lives in :mod:`repro.batch.expectation`; the catalogue of every attacker and
+the paper equation it implements is in ``docs/ATTACKERS.md``.
 """
 
 from __future__ import annotations
@@ -38,10 +44,15 @@ from repro.attack.candidates import candidate_intervals
 from repro.attack.context import AttackContext
 from repro.attack.policy import AttackPolicy
 from repro.attack.stealth import AttackerMode, check_admissible, support_point
+from repro.core.exceptions import AttackError
 from repro.core.interval import Interval, intersect_all
 from repro.core.marzullo import fuse_or_none
 
-__all__ = ["ExpectationPolicy"]
+__all__ = ["ExpectationPolicy", "TIE_TOLERANCE"]
+
+#: Scores within this distance of the best candidate's score count as tied;
+#: shared with the vectorized scorer so both build identical tie sets.
+TIE_TOLERANCE = 1e-9
 
 
 def _linspace(lo: float, hi: float, count: int) -> list[float]:
@@ -75,13 +86,27 @@ class ExpectationPolicy(AttackPolicy):
         conservative variant reproduces the weaker attacker the paper's
         Table I simulation appears to use for ``fa = 2`` and is exercised by
         the attacker-strength ablation benchmark.
+    tie_break:
+        ``"random"`` (default) picks uniformly among tied candidates so a
+        symmetric configuration is attacked symmetrically across rounds;
+        ``"first"`` deterministically keeps the first tied candidate and
+        consumes no randomness — the variant the engine layer exposes, so the
+        scalar and batch backends stay bit-comparable (their RNG streams
+        never diverge on tie-breaking).
     """
 
     true_value_positions: int = 3
     placement_positions: int = 3
     grid_positions: int = 9
     conservative: bool = False
+    tie_break: str = "random"
+    cache_hits: int = field(default=0, repr=False, compare=False)
+    cache_misses: int = field(default=0, repr=False, compare=False)
     _cache: dict[tuple, Interval] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tie_break not in ("random", "first"):
+            raise AttackError(f"tie_break must be 'random' or 'first', got {self.tie_break!r}")
 
     # ------------------------------------------------------------------
     # AttackPolicy interface
@@ -91,10 +116,27 @@ class ExpectationPolicy(AttackPolicy):
         safely persist across rounds; ``reset`` is a no-op kept for symmetry."""
 
     def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
-        key = context.cache_key()
+        return self._cached_decide(context, rng)
+
+    # ------------------------------------------------------------------
+    # Memoisation
+    # ------------------------------------------------------------------
+    def _memo_key(self, context: AttackContext) -> tuple:
+        """Memo-table key: the context's :meth:`~AttackContext.cache_key` plus
+        the ``conservative`` flag (which changes the scoring rule, so the two
+        attacker variants must never share an entry — e.g. in the shared memo
+        of :class:`repro.batch.expectation.ExactExpectationBatchAttacker`)."""
+        return (self.conservative, context.cache_key())
+
+    def _cached_decide(
+        self, context: AttackContext, rng: np.random.Generator | None = None
+    ) -> Interval:
+        key = self._memo_key(context)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         decision = self._decide(context, rng)
         self._cache[key] = decision
         return decision
@@ -106,14 +148,27 @@ class ExpectationPolicy(AttackPolicy):
         candidates = candidate_intervals(context, self.grid_positions)
         if len(candidates) == 1:
             return candidates[0]
-        scored = [(self._expected_final_width(candidate, context), candidate) for candidate in candidates]
-        best_score = max(score for score, _candidate in scored)
+        scores = [self._expected_final_width(candidate, context) for candidate in candidates]
+        return self._select(candidates, scores, rng)
+
+    def _select(
+        self,
+        candidates: Sequence[Interval],
+        scores: Sequence[float],
+        rng: np.random.Generator | None,
+    ) -> Interval:
+        """Pick the best-scoring candidate, resolving ties per ``tie_break``."""
+        best_score = max(scores)
         # Several placements are frequently tied (attacking symmetrically to
         # the left or to the right of what has been seen gives the same
         # expected width); pick uniformly among the ties so the attacker does
         # not systematically favour one side across rounds.
-        ties = [candidate for score, candidate in scored if score >= best_score - 1e-9]
-        if rng is not None and len(ties) > 1:
+        ties = [
+            candidate
+            for score, candidate in zip(scores, candidates)
+            if score >= best_score - TIE_TOLERANCE
+        ]
+        if self.tie_break == "random" and rng is not None and len(ties) > 1:
             return ties[int(rng.integers(0, len(ties)))]
         return ties[0]
 
@@ -230,11 +285,7 @@ class ExpectationPolicy(AttackPolicy):
                 remaining_compromised=tuple(c for _w, c, _i in remaining_tail),
                 protected_points=protected,
             )
-            key = sub_context.cache_key()
-            decision = self._cache.get(key)
-            if decision is None:
-                decision = self._decide(sub_context)
-                self._cache[key] = decision
+            decision = self._cached_decide(sub_context)
             sub_admissibility = check_admissible(decision, sub_context)
             if sub_admissibility.mode is AttackerMode.ACTIVE and sub_admissibility.support is not None:
                 protected = protected + (sub_admissibility.support,)

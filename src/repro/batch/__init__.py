@@ -12,21 +12,28 @@ When to use which path
   benchmarks that need 10⁴–10⁶ rounds.  Throughput is one to two orders of
   magnitude above the scalar loop; empty-fusion rounds are reported through a
   ``valid`` mask instead of exceptions so a single bad round cannot abort a
-  sweep.  The batched attacker is the deterministic greedy stretch policy —
-  vectorizable, stealthy, and bit-matched by the scalar
-  :class:`repro.attack.stretch.ActiveStretchPolicy`.
+  sweep.  Batched attackers: the deterministic greedy stretch policy
+  (bit-matched by the scalar :class:`repro.attack.stretch.ActiveStretchPolicy`)
+  and the exact expectation-maximising attacker of problem (2)
+  (:mod:`repro.batch.expectation`, bit-matched by the scalar
+  :class:`repro.attack.expectation.ExpectationPolicy` under deterministic
+  tie-breaking).
 
-* **Scalar** — single rounds, exhaustive Table I enumerations with the
-  expectation-maximising attacker (whose sequential grid search cannot be
-  vectorized), anything needing rich per-round objects
+* **Scalar** — single rounds, small exhaustive Table I enumerations,
+  anything needing rich per-round objects
   (:class:`~repro.scheduling.round.RoundResult`,
   :class:`~repro.core.detection.DetectionResult`), and all property tests:
   the scalar path is the reference oracle that the batch path is asserted to
   bit-match.
+
+The attacker catalogue lives in ``docs/ATTACKERS.md``; the layer map and the
+engine seam this subpackage plugs into are described in
+``docs/ARCHITECTURE.md``.
 """
 
 from repro.batch.case_study import batch_case_study, batch_case_study_for_schedule
 from repro.batch.comparison import compare_schedules_batch, expected_fusion_width_batch
+from repro.batch.expectation import ExactExpectationBatchAttacker, VectorizedExpectationPolicy
 from repro.batch.fuse import (
     BatchFusion,
     batch_detect,
@@ -62,6 +69,8 @@ __all__ = [
     "TruthfulBatchAttacker",
     "ActiveStretchBatchAttacker",
     "ExpectationProxyBatchAttacker",
+    "ExactExpectationBatchAttacker",
+    "VectorizedExpectationPolicy",
     "BatchTransientFaults",
     "BatchRoundConfig",
     "BatchRoundResult",

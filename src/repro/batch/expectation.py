@@ -1,0 +1,1000 @@
+"""The exact expectation-maximising attacker (problem (2)), vectorized.
+
+:class:`repro.attack.expectation.ExpectationPolicy` scores every candidate
+placement by enumerating a (true-value × placement) grid of futures and
+fusing each one with a scalar Marzullo sweep — thousands of Python-level
+fusion and admissibility sweeps per decision.  This module keeps the
+*decision procedure* bit-for-bit identical while evaluating the whole
+(candidate × true-value × placement) grid as broadcast tensor ops:
+
+* candidate placements are generated as plain bound arrays (same values,
+  same order, same dedup rule as
+  :func:`repro.attack.candidates.candidate_intervals`) and filtered by
+  :class:`_AdmissibilityTable`, which computes the transmitted prefix's
+  coverage profile **once** per context and evaluates every candidate's
+  passive/active admissibility — and the conservative-mode support rule — as
+  array comparisons against it;
+* every surviving ``(candidate, scenario)`` combination is stacked into one
+  ``(C·S, n)`` bound matrix and solved by a single batched endpoint sweep
+  (:func:`repro.batch.fuse.coverage_extremes`, bit-identical to the scalar
+  :func:`repro.core.marzullo.fuse_or_none`);
+* the per-candidate mean accumulates the per-scenario widths sequentially in
+  the scalar enumeration order, so the scores — and therefore the decisions,
+  tie sets included — equal the scalar policy's exactly.
+
+:class:`VectorizedExpectationPolicy` packages this as a drop-in
+:class:`~repro.attack.policy.AttackPolicy`; :class:`ExactExpectationBatchAttacker`
+drives it over whole batches behind the
+:class:`repro.batch.rounds.BatchAttacker` interface: at each schedule slot it
+collects every compromised row's context, answers repeated contexts from one
+shared memo table keyed on
+:meth:`repro.attack.context.AttackContext.cache_key` (plus the
+``conservative`` flag) — the Ascending-schedule fast path, where the attacker
+transmits before seeing anything and whole swaths of rounds share a decision
+— and fuses the surviving rows' candidate grids in **one** batched sweep per
+slot.
+
+Equivalence contract
+--------------------
+
+Round-for-round equivalence with the scalar oracle holds under
+``tie_break="first"`` (the engine layer's ``attack="expectation"`` spec):
+random tie-breaking would consume the RNG in a different order on the two
+backends (round-major versus slot-major) and the streams would diverge.
+Decisions are deterministic per context, and memo entries are keyed by slot
+prefix (the number of transmitted intervals is part of the key), so the
+slot-major fill order of the batched memo visits colliding keys in the same
+order as the scalar round-major loop.  The one caveat: with ``fa >= 2`` a
+*lookahead* sub-decision (computed with the attacker's Δ stand-in for her own
+reading) could in principle pre-fill a key that the scalar path would first
+reach top-level; that requires two rounds to collide on every transmitted
+bound at 9-decimal precision, which does not occur under continuous
+Monte-Carlo sampling — ``tests/batch/test_expectation_batch.py`` pins the
+bit-equality on seeded sweeps for both ``fa = 1`` and ``fa = 2`` and both
+``conservative`` modes.
+
+See ``docs/ATTACKERS.md`` for where this attacker sits in the catalogue and
+``docs/ARCHITECTURE.md`` for the engine seam it plugs into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.candidates import PASSIVE_WIDTH_TOL, candidate_intervals
+from repro.attack.context import AttackContext
+from repro.attack.expectation import TIE_TOLERANCE, ExpectationPolicy, _linspace
+from repro.attack.stealth import (
+    AttackerMode,
+    active_mode_available,
+    check_admissible,
+    required_support,
+)
+from repro.batch.fuse import coverage_extremes
+from repro.batch.rounds import BatchAttacker, BatchSlotContext
+from repro.core.exceptions import ScheduleError
+from repro.core.interval import Interval
+from repro.core.marzullo import coverage_profile
+
+__all__ = ["VectorizedExpectationPolicy", "ExactExpectationBatchAttacker"]
+
+_DEDUP_PRECISION = 9  # must match repro.attack.candidates._DEDUP_PRECISION
+
+#: Upper bound on the (candidate × scenario) rows fused per batched sweep;
+#: bounds the peak size of the event matrices (~10 MB per bound matrix at
+#: n = 10) without changing any result — chunks reproduce the same per-round
+#: sweeps.
+_FUSE_CHUNK_ROWS = 65_536
+
+
+def _raw_candidate_bounds(
+    context: AttackContext, grid_positions: int
+) -> tuple[list[float], list[float]]:
+    """Deduplicated raw candidate bounds, pre-admissibility.
+
+    Reproduces the candidate enumeration of
+    :func:`repro.attack.candidates.candidate_intervals` — truthful reading,
+    passive extremes, endpoint alignments, uniform grid, first-occurrence
+    dedup at 9 decimals — as plain floats, skipping the ``Interval``
+    construction and per-candidate admissibility sweeps of the scalar path.
+    The values and their order are identical (the endpoint reference points
+    go through a Python ``set`` built by the same insertion sequence), which
+    ``tests/batch/test_expectation_batch.py`` cross-checks against the scalar
+    enumerator.
+    """
+    width = context.width
+    delta = context.delta
+    own = context.own_reading
+    lows: list[float] = [own.lo]
+    highs: list[float] = [own.hi]
+
+    # passive_extremes
+    if width >= delta.width - PASSIVE_WIDTH_TOL:
+        lows += [delta.hi - width, delta.lo, delta.center - width / 2.0]
+        highs += [delta.hi, delta.lo + width, delta.center + width / 2.0]
+
+    # endpoint_aligned (same set-construction order as the scalar code)
+    reference_points: set[float] = {delta.lo, delta.hi}
+    for interval in context.transmitted:
+        reference_points.add(interval.lo)
+        reference_points.add(interval.hi)
+    for point in context.protected_points:
+        reference_points.add(point)
+    reference_points.add(own.lo)
+    reference_points.add(own.hi)
+    for point in reference_points:
+        lows += [point, point - width]
+        highs += [point + width, point]
+
+    # grid_candidates (positions clamped to >= 2 like the scalar code)
+    positions = max(2, grid_positions)
+    g_lows = [delta.lo] + [s.lo for s in context.transmitted] + list(context.protected_points)
+    g_highs = [delta.hi] + [s.hi for s in context.transmitted] + list(context.protected_points)
+    window_lo = min(g_lows) - width
+    window_hi = max(g_highs) + width
+    span = window_hi - width - window_lo
+    if span <= 0:
+        lows.append(window_lo)
+        highs.append(window_lo + width)
+    else:
+        step = span / (positions - 1)
+        for index in range(positions):
+            lows.append(window_lo + index * step)
+            highs.append(window_lo + index * step + width)
+    return lows, highs
+
+
+def _support_value(
+    profile, candidate_lo: float, candidate_hi: float, required: int
+) -> float | None:
+    """:func:`repro.attack.stealth.support_point` over a precomputed profile.
+
+    Identical selection rule — first strictly-best-coverage segment in
+    profile order, point of the overlap closest to the candidate centre — so
+    the returned float equals the scalar call bit for bit.
+    """
+    center = (candidate_lo + candidate_hi) / 2.0
+    if required <= 0:
+        return center
+    best_point: float | None = None
+    best_coverage = -1
+    for segment in profile:
+        if segment.coverage < required:
+            continue
+        lo = max(segment.lo, candidate_lo)
+        hi = min(segment.hi, candidate_hi)
+        if hi < lo:
+            continue
+        if segment.coverage > best_coverage:
+            best_coverage = segment.coverage
+            best_point = min(max(center, lo), hi)
+    return best_point
+
+
+class _AdmissibilityTable:
+    """Vectorized stealth predicates for one context.
+
+    Evaluates the passive/active admissibility rules of
+    :mod:`repro.attack.stealth` — and the ``conservative`` support rule of
+    the expectation policy — for whole arrays of candidate bounds at once,
+    against a coverage profile of the transmitted prefix computed a single
+    time.  Results match :func:`repro.attack.stealth.check_admissible`
+    candidate for candidate.
+    """
+
+    __slots__ = (
+        "delta_lo",
+        "delta_hi",
+        "protected",
+        "required",
+        "available",
+        "transmitted",
+        "transmitted_lo",
+        "transmitted_hi",
+        "_profile",
+    )
+
+    def __init__(self, context: AttackContext) -> None:
+        self.delta_lo = context.delta.lo
+        self.delta_hi = context.delta.hi
+        self.protected = tuple(context.protected_points)
+        self.required = required_support(context)
+        self.available = active_mode_available(context)
+        self.transmitted = context.transmitted
+        self.transmitted_lo = np.asarray([s.lo for s in context.transmitted])
+        self.transmitted_hi = np.asarray([s.hi for s in context.transmitted])
+        self._profile = None
+
+    @property
+    def profile(self):
+        """The transmitted prefix's coverage profile, built on first use.
+
+        Only support *values* (protection obligations of active decisions)
+        need the merged segment list; the admissibility masks get by with
+        point-coverage queries on the raw bounds.
+        """
+        if self._profile is None:
+            self._profile = coverage_profile(self.transmitted) if self.transmitted else []
+        return self._profile
+
+    def has_support(self, lo: np.ndarray, hi: np.ndarray, required: int) -> np.ndarray:
+        """Candidates owning a point covered by >= ``required`` transmitted intervals.
+
+        The vectorized truth-value of ``support_point(...) is not None``.
+        Coverage is piecewise constant with breakpoints at the transmitted
+        endpoints, and at a breakpoint the (closed-interval) point coverage
+        dominates both neighbouring pieces, so the maximum over a candidate
+        ``[lo, hi]`` is attained at an endpoint clipped into the candidate or
+        at ``lo`` itself — evaluating the point coverage there is exact.
+        """
+        if required <= 0:
+            return np.ones(lo.shape, dtype=bool)
+        count = self.transmitted_lo.shape[0]
+        if count == 0:
+            return np.zeros(lo.shape, dtype=bool)
+        lo_col = lo[:, None]
+        hi_col = hi[:, None]
+        points = np.empty((lo.shape[0], 2 * count + 1))
+        points[:, 0] = lo
+        points[:, 1 : count + 1] = np.minimum(
+            np.maximum(self.transmitted_lo[None, :], lo_col), hi_col
+        )
+        points[:, count + 1 :] = np.minimum(
+            np.maximum(self.transmitted_hi[None, :], lo_col), hi_col
+        )
+        coverage = np.zeros(points.shape, dtype=np.int64)
+        for j in range(count):
+            coverage += (self.transmitted_lo[j] <= points) & (points <= self.transmitted_hi[j])
+        return (coverage >= required).any(axis=1)
+
+    def evaluate(self, lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(admissible, passive)`` masks per candidate.
+
+        ``passive`` marks the candidates admissible in passive mode (the mode
+        :func:`~repro.attack.stealth.check_admissible` reports, since passive
+        is tried first); admissible-but-not-passive candidates are active.
+        """
+        covers_protected = np.ones(lo.shape, dtype=bool)
+        for point in self.protected:
+            covers_protected &= (lo <= point) & (point <= hi)
+        passive = (lo <= self.delta_lo) & (self.delta_hi <= hi) & covers_protected
+        if self.available:
+            active = covers_protected & self.has_support(lo, hi, self.required)
+        else:
+            active = np.zeros(lo.shape, dtype=bool)
+        return passive | active, passive
+
+
+@dataclass
+class _PreparedCandidates:
+    """The admissible candidate grid of one context, as bound arrays."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    passive: np.ndarray
+    blocked: np.ndarray  # conservative-mode gate: score forced to -inf
+    table: _AdmissibilityTable
+
+    def __len__(self) -> int:
+        return int(self.lo.shape[0])
+
+    def interval(self, index: int) -> Interval:
+        return Interval(float(self.lo[index]), float(self.hi[index]))
+
+
+@dataclass
+class VectorizedExpectationPolicy(ExpectationPolicy):
+    """Expectation policy with tensor-op candidate scoring (same decisions).
+
+    The decision procedure — candidate enumeration, admissibility and
+    conservative-mode rules, tie tolerance and tie-breaking — matches
+    :class:`~repro.attack.expectation.ExpectationPolicy` exactly; only its
+    inner loops are replaced:
+
+    * stealth admissibility is evaluated for all candidates at once against
+      a once-per-context coverage profile (:class:`_AdmissibilityTable`);
+    * all ``(candidate, scenario)`` fusion problems are solved by one batched
+      endpoint sweep instead of one scalar sweep each;
+    * per-scenario widths are bit-identical to the scalar sweep's, and the
+      per-candidate mean adds them in the scalar enumeration order, so every
+      score (and hence every decision) matches the parent class exactly.
+
+    Rounds with compromised sensors still to transmit (``fa >= 2`` lookahead)
+    advance all (candidate, scenario) play-outs in lockstep, deciding every
+    future compromised slot's sub-contexts through one batched sweep (see
+    :func:`_score_recursive_multi`).
+    """
+
+    _mode_memo: dict[tuple, tuple] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Candidate preparation (vectorized candidate_intervals)
+    # ------------------------------------------------------------------
+    def _prepare_candidates(self, context: AttackContext) -> _PreparedCandidates:
+        """Admissible candidates as arrays; same values/order as the scalar path."""
+        lows, highs = _raw_candidate_bounds(context, self.grid_positions)
+        # First-occurrence dedup at 9 decimals, like candidates._dedupe.  The
+        # exact-key pre-pass removes the (frequent) bitwise duplicates before
+        # paying for Python's decimal rounding; survivors that still collide
+        # after rounding are dropped exactly like the scalar dedup.
+        exact_seen: set[tuple[float, float]] = set()
+        seen: set[tuple[float, float]] = set()
+        dedup_lo: list[float] = []
+        dedup_hi: list[float] = []
+        for lo_value, hi_value in zip(lows, highs):
+            exact_key = (lo_value, hi_value)
+            if exact_key in exact_seen:
+                continue
+            exact_seen.add(exact_key)
+            key = (round(lo_value, _DEDUP_PRECISION), round(hi_value, _DEDUP_PRECISION))
+            if key not in seen:
+                seen.add(key)
+                dedup_lo.append(lo_value)
+                dedup_hi.append(hi_value)
+        lo = np.asarray(dedup_lo)
+        hi = np.asarray(dedup_hi)
+        table = _AdmissibilityTable(context)
+        admissible, passive = table.evaluate(lo, hi)
+        if not bool(admissible.any()):
+            # Same fallback ladder as candidate_intervals: a Δ-centred
+            # placement if admissible, else the truthful reading.
+            centre_lo = np.asarray([context.delta.center - context.width / 2.0])
+            centre_hi = centre_lo + context.width
+            centre_ok, centre_passive = table.evaluate(centre_lo, centre_hi)
+            if bool(centre_ok[0]):
+                lo, hi, passive = centre_lo, centre_hi, centre_passive
+            else:
+                lo = np.asarray([context.own_reading.lo])
+                hi = np.asarray([context.own_reading.hi])
+                passive = np.ones(1, dtype=bool)
+        else:
+            lo = lo[admissible]
+            hi = hi[admissible]
+            passive = passive[admissible]
+        if self.conservative and len(lo) > 1:
+            blocked = ~passive & ~table.has_support(lo, hi, context.n - context.f - 1)
+        else:
+            blocked = np.zeros(lo.shape, dtype=bool)
+        return _PreparedCandidates(lo=lo, hi=hi, passive=passive, blocked=blocked, table=table)
+
+    # ------------------------------------------------------------------
+    # Decision procedure (overrides the scalar scoring loop)
+    # ------------------------------------------------------------------
+    def _decide(self, context: AttackContext, rng: np.random.Generator | None = None) -> Interval:
+        if _trivially_truthful(context):
+            return context.own_reading
+        prepared = self._prepare_candidates(context)
+        if len(prepared) == 1:
+            return prepared.interval(0)
+        if any(context.remaining_compromised):
+            scores = _score_recursive_multi(self, [(prepared, context)])[0]
+            return self._select_prepared(prepared, scores, rng)
+        combo_lo, combo_hi, scenarios = self._assemble_combos(prepared, context)
+        fusion = coverage_extremes(combo_lo, combo_hi, context.n - context.f)
+        widths = (fusion.hi - fusion.lo).reshape(len(prepared), scenarios)
+        valid = fusion.valid.reshape(len(prepared), scenarios)
+        scores = self._scores_from_widths(prepared, widths, valid)
+        return self._select_prepared(prepared, scores, rng)
+
+    def _select_prepared(
+        self,
+        prepared: _PreparedCandidates,
+        scores: list[float],
+        rng: np.random.Generator | None,
+    ) -> Interval:
+        """Array-backed version of ``_select`` (same tie semantics)."""
+        best_score = max(scores)
+        ties = [index for index, score in enumerate(scores) if score >= best_score - TIE_TOLERANCE]
+        if self.tie_break == "random" and rng is not None and len(ties) > 1:
+            return prepared.interval(ties[int(rng.integers(0, len(ties)))])
+        return prepared.interval(ties[0])
+
+    # ------------------------------------------------------------------
+    # Tensor assembly
+    # ------------------------------------------------------------------
+    def _scenario_bounds(self, context: AttackContext) -> tuple[np.ndarray, np.ndarray]:
+        """``(S, m)`` bounds of the future *correct* sensors per scenario.
+
+        The rows reproduce
+        :meth:`~repro.attack.expectation.ExpectationPolicy._future_scenarios`
+        exactly — true value outermost, the last remaining correct sensor's
+        placement varying fastest, future compromised sensors contributing no
+        columns (their placements are decided recursively, not enumerated) —
+        sharing its ``_linspace`` grids so the bounds are the same floats.
+        """
+        region = self._feasible_true_region(context)
+        correct_widths = context.unseen_correct_widths
+        widths = np.asarray(correct_widths, dtype=np.float64)
+        if not correct_widths:
+            true_values = _linspace(region.lo, region.hi, self.true_value_positions)
+            empty = np.empty((len(true_values), 0))
+            return empty, empty
+        sensors = len(correct_widths)
+        true_values = _linspace(region.lo, region.hi, self.true_value_positions)
+        if sensors == 1:
+            width = correct_widths[0]
+            flat: list[float] = []
+            for true_value in true_values:
+                flat.extend(_linspace(true_value - width, true_value, self.placement_positions))
+            scenario_lo = np.asarray(flat)[:, None]
+            return scenario_lo, scenario_lo + widths
+        # _linspace returns a single midpoint for count <= 1, so the
+        # per-sensor grid length is not simply placement_positions.
+        grid_len = len(_linspace(0.0, 1.0, self.placement_positions))
+        per_true = grid_len**sensors
+        scenario_lo = np.empty((len(true_values) * per_true, sensors))
+        grid_cache: dict[tuple[float, float], np.ndarray] = {}
+        for block, true_value in enumerate(true_values):
+            base = block * per_true
+            inner = per_true
+            for column, width in enumerate(correct_widths):
+                key = (true_value - width, true_value)
+                grid = grid_cache.get(key)
+                if grid is None:
+                    grid = np.asarray(_linspace(key[0], key[1], self.placement_positions))
+                    grid_cache[key] = grid
+                # Cartesian product in the scalar recursion order: earlier
+                # sensors vary slower, the last sensor fastest.
+                inner //= grid_len
+                outer = per_true // (inner * grid_len)
+                scenario_lo[base : base + per_true, column] = np.tile(
+                    np.repeat(grid, inner), outer
+                )
+        return scenario_lo, scenario_lo + widths
+
+    def _assemble_combos(
+        self, prepared: _PreparedCandidates, context: AttackContext
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Stack every (candidate, scenario) round into a ``(C·S, n)`` matrix.
+
+        Each row lists the intervals in the scalar play-out order —
+        transmitted prefix, then the candidate, then the scenario's future
+        sensors in slot order — so the batched sweep performs the same
+        comparisons as the scalar one and stays bit-identical.
+        """
+        prefix = context.n_transmitted
+        if context.remaining_widths:
+            scenario_lo, scenario_hi = self._scenario_bounds(context)
+        else:
+            scenario_lo = np.empty((1, 0))
+            scenario_hi = np.empty((1, 0))
+        scenarios = scenario_lo.shape[0]
+        count = len(prepared)
+        n = context.n
+        lo = np.empty((count, scenarios, n))
+        hi = np.empty((count, scenarios, n))
+        if prefix:
+            lo[:, :, :prefix] = [interval.lo for interval in context.transmitted]
+            hi[:, :, :prefix] = [interval.hi for interval in context.transmitted]
+        lo[:, :, prefix] = prepared.lo[:, None]
+        hi[:, :, prefix] = prepared.hi[:, None]
+        lo[:, :, prefix + 1 :] = scenario_lo[None, :, :]
+        hi[:, :, prefix + 1 :] = scenario_hi[None, :, :]
+        return lo.reshape(count * scenarios, n), hi.reshape(count * scenarios, n), scenarios
+
+    def _scores_from_widths(
+        self,
+        prepared: _PreparedCandidates,
+        widths: np.ndarray,
+        valid: np.ndarray,
+    ) -> list[float]:
+        """Candidate scores from the per-scenario fusion-width matrix.
+
+        Mirrors the scalar ``_expected_final_width`` term for term: the
+        conservative-mode gate (already folded into ``prepared.blocked``),
+        then a *sequential* accumulation over scenarios (an ``np.sum`` would
+        pairwise-reduce and drift from the scalar total in the last bits,
+        which could flip a tie).
+        """
+        # np.cumsum adds left to right (unlike np.sum's pairwise reduction),
+        # and skipped scenarios contribute an exact +0.0, so the final column
+        # equals the scalar running total bit for bit.
+        totals = np.cumsum(np.where(valid, widths, 0.0), axis=1)[:, -1]
+        counts = valid.sum(axis=1)
+        scores = np.where(
+            (counts > 0) & ~prepared.blocked, totals / np.maximum(counts, 1), -np.inf
+        )
+        return scores.tolist()
+
+    # ------------------------------------------------------------------
+    # fa >= 2: lookahead over future compromised sensors
+    # ------------------------------------------------------------------
+    def _decision_admissibility(
+        self, decision: Interval, sub_context: AttackContext
+    ) -> tuple[AttackerMode | None, float | None]:
+        """Mode and support of a (memoised) sub-decision, memoised alongside it.
+
+        The scalar play-out re-runs :func:`check_admissible` on every cache
+        hit; the result only depends on the decision and the key fields of
+        the context (``own_reading`` is not consulted), so it can share the
+        decision's memoisation granularity.
+        """
+        key = self._memo_key(sub_context)
+        cached = self._mode_memo.get(key)
+        if cached is None:
+            admissibility = check_admissible(decision, sub_context)
+            cached = (admissibility.mode, admissibility.support)
+            self._mode_memo[key] = cached
+        return cached
+
+    # The multi-context lockstep play-out lives in :func:`_score_recursive_multi`.
+
+
+def _trivially_truthful(context: AttackContext) -> bool:
+    """Contexts whose only admissible placement is the truthful reading.
+
+    While active mode is out of reach and no protection obligations exist,
+    every admissible placement must contain ``Δ``; when the attacked width
+    equals ``Δ`` exactly (``Δ = own reading`` — every ``fa = 1`` slot before
+    the active-mode threshold, e.g. the Ascending schedule's first slot, and
+    every lookahead sub-decision before the threshold), the only such
+    interval at that width is ``Δ`` itself, so the scalar candidate
+    enumeration collapses to the truthful reading and the whole grid
+    evaluation can be skipped.
+    """
+    delta = context.delta
+    width = context.width
+    return (
+        not context.protected_points
+        and delta.lo == context.own_reading.lo
+        and delta.hi == context.own_reading.hi
+        # Exact float collapses: every passive extreme / aligned / grid
+        # candidate that contains Δ reproduces Δ's bounds bit for bit, so the
+        # scalar dedup folds them all into the truthful reading (C = 1).
+        # Generic width mismatches (lookahead sub-decisions for a wider or
+        # narrower slot) fail these checks and take the full enumeration.
+        and delta.hi - width == delta.lo
+        and delta.lo + width == delta.hi
+        and delta.center - width / 2.0 == delta.lo
+        and delta.center + width / 2.0 == delta.hi
+        and not active_mode_available(context)
+    )
+
+
+def _score_recursive_multi(
+    policy: VectorizedExpectationPolicy,
+    items: list[tuple[_PreparedCandidates, AttackContext]],
+) -> list[list[float]]:
+    """Lockstep scoring of contexts whose lookahead contains compromised slots.
+
+    The scalar policy plays every (candidate, scenario) combination out one
+    by one, recursing at each future compromised slot.  All ``items`` share
+    the same ``remaining_compromised`` pattern, so their play-outs advance in
+    *lockstep* instead: at every future compromised position the sub-contexts
+    of all combinations — across every item — are deduplicated (combinations
+    with the same candidate and correct placements so far share a sub-context
+    verbatim) and decided together through :func:`_decide_batch`, and the
+    final fusions of all combinations are solved by one batched sweep at the
+    end.  Memo-key collisions cannot cross positions (the transmitted prefix
+    length is part of the key) and within a position the group order equals
+    the scalar item-major, candidate-major, scenario-minor order, so the memo
+    fills exactly like the scalar loop.
+
+    Returns one score list per item (``-inf`` for conservative-blocked
+    candidates, like the scalar ``_expected_final_width`` gates).
+    """
+    results: list[list[float]] = [[-np.inf] * len(prepared) for prepared, _context in items]
+    active_items: list[tuple[int, _PreparedCandidates, AttackContext, list[int]]] = []
+    for item, (prepared, context) in enumerate(items):
+        unblocked = [index for index in range(len(prepared)) if not prepared.blocked[index]]
+        if unblocked:
+            active_items.append((item, prepared, context, unblocked))
+    if not active_items:
+        return results
+
+    # Per-item scenario grids and candidate-seeded protection obligations
+    # (the scalar _expected_final_width's `protected` bookkeeping).
+    scenario_grids: dict[int, tuple[np.ndarray, np.ndarray, list[list[Interval]]]] = {}
+    seeds: dict[tuple[int, int], tuple[float, ...]] = {}
+    combos: list[tuple[int, int, int]] = []  # (item, candidate index, scenario)
+    scenarios = None
+    candidate_intervals_of: dict[tuple[int, int], Interval] = {}
+    for item, prepared, context, unblocked in active_items:
+        required = required_support(context)
+        for index in unblocked:
+            candidate_intervals_of[(item, index)] = prepared.interval(index)
+            if prepared.passive[index]:
+                seeds[(item, index)] = context.protected_points
+            else:
+                support = _support_value(
+                    prepared.table.profile,
+                    float(prepared.lo[index]),
+                    float(prepared.hi[index]),
+                    required,
+                )
+                assert support is not None  # active admissibility guarantees it
+                seeds[(item, index)] = context.protected_points + (support,)
+        scenario_lo, scenario_hi = policy._scenario_bounds(context)
+        scenarios = scenario_lo.shape[0]  # identical across items (same pattern)
+        scenario_intervals = [
+            [
+                Interval(float(scenario_lo[scenario, column]), float(scenario_hi[scenario, column]))
+                for column in range(scenario_lo.shape[1])
+            ]
+            for scenario in range(scenarios)
+        ]
+        scenario_grids[item] = (scenario_lo, scenario_hi, scenario_intervals)
+        combos.extend(
+            (item, index, scenario) for index in unblocked for scenario in range(scenarios)
+        )
+
+    context_of = {item: context for item, _prepared, context, _unblocked in active_items}
+    remaining_pattern = active_items[0][2].remaining_compromised
+    transmitted: list[list[Interval]] = [
+        list(context_of[item].transmitted) + [candidate_intervals_of[(item, index)]]
+        for item, index, _scenario in combos
+    ]
+    protected: list[tuple[float, ...]] = [
+        seeds[(item, index)] for item, index, _scenario in combos
+    ]
+
+    correct_seen = 0
+    for position, compromised in enumerate(remaining_pattern):
+        if not compromised:
+            column = correct_seen
+            correct_seen += 1
+            for combo, (item, _index, scenario) in enumerate(combos):
+                transmitted[combo].append(scenario_grids[item][2][scenario][column])
+            continue
+        # Combinations whose item, candidate and correct placements so far
+        # coincide share their sub-context (and hence their sub-decision)
+        # verbatim; build it once per group, in first-occurrence order so the
+        # memo fills like the scalar play-out.
+        group_members: dict[tuple, list[int]] = {}
+        group_order: list[tuple] = []
+        for combo, (item, index, scenario) in enumerate(combos):
+            if correct_seen:
+                group_key = (
+                    item,
+                    index,
+                    scenario_grids[item][0][scenario, :correct_seen].tobytes(),
+                )
+            else:
+                # No correct placements seen yet: the candidate alone
+                # identifies the group.
+                group_key = (item, index)
+            members = group_members.get(group_key)
+            if members is None:
+                group_members[group_key] = [combo]
+                group_order.append(group_key)
+            else:
+                members.append(combo)
+        sub_contexts = []
+        for group_key in group_order:
+            item = group_key[0]
+            context = context_of[item]
+            representative = group_members[group_key][0]
+            tail_widths = context.remaining_widths[position + 1 :]
+            tail_compromised = context.remaining_compromised[position + 1 :]
+            sub_contexts.append(
+                AttackContext(
+                    n=context.n,
+                    f=context.f,
+                    slot_index=context.slot_index + 1 + position,
+                    sensor_index=-1,
+                    width=context.remaining_widths[position],
+                    own_reading=policy._own_reading_guess(context),
+                    delta=context.delta,
+                    transmitted=tuple(transmitted[representative]),
+                    transmitted_compromised=tuple(context.transmitted_compromised)
+                    + (True,)
+                    + remaining_pattern[:position],
+                    remaining_widths=tail_widths,
+                    remaining_compromised=tail_compromised,
+                    protected_points=protected[representative],
+                )
+            )
+        decisions = _decide_batch(policy, sub_contexts)
+        for group_key, sub_context, decision in zip(group_order, sub_contexts, decisions):
+            mode, support = policy._decision_admissibility(decision, sub_context)
+            active = mode is AttackerMode.ACTIVE and support is not None
+            for combo in group_members[group_key]:
+                if active:
+                    protected[combo] = protected[combo] + (support,)
+                transmitted[combo].append(decision)
+
+    n_minus_f = active_items[0][2].n - active_items[0][2].f
+    total = len(transmitted)
+    flat_widths = np.empty(total)
+    flat_valid = np.empty(total, dtype=bool)
+    for start in range(0, total, _FUSE_CHUNK_ROWS):
+        stop = min(start + _FUSE_CHUNK_ROWS, total)
+        fusion = coverage_extremes(
+            np.asarray([[s.lo for s in transmitted[row]] for row in range(start, stop)]),
+            np.asarray([[s.hi for s in transmitted[row]] for row in range(start, stop)]),
+            n_minus_f,
+        )
+        flat_widths[start:stop] = fusion.hi - fusion.lo
+        flat_valid[start:stop] = fusion.valid
+    widths = flat_widths.reshape(-1, scenarios)
+    valid = flat_valid.reshape(-1, scenarios)
+    totals = np.cumsum(np.where(valid, widths, 0.0), axis=1)[:, -1]
+    counts = valid.sum(axis=1)
+    packed = np.where(counts > 0, totals / np.maximum(counts, 1), -np.inf).tolist()
+    block = 0
+    for item, _prepared, _context, unblocked in active_items:
+        for index in unblocked:
+            results[item][index] = packed[block]
+            block += 1
+    return results
+
+
+def _store_decision(
+    policy: VectorizedExpectationPolicy,
+    key: tuple,
+    prepared: _PreparedCandidates,
+    selected: int,
+) -> Interval:
+    """Cache a computed decision together with its stealth mode and support.
+
+    The mode/support pair equals what :func:`check_admissible` would report
+    for the decision in this context (passive is tried first; the active
+    support point comes from the same coverage profile and selection rule),
+    so lookahead consumers can skip the scalar admissibility sweep on every
+    play-out.  The scalar fallback case whose only "candidate" is an
+    inadmissible truthful reading is labelled passive here; consumers only
+    test for active mode, for which both labels behave identically.
+    """
+    decision = prepared.interval(selected)
+    policy._cache[key] = decision
+    if prepared.passive[selected]:
+        policy._mode_memo[key] = (AttackerMode.PASSIVE, None)
+    else:
+        table = prepared.table
+        policy._mode_memo[key] = (
+            AttackerMode.ACTIVE,
+            _support_value(
+                table.profile,
+                float(prepared.lo[selected]),
+                float(prepared.hi[selected]),
+                table.required,
+            ),
+        )
+    return decision
+
+
+def _selected_index(scores: list[float]) -> int:
+    """First candidate within tie tolerance of the best score (``ties[0]``)."""
+    best_score = max(scores)
+    for index, score in enumerate(scores):
+        if score >= best_score - TIE_TOLERANCE:
+            return index
+    raise AssertionError("unreachable: best score is always within tolerance of itself")
+
+
+def _decide_batch(
+    policy: VectorizedExpectationPolicy, contexts: list[AttackContext]
+) -> list[Interval]:
+    """Decide a batch of attack contexts, fusing their candidate grids together.
+
+    Contexts are visited in order so memo-key collisions resolve
+    first-computed-wins, exactly like the scalar round-major loop.  Contexts
+    that miss the memo and have no future compromised sensors are scored
+    together: their (candidate × scenario) grids are concatenated into a
+    single bound matrix and solved by one batched endpoint sweep.  Contexts
+    with future compromised sensors recurse through the policy's lockstep
+    play-out (which calls back into this function one level deeper).
+
+    Shared by :class:`ExactExpectationBatchAttacker` (one call per schedule
+    slot) and :func:`_score_recursive_multi` (one call per future compromised
+    position).
+    """
+    decisions: list[Interval | None] = [None] * len(contexts)
+    pending: list[tuple[int, tuple, _PreparedCandidates, AttackContext]] = []
+    recursive: list[tuple[int, tuple, _PreparedCandidates, AttackContext]] = []
+    pending_keys: set[tuple] = set()
+    deferred: list[tuple[int, tuple]] = []
+    for index, ctx in enumerate(contexts):
+        key = policy._memo_key(ctx)
+        cached = policy._cache.get(key)
+        if cached is not None:
+            policy.cache_hits += 1
+            decisions[index] = cached
+            continue
+        if key in pending_keys:
+            # A same-key context earlier in this batch is already being
+            # computed; reuse its (forthcoming) decision like the scalar
+            # loop would reuse its cache entry.
+            policy.cache_hits += 1
+            deferred.append((index, key))
+            continue
+        if _trivially_truthful(ctx):
+            policy.cache_misses += 1
+            decision = ctx.own_reading
+            policy._cache[key] = decision
+            policy._mode_memo[key] = (AttackerMode.PASSIVE, None)
+            decisions[index] = decision
+            continue
+        prepared = policy._prepare_candidates(ctx)
+        if len(prepared) == 1:
+            policy.cache_misses += 1
+            decisions[index] = _store_decision(policy, key, prepared, 0)
+            continue
+        if any(ctx.remaining_compromised):
+            recursive.append((index, key, prepared, ctx))
+            pending_keys.add(key)
+            continue
+        pending.append((index, key, prepared, ctx))
+        pending_keys.add(key)
+
+    if recursive:
+        # Lockstep the recursive contexts together, one group per
+        # remaining-slot pattern (identical for deterministic schedules;
+        # RandomSchedule rows can genuinely differ).
+        pattern_groups: dict[tuple, list[tuple[int, tuple, _PreparedCandidates, AttackContext]]] = {}
+        pattern_order: list[tuple] = []
+        for entry in recursive:
+            pattern = entry[3].remaining_compromised
+            group = pattern_groups.get(pattern)
+            if group is None:
+                pattern_groups[pattern] = [entry]
+                pattern_order.append(pattern)
+            else:
+                group.append(entry)
+        for pattern in pattern_order:
+            group = pattern_groups[pattern]
+            score_lists = _score_recursive_multi(
+                policy, [(prepared, ctx) for _index, _key, prepared, ctx in group]
+            )
+            for (index, key, prepared, _ctx), scores in zip(group, score_lists):
+                policy.cache_misses += 1
+                decisions[index] = _store_decision(
+                    policy, key, prepared, _selected_index(scores)
+                )
+
+    if pending:
+        n_minus_f = contexts[0].n - contexts[0].f
+        chunk: list[tuple[int, tuple, _PreparedCandidates, int, np.ndarray, np.ndarray]] = []
+        chunk_rows = 0
+
+        def _flush_chunk() -> None:
+            nonlocal chunk, chunk_rows
+            if not chunk:
+                return
+            fusion = coverage_extremes(
+                np.concatenate([entry[4] for entry in chunk]),
+                np.concatenate([entry[5] for entry in chunk]),
+                n_minus_f,
+            )
+            all_widths = fusion.hi - fusion.lo
+            all_valid = fusion.valid
+            offset = 0
+            for index, key, prepared, scenarios, combo_lo, _combo_hi in chunk:
+                rows = combo_lo.shape[0]
+                widths = all_widths[offset : offset + rows].reshape(len(prepared), scenarios)
+                valid = all_valid[offset : offset + rows].reshape(len(prepared), scenarios)
+                offset += rows
+                scores = policy._scores_from_widths(prepared, widths, valid)
+                policy.cache_misses += 1
+                decisions[index] = _store_decision(
+                    policy, key, prepared, _selected_index(scores)
+                )
+            chunk = []
+            chunk_rows = 0
+
+        for index, key, prepared, ctx in pending:
+            combo_lo, combo_hi, scenarios = policy._assemble_combos(prepared, ctx)
+            chunk.append((index, key, prepared, scenarios, combo_lo, combo_hi))
+            chunk_rows += combo_lo.shape[0]
+            if chunk_rows >= _FUSE_CHUNK_ROWS:
+                _flush_chunk()
+        _flush_chunk()
+
+    for index, key in deferred:
+        decisions[index] = policy._cache[key]
+    assert all(decision is not None for decision in decisions)
+    return decisions
+
+
+@dataclass
+class ExactExpectationBatchAttacker(BatchAttacker):
+    """Batched driver for the exact expectation attacker of problem (2).
+
+    At every schedule slot the attacker reconstructs each compromised row's
+    :class:`~repro.attack.context.AttackContext` from the batch arrays,
+    answers repeated contexts from the shared memo table (one decision per
+    unique ``cache_key`` per batch, honouring the scalar first-computed-wins
+    semantics when keys collide across rows), and scores all remaining rows'
+    candidate grids in **one** batched endpoint sweep.
+
+    Parameters mirror :class:`~repro.attack.expectation.ExpectationPolicy`;
+    tie-breaking is fixed to the deterministic ``"first"`` rule so the
+    attacker consumes no randomness and stays round-for-round identical to
+    the scalar oracle driven by the scalar engine (see the module docstring
+    for the equivalence contract).
+    """
+
+    true_value_positions: int = 3
+    placement_positions: int = 3
+    grid_positions: int = 9
+    conservative: bool = False
+    _policy: VectorizedExpectationPolicy = field(init=False, repr=False)
+    _protected: list[tuple[float, ...]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._policy = VectorizedExpectationPolicy(
+            true_value_positions=self.true_value_positions,
+            placement_positions=self.placement_positions,
+            grid_positions=self.grid_positions,
+            conservative=self.conservative,
+            tie_break="first",
+        )
+
+    @property
+    def policy(self) -> VectorizedExpectationPolicy:
+        """The underlying policy (shared memo table, cache hit/miss counters)."""
+        return self._policy
+
+    def reset(self, batch: int) -> None:
+        """Clear per-round protection obligations; the memo persists (its
+        entries are deterministic functions of the context, like the scalar
+        policy's cache surviving ``reset`` across rounds)."""
+        self._protected = [() for _ in range(batch)]
+
+    # ------------------------------------------------------------------
+    # BatchAttacker interface
+    # ------------------------------------------------------------------
+    def forge(
+        self, context: BatchSlotContext, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if context.remaining_widths is None or context.transmitted_compromised is None:
+            raise ScheduleError(
+                "ExactExpectationBatchAttacker needs the lookahead fields of "
+                "BatchSlotContext (remaining_widths / remaining_compromised / "
+                "transmitted_compromised); drive it through repro.batch.rounds.batch_rounds"
+            )
+        if len(self._protected) != context.rows.shape[0]:
+            self.reset(context.rows.shape[0])
+        lo = context.own_lo.copy()
+        hi = context.own_hi.copy()
+        row_indices = [int(i) for i in np.flatnonzero(context.rows)]
+        contexts = [self._row_context(context, i) for i in row_indices]
+        decisions = _decide_batch(self._policy, contexts)
+        for row, ctx, decision in zip(row_indices, contexts, decisions):
+            if any(ctx.remaining_compromised):
+                # Protection obligations only constrain *later* compromised
+                # slots of the same round; skip the admissibility lookup when
+                # there are none, like run_round's bookkeeping going unused.
+                mode, support = self._policy._decision_admissibility(decision, ctx)
+                if mode is AttackerMode.ACTIVE and support is not None:
+                    self._protected[row] = self._protected[row] + (support,)
+            lo[row] = decision.lo
+            hi[row] = decision.hi
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _row_context(self, context: BatchSlotContext, row: int) -> AttackContext:
+        """One row's scalar attack context, rebuilt from the batch arrays."""
+        return AttackContext(
+            n=context.n,
+            f=context.f,
+            slot_index=context.slot,
+            sensor_index=int(context.sensor[row]),
+            width=float(context.width[row]),
+            own_reading=Interval(float(context.own_lo[row]), float(context.own_hi[row])),
+            delta=Interval(float(context.delta_lo[row]), float(context.delta_hi[row])),
+            transmitted=tuple(
+                Interval(float(a), float(b))
+                for a, b in zip(context.transmitted_lo[row], context.transmitted_hi[row])
+            ),
+            transmitted_compromised=tuple(
+                bool(flag) for flag in context.transmitted_compromised[row]
+            ),
+            remaining_widths=tuple(float(w) for w in context.remaining_widths[row]),
+            remaining_compromised=tuple(
+                bool(flag) for flag in context.remaining_compromised[row]
+            ),
+            protected_points=self._protected[row],
+        )
+
+
+def _candidate_parity_check(context: AttackContext, grid_positions: int = 9) -> bool:
+    """Test hook: the array candidate enumeration equals the scalar one."""
+    policy = VectorizedExpectationPolicy(grid_positions=grid_positions, tie_break="first")
+    prepared = policy._prepare_candidates(context)
+    scalar = candidate_intervals(context, grid_positions)
+    return [(s.lo, s.hi) for s in scalar] == list(zip(prepared.lo.tolist(), prepared.hi.tolist()))

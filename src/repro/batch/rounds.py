@@ -27,6 +27,11 @@ The scalar policy :class:`repro.attack.stretch.ActiveStretchPolicy` implements
 the identical decision rule through the ordinary :class:`~repro.attack.policy.AttackPolicy`
 interface, so the batched driver can be property-tested round-for-round
 against :func:`~repro.scheduling.round.run_round`.
+
+Further batched attackers — including the exact expectation-maximising
+attacker of problem (2) (:mod:`repro.batch.expectation`) — implement the
+same :class:`BatchAttacker` interface; the catalogue with each attacker's
+paper equation and scalar counterpart is in ``docs/ATTACKERS.md``.
 """
 
 from __future__ import annotations
@@ -71,6 +76,14 @@ class BatchSlotContext:
     All arrays have batch length ``B``; ``rows`` selects the rounds in which
     the sensor transmitting at this slot is compromised (the attacker must
     only rely on the other fields where ``rows`` is ``True``).
+
+    ``transmitted_compromised``, ``remaining_widths`` and
+    ``remaining_compromised`` carry the same lookahead information as the
+    scalar :class:`repro.attack.context.AttackContext` (widths are public
+    a-priori knowledge, so exposing them does not strengthen the attacker);
+    they are consumed by lookahead attackers such as
+    :class:`repro.batch.expectation.ExactExpectationBatchAttacker` and
+    ignored by the prefix-only stretch attackers.
     """
 
     n: int
@@ -86,6 +99,9 @@ class BatchSlotContext:
     transmitted_lo: np.ndarray
     transmitted_hi: np.ndarray
     far: np.ndarray
+    transmitted_compromised: np.ndarray | None = None
+    remaining_widths: np.ndarray | None = None
+    remaining_compromised: np.ndarray | None = None
 
 
 class BatchAttacker(abc.ABC):
@@ -532,10 +548,15 @@ def batch_rounds(
 
     config.attacker.reset(batch)
     row_index = np.arange(batch)
+    rows2 = row_index[:, None]
     transmitted_lo = np.empty((batch, n))
     transmitted_hi = np.empty((batch, n))
     sent_compromised = np.zeros(batch, dtype=np.int64)
     fa_rows = attacked_mask.sum(axis=1)
+    # Widths and compromised flags rearranged into slot order, so each slot's
+    # context can expose the remaining schedule as cheap array views.
+    widths_by_slot = widths[rows2, orders]
+    attacked_by_slot = attacked_mask[rows2, orders]
 
     for slot in range(n):
         sensor = orders[:, slot]
@@ -557,6 +578,9 @@ def batch_rounds(
                 transmitted_lo=transmitted_lo[:, :slot],
                 transmitted_hi=transmitted_hi[:, :slot],
                 far=fa_rows - sent_compromised,
+                transmitted_compromised=attacked_by_slot[:, :slot],
+                remaining_widths=widths_by_slot[:, slot + 1 :],
+                remaining_compromised=attacked_by_slot[:, slot + 1 :],
             )
             forged_lo, forged_hi = config.attacker.forge(context, rng)
             slot_lo = np.where(rows, forged_lo, slot_lo)
@@ -571,7 +595,6 @@ def batch_rounds(
     broadcast_lo = np.empty((batch, n))
     broadcast_hi = np.empty((batch, n))
     flagged = np.empty((batch, n), dtype=bool)
-    rows2 = row_index[:, None]
     broadcast_lo[rows2, orders] = transmitted_lo
     broadcast_hi[rows2, orders] = transmitted_hi
     flagged[rows2, orders] = flagged_by_slot

@@ -21,6 +21,7 @@ from repro.engine.base import (
     ENGINE_ENV_VAR,
     AttackSpec,
     Engine,
+    ExpectationAttack,
     RoundsResult,
     StretchAttack,
     TruthfulAttack,
@@ -42,6 +43,7 @@ __all__ = [
     "AttackSpec",
     "TruthfulAttack",
     "StretchAttack",
+    "ExpectationAttack",
     "resolve_attack",
     "RoundsResult",
     "Engine",

@@ -22,10 +22,17 @@ same experiments — the scalar reference loop (:mod:`repro.scheduling.round`,
   code.
 
 Attack models are requested by *specification* (:class:`StretchAttack`,
-:class:`TruthfulAttack`, or their string spellings) rather than by policy
-object, because each backend owns its implementation of the same decision
-rule (e.g. :class:`repro.attack.stretch.ActiveStretchPolicy` versus
-:class:`repro.batch.rounds.ActiveStretchBatchAttacker`).
+:class:`ExpectationAttack`, :class:`TruthfulAttack`, or their string
+spellings) rather than by policy object, because each backend owns its
+implementation of the same decision rule (e.g.
+:class:`repro.attack.stretch.ActiveStretchPolicy` versus
+:class:`repro.batch.rounds.ActiveStretchBatchAttacker`, or
+:class:`repro.attack.expectation.ExpectationPolicy` versus
+:class:`repro.batch.expectation.ExactExpectationBatchAttacker`).
+
+The layer map and the registry contract for third-party backends are
+documented in ``docs/ARCHITECTURE.md``; the attacker catalogue in
+``docs/ATTACKERS.md``.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "TruthfulAttack",
     "StretchAttack",
+    "ExpectationAttack",
     "AttackSpec",
     "resolve_attack",
     "RoundsResult",
@@ -92,24 +100,54 @@ class StretchAttack:
             raise ExperimentError(f"stretch side must be +1 or -1, got {self.side}")
 
 
-AttackSpec = Union[str, TruthfulAttack, StretchAttack]
+@dataclass(frozen=True)
+class ExpectationAttack:
+    """The exact expectation-maximising attacker of problem (2).
+
+    Both backends implement the identical decision rule — the scalar engine
+    through :class:`repro.attack.expectation.ExpectationPolicy`, the batch
+    engine through the vectorized
+    :class:`repro.batch.expectation.ExactExpectationBatchAttacker` — with
+    deterministic (first-candidate) tie-breaking, so engine results are
+    bit-comparable under this spec like they are under :class:`StretchAttack`.
+
+    Attributes mirror the grid resolution of the scalar policy; the defaults
+    are the Table I settings.  ``conservative`` selects the weaker
+    active-mode rule (support from already-transmitted intervals only).
+    """
+
+    true_value_positions: int = 3
+    placement_positions: int = 3
+    grid_positions: int = 9
+    conservative: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("true_value_positions", "placement_positions", "grid_positions"):
+            if getattr(self, name) < 1:
+                raise ExperimentError(f"{name} must be positive, got {getattr(self, name)}")
+
+
+AttackSpec = Union[str, TruthfulAttack, StretchAttack, ExpectationAttack]
 
 _ATTACK_NAMES = {
     "truthful": TruthfulAttack(),
     "stretch": StretchAttack(side=1),
     "stretch-left": StretchAttack(side=-1),
+    "expectation": ExpectationAttack(),
+    "expectation-conservative": ExpectationAttack(conservative=True),
 }
 
 
-def resolve_attack(attack: AttackSpec) -> TruthfulAttack | StretchAttack:
+def resolve_attack(attack: AttackSpec) -> TruthfulAttack | StretchAttack | ExpectationAttack:
     """Normalise an attack specification (string spellings included)."""
-    if isinstance(attack, (TruthfulAttack, StretchAttack)):
+    if isinstance(attack, (TruthfulAttack, StretchAttack, ExpectationAttack)):
         return attack
     resolved = _ATTACK_NAMES.get(attack)
     if resolved is None:
         raise ExperimentError(
             f"unknown attack specification {attack!r}; expected one of "
-            f"{sorted(_ATTACK_NAMES)} or a TruthfulAttack/StretchAttack instance"
+            f"{sorted(_ATTACK_NAMES)} or a TruthfulAttack/StretchAttack/"
+            "ExpectationAttack instance"
         )
     return resolved
 

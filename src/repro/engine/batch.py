@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.batch.case_study import DEFAULT_REPLICAS, batch_case_study
+from repro.batch.expectation import ExactExpectationBatchAttacker
 from repro.batch.rounds import (
     ActiveStretchBatchAttacker,
     BatchAttacker,
@@ -29,6 +30,7 @@ from repro.core.exceptions import ExperimentError
 from repro.engine.base import (
     AttackSpec,
     Engine,
+    ExpectationAttack,
     RoundsResult,
     StretchAttack,
     TruthfulAttack,
@@ -48,9 +50,18 @@ class BatchEngine(Engine):
     name = "batch"
 
     @staticmethod
-    def _attacker(attack: TruthfulAttack | StretchAttack) -> BatchAttacker:
+    def _attacker(
+        attack: TruthfulAttack | StretchAttack | ExpectationAttack,
+    ) -> BatchAttacker:
         if isinstance(attack, TruthfulAttack):
             return TruthfulBatchAttacker()
+        if isinstance(attack, ExpectationAttack):
+            return ExactExpectationBatchAttacker(
+                true_value_positions=attack.true_value_positions,
+                placement_positions=attack.placement_positions,
+                grid_positions=attack.grid_positions,
+                conservative=attack.conservative,
+            )
         return ActiveStretchBatchAttacker(side=attack.side)
 
     def run_rounds(

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.attack.expectation import ExpectationPolicy
 from repro.attack.policy import AttackPolicy, TruthfulPolicy
 from repro.attack.stretch import ActiveStretchPolicy
 from repro.batch.rounds import BatchTransientFaults, batch_orders, sample_correct_bounds
@@ -29,6 +30,7 @@ from repro.core.interval import Interval
 from repro.engine.base import (
     AttackSpec,
     Engine,
+    ExpectationAttack,
     RoundsResult,
     StretchAttack,
     TruthfulAttack,
@@ -49,9 +51,20 @@ class ScalarEngine(Engine):
     name = "scalar"
 
     @staticmethod
-    def _policy(attack: TruthfulAttack | StretchAttack) -> AttackPolicy:
+    def _policy(attack: TruthfulAttack | StretchAttack | ExpectationAttack) -> AttackPolicy:
         if isinstance(attack, TruthfulAttack):
             return TruthfulPolicy()
+        if isinstance(attack, ExpectationAttack):
+            # Deterministic tie-breaking keeps the policy RNG-free, so the
+            # engine streams stay aligned and the batch backend's vectorized
+            # expectation attacker can be compared bit-for-bit.
+            return ExpectationPolicy(
+                true_value_positions=attack.true_value_positions,
+                placement_positions=attack.placement_positions,
+                grid_positions=attack.grid_positions,
+                conservative=attack.conservative,
+                tie_break="first",
+            )
         return ActiveStretchPolicy(side=attack.side)
 
     def run_rounds(

@@ -15,8 +15,10 @@ Two estimators are provided:
 * the engine-layer Monte-Carlo sweep — samples combinations like the
   Monte-Carlo estimator but runs them on a registered simulation backend
   (:mod:`repro.engine`), reachable here via ``engine="batch"`` (vectorized,
-  10⁵+ trials) or ``engine="scalar"``; the legacy ``method="batch"``
-  spelling still works but is deprecated.
+  10⁵+ trials) or ``engine="scalar"``, with the attacker chosen by spec
+  (``attack="stretch"`` or the exact ``attack="expectation"`` of problem
+  (2), vectorized in :mod:`repro.batch.expectation`); the legacy
+  ``method="batch"`` spelling still works but is deprecated.
 
 :func:`compare_schedules` runs several schedules on the same configuration
 and returns a :class:`ScheduleComparison` with one row per schedule, which the
@@ -28,9 +30,12 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # repro.engine imports this module; annotation-only import
+    from repro.engine.base import AttackSpec
 
 from repro.attack.expectation import ExpectationPolicy
 from repro.attack.policy import AttackPolicy
@@ -230,6 +235,7 @@ def compare_schedules(
     method: str | None = None,
     samples: int = 500,
     engine: str | object | None = None,
+    attack: "AttackSpec | None" = None,
 ) -> ScheduleComparison:
     """Run every schedule on one configuration and collect the rows.
 
@@ -240,10 +246,8 @@ def compare_schedules(
         (so per-policy caches cannot leak decisions between schedules).
         Defaults to the expectation-maximising attacker of problem (2).
         Must be left ``None`` when an ``engine`` is selected (rejected
-        otherwise): the engine layer's attacker is the vectorized-capable
-        greedy stretch policy — use :meth:`repro.engine.base.Engine.compare`
-        with an ``attack`` spec, or the scalar estimators below, to
-        customise it.
+        otherwise): engine-route attackers are chosen with the ``attack``
+        spec instead.
     method:
         ``"exhaustive"`` (paper's method, the default) or ``"monte_carlo"``
         — the scalar estimator variants.  The legacy spelling
@@ -257,6 +261,13 @@ def compare_schedules(
         environment variable may route the call onto a *non-default*
         backend (``REPRO_ENGINE=scalar`` is a no-op); otherwise the scalar
         exhaustive estimator runs.
+    attack:
+        Engine-route attack specification (see
+        :func:`repro.engine.base.resolve_attack`): ``"stretch"`` (default),
+        ``"truthful"``, ``"expectation"`` / ``"expectation-conservative"``
+        (the exact problem (2) attacker, vectorized on the batch engine), or
+        a spec instance.  Only valid together with ``engine``: the scalar
+        ``method`` estimators take a ``policy_factory`` instead.
     """
     if method == "batch":
         warnings.warn(
@@ -286,15 +297,26 @@ def compare_schedules(
         if policy_factory is not None:
             raise ExperimentError(
                 "engine selection uses the engines' own attack specs and cannot honour "
-                "policy_factory; call repro.engine.get_engine(...).compare with an "
-                "attack spec, or repro.batch.comparison.compare_schedules_batch with "
-                "an attacker_factory, instead"
+                "policy_factory; pass attack=... (e.g. attack='expectation'), or use "
+                "repro.batch.comparison.compare_schedules_batch with an "
+                "attacker_factory, instead"
             )
         from repro.engine import get_engine
 
-        return get_engine(engine).compare(config, schedules, samples=samples, rng=rng)
+        return get_engine(engine).compare(
+            config,
+            schedules,
+            samples=samples,
+            rng=rng,
+            attack=attack if attack is not None else "stretch",
+        )
     if engine is not None:
         raise ExperimentError("pass either method=... or engine=..., not both")
+    if attack is not None:
+        raise ExperimentError(
+            "attack specs select an engine attacker; the scalar estimators take a "
+            "policy_factory instead (or pass engine=... to use the spec)"
+        )
     if policy_factory is None:
         policy_factory = ExpectationPolicy
     rng = rng if rng is not None else np.random.default_rng(0)

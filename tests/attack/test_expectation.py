@@ -1,10 +1,19 @@
 """Unit tests for the expectation-maximising attacker (problem (2))."""
 
 import numpy as np
+import pytest
 
 from repro.attack import AttackContext, ExpectationPolicy, TruthfulPolicy, is_admissible
 from repro.core import Interval
-from repro.scheduling import AscendingSchedule, DescendingSchedule, RoundConfig, run_round
+from repro.core.exceptions import AttackError
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    RoundConfig,
+    ScheduleComparisonConfig,
+    expected_fusion_width_exhaustive,
+    run_round,
+)
 
 
 def last_slot_context() -> AttackContext:
@@ -78,11 +87,67 @@ class TestExpectationPolicyDecisions:
         assert policy._cache
         second = policy.choose_interval(ctx, rng)
         assert first == second
+        assert policy.cache_hits == 1
+        assert policy.cache_misses == 1
 
     def test_expected_width_of_inadmissible_candidate_is_minus_inf(self):
         policy = ExpectationPolicy()
         ctx = first_slot_context()
         assert policy._expected_final_width(Interval(10.0, 15.0), ctx) == -np.inf
+
+
+class TestExpectationPolicyMemoisation:
+    def test_cache_hits_across_rounds_under_ascending(self):
+        """The Ascending fast path: the exhaustive grid repeats contexts.
+
+        Under the Ascending schedule the attacked (most precise) sensor
+        transmits first, so its context only varies with its own sampled
+        reading — the exhaustive enumeration revisits the same handful of
+        contexts over and over and the memo answers most rounds.
+        """
+        policy = ExpectationPolicy()
+        config = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1, positions=3)
+        expected_fusion_width_exhaustive(
+            config, AscendingSchedule(), policy, rng=np.random.default_rng(0)
+        )
+        # 27 rounds but only `positions` distinct slot-0 contexts.
+        assert policy.cache_misses <= config.positions
+        assert policy.cache_hits >= 27 - config.positions
+        assert policy.cache_hits > policy.cache_misses
+
+    def test_memo_key_distinguishes_conservative_mode(self):
+        """The two attacker variants must never share a memo entry."""
+        ctx = last_slot_context()
+        faithful = ExpectationPolicy(conservative=False)
+        conservative = ExpectationPolicy(conservative=True)
+        assert faithful._memo_key(ctx) != conservative._memo_key(ctx)
+        # The context part is shared; only the conservative flag differs.
+        assert faithful._memo_key(ctx)[1] == conservative._memo_key(ctx)[1]
+        assert faithful._memo_key(ctx) == (False, ctx.cache_key())
+
+    def test_cache_persists_across_reset(self):
+        rng = np.random.default_rng(0)
+        policy = ExpectationPolicy()
+        ctx = last_slot_context()
+        policy.choose_interval(ctx, rng)
+        policy.reset()
+        policy.choose_interval(ctx, rng)
+        assert policy.cache_hits == 1
+
+    def test_tie_break_first_is_deterministic_and_consumes_no_rng(self):
+        ctx = last_slot_context()
+        decisions = set()
+        for seed in range(5):
+            policy = ExpectationPolicy(tie_break="first")
+            rng = np.random.default_rng(seed)
+            state_before = rng.bit_generator.state
+            decisions.add(policy.choose_interval(ctx, rng))
+            assert rng.bit_generator.state == state_before
+        assert len(decisions) == 1
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(AttackError, match="tie_break"):
+            ExpectationPolicy(tie_break="sometimes")
 
 
 class TestExpectationPolicyInRounds:

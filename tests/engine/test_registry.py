@@ -8,6 +8,7 @@ from repro.core import ExperimentError
 from repro.engine import (
     BatchEngine,
     Engine,
+    ExpectationAttack,
     ScalarEngine,
     StretchAttack,
     TruthfulAttack,
@@ -83,16 +84,22 @@ class TestAttackSpecs:
         assert resolve_attack("truthful") == TruthfulAttack()
         assert resolve_attack("stretch") == StretchAttack(side=1)
         assert resolve_attack("stretch-left") == StretchAttack(side=-1)
+        assert resolve_attack("expectation") == ExpectationAttack()
+        assert resolve_attack("expectation-conservative") == ExpectationAttack(conservative=True)
 
     def test_instances_pass_through(self):
         spec = StretchAttack(side=-1)
         assert resolve_attack(spec) is spec
+        expectation = ExpectationAttack(grid_positions=5)
+        assert resolve_attack(expectation) is expectation
 
     def test_invalid_spec_rejected(self):
         with pytest.raises(ExperimentError):
             resolve_attack("nuke")
         with pytest.raises(ExperimentError):
             StretchAttack(side=2)
+        with pytest.raises(ExperimentError):
+            ExpectationAttack(grid_positions=0)
 
 
 class TestCompareSchedulesRouting:
@@ -132,6 +139,12 @@ class TestCompareSchedulesRouting:
         with pytest.raises(ExperimentError, match="policy_factory"):
             compare_schedules(
                 CONFIG, [AscendingSchedule()], policy_factory=object, engine="batch"
+            )
+
+    def test_attack_spec_rejected_with_scalar_method(self):
+        with pytest.raises(ExperimentError, match="policy_factory"):
+            compare_schedules(
+                CONFIG, [AscendingSchedule()], method="exhaustive", attack="expectation"
             )
 
     def test_env_routes_bare_compare_schedules(self, monkeypatch):
