@@ -1,0 +1,69 @@
+"""Scenario runner benchmarks — sharded speedup and artifact-store hits.
+
+Not a paper table: this harness gates the operational properties of the
+scenario subsystem (``docs/SCENARIOS.md``) the way the other benchmarks
+gate reproduction fidelity — the sharded runner must actually parallelise,
+and a store hit must be orders of magnitude cheaper than a recompute while
+returning the identical payload.
+"""
+
+import dataclasses
+import json
+import time
+
+from repro.analysis import format_table
+from repro.runner import ArtifactStore, run_scenario
+from repro.scenarios import get_scenario
+
+
+def _smoke_spec(samples: int):
+    spec = get_scenario("table1-smoke")
+    return dataclasses.replace(spec, samples=samples, shard_samples=max(1, samples // 4))
+
+
+def test_scenario_workers_invariance_and_speed(benchmark, report_writer, batch_samples):
+    samples = min(batch_samples, 100_000)
+    spec = _smoke_spec(samples)
+    serial = run_scenario(spec, workers=1)
+    parallel = benchmark.pedantic(
+        lambda: run_scenario(spec, workers=4), iterations=1, rounds=1
+    )
+    assert json.dumps(serial.payload, sort_keys=True) == json.dumps(
+        parallel.payload, sort_keys=True
+    )
+    rows = [
+        [row["schedule"], f"{row['expected_width']:.4f}", str(row["samples"])]
+        for row in parallel.payload["cases"][0]["rows"]
+    ]
+    report_writer(
+        "scenario_runner_smoke",
+        format_table(
+            ["schedule", "expected width", "samples"],
+            rows,
+            title=(
+                f"Scenario runner — table1-smoke at {samples} samples, "
+                "4 shards, workers=1 == workers=4 bit-identical"
+            ),
+        ),
+    )
+
+
+def test_artifact_store_hit_is_instant(benchmark, tmp_path):
+    spec = _smoke_spec(20_000)
+    store = ArtifactStore(tmp_path / "store")
+    started = time.perf_counter()
+    first = run_scenario(spec, workers=1, store=store)
+    compute_seconds = time.perf_counter() - started
+    assert not first.cached
+
+    cached = benchmark(lambda: run_scenario(spec, workers=1, store=store))
+    assert cached.cached
+    assert json.dumps(cached.payload, sort_keys=True) == json.dumps(
+        first.payload, sort_keys=True
+    )
+    started = time.perf_counter()
+    run_scenario(spec, workers=1, store=store)
+    hit_seconds = time.perf_counter() - started
+    # A hit only reads one JSON file; require it to be clearly cheaper than
+    # the simulation it replaces (very loose bound for noisy CI runners).
+    assert hit_seconds < max(0.5 * compute_seconds, 0.05)

@@ -65,6 +65,19 @@ from repro.engine import (
     get_engine,
     register_engine,
 )
+from repro.runner import ArtifactStore, ScenarioRun, default_store, run_scenario
+from repro.scenarios import (
+    CaseStudyScenario,
+    ComparisonCase,
+    ComparisonScenario,
+    FigureScenario,
+    ScenarioSpec,
+    available_scenarios,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    spec_key,
+)
 
 __version__ = "1.0.0"
 
@@ -123,4 +136,20 @@ __all__ = [
     "register_engine",
     "available_engines",
     "default_engine_name",
+    # scenarios
+    "ScenarioSpec",
+    "ComparisonCase",
+    "ComparisonScenario",
+    "CaseStudyScenario",
+    "FigureScenario",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "list_scenarios",
+    "spec_key",
+    # runner
+    "run_scenario",
+    "ScenarioRun",
+    "ArtifactStore",
+    "default_store",
 ]

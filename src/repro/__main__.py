@@ -1,0 +1,7 @@
+"""``python -m repro`` dispatches to :mod:`repro.cli`."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

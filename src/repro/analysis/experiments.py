@@ -41,7 +41,20 @@ __all__ = [
     "figure5a_configuration",
     "figure5b_configuration",
     "table1_batch_sweep",
+    "table1_row_name",
 ]
+
+
+def table1_row_name(index: int) -> str:
+    """Scenario-registry name of Table I row ``index`` (0-based).
+
+    The scenario catalogue (:mod:`repro.scenarios.catalog`) registers each
+    row of :data:`TABLE1_CONFIGURATIONS` under this name, so
+    ``python -m repro run table1-row1`` reproduces the first row.
+    """
+    if not 0 <= index < len(TABLE1_CONFIGURATIONS):
+        raise IndexError(f"Table I has {len(TABLE1_CONFIGURATIONS)} rows, no row index {index}")
+    return f"table1-row{index + 1}"
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,7 @@ from repro.batch.rounds import (
 from repro.core.exceptions import ExperimentError
 from repro.core.marzullo import max_safe_fault_bound
 from repro.scheduling.schedule import Schedule
+from repro.utils.seeding import derive_rng, ensure_rng
 from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult, ViolationStats
 from repro.vehicle.controller import SpeedController
 from repro.vehicle.dynamics import VehicleParameters
@@ -119,7 +120,7 @@ def batch_case_study_for_schedule(
     """
     if n_replicas <= 0:
         raise ExperimentError(f"need a positive number of replicas, got {n_replicas}")
-    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    rng = ensure_rng(rng, config.seed)
     attacker = attacker_factory() if attacker_factory is not None else ExpectationProxyBatchAttacker()
 
     suite = landshark_suite()
@@ -212,8 +213,9 @@ def batch_case_study(
 ) -> CaseStudyResult:
     """Batched counterpart of :func:`repro.vehicle.case_study.run_case_study`.
 
-    Uses the same per-schedule seeding rule as the scalar driver (stream
-    ``config.seed + index``) so batched runs are reproducible per schedule.
+    Uses the same per-schedule seeding rule as the scalar driver — the
+    collision-free :func:`repro.utils.seeding.derive_rng` child stream per
+    schedule index — so batched runs are reproducible per schedule.
     """
     config = config if config is not None else CaseStudyConfig()
     if schedules is None:
@@ -226,7 +228,7 @@ def batch_case_study(
         schedules = (AscendingSchedule(), DescendingSchedule(), RandomSchedule())
     stats = []
     for index, schedule in enumerate(schedules):
-        rng = np.random.default_rng(config.seed + index)
+        rng = derive_rng(config.seed, index)
         stats.append(
             batch_case_study_for_schedule(
                 config,

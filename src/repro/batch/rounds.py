@@ -52,6 +52,7 @@ from repro.scheduling.schedule import (
     RandomSchedule,
     Schedule,
 )
+from repro.utils.seeding import ensure_rng
 
 __all__ = [
     "BatchSlotContext",
@@ -621,6 +622,6 @@ def monte_carlo_rounds(
     rng: np.random.Generator | None = None,
 ) -> BatchRoundResult:
     """Sample correct intervals uniformly and simulate all rounds in one batch."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = ensure_rng(rng)
     lowers, uppers = sample_correct_bounds(lengths, true_value, samples, rng)
     return batch_rounds(lowers, uppers, config, rng)

@@ -1,0 +1,329 @@
+"""``python -m repro`` — the single entry point reproducing the paper.
+
+Three subcommands over the scenario subsystem (``docs/SCENARIOS.md``):
+
+* ``python -m repro list [--tag TAG] [--kind KIND] [--json]`` — the
+  registered scenario catalogue;
+* ``python -m repro run NAME... [--engine E] [--workers N] [--force]
+  [--store DIR] [--json]`` — run scenarios through the sharded parallel
+  runner; results land in the content-addressed artifact store, so an
+  unchanged spec is a cache hit and reruns are free;
+* ``python -m repro report NAME [...]`` — render a scenario's (cached or
+  freshly computed) payload as tables, plus derived cross-scenario reports
+  such as ``table2-exact-vs-proxy`` (the exact problem (2) attacker versus
+  the vectorized proxy on the Table II case study).
+
+Every flag keeps the determinism contract: ``--workers`` changes wall-clock
+time, never results; ``--engine`` derives a *new* spec (different content
+hash) rather than mutating the stored one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.report import format_table
+from repro.core.exceptions import ExperimentError
+from repro.runner import ArtifactStore, ScenarioRun, default_store, run_scenario
+from repro.scenarios import get_scenario, list_scenarios, spec_key
+
+__all__ = ["main", "report_table2_exact_vs_proxy"]
+
+
+def _render_comparison(payload: dict) -> str:
+    blocks = []
+    for case in payload["cases"]:
+        rows = [
+            [
+                row["schedule"],
+                f"{row['expected_width']:.4f}",
+                f"{row['detected_fraction']:.4f}",
+                f"{row['valid_fraction']:.4f}",
+                str(row["samples"]),
+            ]
+            for row in case["rows"]
+        ]
+        title = (
+            f"{case['label']} — L={tuple(case['lengths'])}, fa={case['fa']}, "
+            f"f={case['f']}, attack={case['attack']}"
+        )
+        if case.get("fault_probability"):
+            title += f", fault p={case['fault_probability']:g}"
+        blocks.append(
+            format_table(
+                ["schedule", "expected width", "detected", "valid", "samples"],
+                rows,
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _render_case_study(payload: dict) -> str:
+    rows = [
+        [
+            row["schedule"],
+            f"{row['upper_percentage']:.2f}%",
+            f"{row['lower_percentage']:.2f}%",
+            str(row["rounds"]),
+        ]
+        for row in payload["rows"]
+    ]
+    return format_table(
+        ["schedule", "above v+δ1", "below v-δ2", "rounds"],
+        rows,
+        title=f"Table II case study — attacker: {payload['attacker']}",
+    )
+
+
+def _render_figure(payload: dict) -> str:
+    blocks = [
+        format_table(table["headers"], table["rows"], title=table.get("title", ""))
+        for table in payload.get("tables", ())
+    ]
+    if "ascii" in payload:
+        blocks.append(payload["ascii"])
+    return "\n\n".join(blocks) if blocks else json.dumps(payload, indent=2, sort_keys=True)
+
+
+_RENDERERS = {
+    "comparison": _render_comparison,
+    "case-study": _render_case_study,
+    "figure": _render_figure,
+}
+
+
+def render_payload(payload: dict) -> str:
+    """Human-readable rendering of a scenario payload (tables)."""
+    renderer = _RENDERERS.get(payload.get("kind"))
+    if renderer is None:
+        return json.dumps(payload, indent=2, sort_keys=True)
+    return renderer(payload)
+
+
+def _run_dict(run: ScenarioRun) -> dict:
+    return {
+        "name": run.spec.name,
+        "key": run.key,
+        "cached": run.cached,
+        "shards": run.shards,
+        "workers": run.workers,
+        "elapsed_seconds": run.elapsed_seconds,
+        "store_path": run.store_path,
+        "payload": run.payload,
+    }
+
+
+def _resolve_spec(name: str, engine: str | None):
+    spec = get_scenario(name)
+    if engine is not None:
+        # A new spec (and therefore a new content hash): engine choice is
+        # part of a result's identity, never an in-place mutation.
+        spec = dataclasses.replace(spec, engine=engine)
+    return spec
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_scenarios(tag=args.tag, kind=args.kind)
+    if args.json:
+        entries = [
+            {
+                "name": spec.name,
+                "kind": spec.kind,
+                "engine": spec.engine,
+                "tags": list(spec.tags),
+                "key": spec_key(spec),
+                "description": spec.description,
+            }
+            for spec in specs
+        ]
+        print(json.dumps({"scenarios": entries}, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [spec.name, spec.kind, spec.engine or "default", ",".join(spec.tags), spec.description]
+        for spec in specs
+    ]
+    print(
+        format_table(
+            ["name", "kind", "engine", "tags", "description"],
+            rows,
+            title=f"{len(rows)} registered scenarios",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = default_store(args.store)
+    runs = []
+    for name in args.names:
+        spec = _resolve_spec(name, args.engine)
+        run = run_scenario(spec, workers=args.workers, store=store, force=args.force)
+        runs.append(run)
+        if not args.json:
+            if run.cached:
+                source = "store (cache hit)"
+            else:
+                source = f"{run.shards} shard(s) on {run.workers} worker(s) in {run.elapsed_seconds:.2f}s"
+            print(f"== {run.spec.name} [{run.key[:12]}] — {source}")
+            print(render_payload(run.payload))
+            print()
+    if args.json:
+        print(json.dumps({"results": [_run_dict(run) for run in runs]}, indent=2, sort_keys=True))
+    return 0
+
+
+def report_table2_exact_vs_proxy(
+    store: ArtifactStore, workers: int = 1, force: bool = False
+) -> dict:
+    """Quantify the proxy attacker's statistics gap on the Table II case study.
+
+    Runs the registered ``table2-exact`` scenario and a proxy twin derived
+    from it (identical seed, steps, replicas and shard layout — only the
+    attacker differs), so the violation-rate differences measure the
+    attacker change alone.  Both legs are served from the artifact store
+    when cached.
+    """
+    exact_spec = get_scenario("table2-exact")
+    proxy_spec = dataclasses.replace(
+        exact_spec,
+        name="table2-exact-proxy-twin",
+        description="Proxy-attacker twin of table2-exact (same scale, attacker swapped)",
+        attacker="proxy",
+    )
+    exact = run_scenario(exact_spec, workers=workers, store=store, force=force)
+    proxy = run_scenario(proxy_spec, workers=workers, store=store, force=force)
+    proxy_rows = {row["schedule"]: row for row in proxy.payload["rows"]}
+    rows = []
+    for exact_row in exact.payload["rows"]:
+        proxy_row = proxy_rows[exact_row["schedule"]]
+        rows.append(
+            {
+                "schedule": exact_row["schedule"],
+                "exact_upper_percentage": exact_row["upper_percentage"],
+                "exact_lower_percentage": exact_row["lower_percentage"],
+                "proxy_upper_percentage": proxy_row["upper_percentage"],
+                "proxy_lower_percentage": proxy_row["lower_percentage"],
+                "upper_gap": exact_row["upper_percentage"] - proxy_row["upper_percentage"],
+                "lower_gap": exact_row["lower_percentage"] - proxy_row["lower_percentage"],
+            }
+        )
+    return {
+        "kind": "report",
+        "report": "table2-exact-vs-proxy",
+        "rounds_per_schedule": exact.payload["rows"][0]["rounds"],
+        "rows": rows,
+    }
+
+
+def _render_exact_vs_proxy(payload: dict) -> str:
+    rows = [
+        [
+            row["schedule"],
+            f"{row['exact_upper_percentage']:.2f} / {row['exact_lower_percentage']:.2f}",
+            f"{row['proxy_upper_percentage']:.2f} / {row['proxy_lower_percentage']:.2f}",
+            f"{row['upper_gap']:+.2f} / {row['lower_gap']:+.2f}",
+        ]
+        for row in payload["rows"]
+    ]
+    return format_table(
+        ["schedule", "exact % (upper/lower)", "proxy % (upper/lower)", "gap (pp)"],
+        rows,
+        title=(
+            "Exact problem (2) attacker vs the vectorized proxy — Table II, "
+            f"{payload['rounds_per_schedule']} rounds per schedule"
+        ),
+    )
+
+
+#: Derived cross-scenario reports: name -> (builder, renderer).
+_REPORTS = {
+    "table2-exact-vs-proxy": (report_table2_exact_vs_proxy, _render_exact_vs_proxy),
+}
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = default_store(args.store)
+    if args.name in _REPORTS:
+        if args.engine is not None:
+            raise ExperimentError(
+                f"derived report {args.name!r} fixes its scenarios' engines; "
+                "--engine only applies to plain scenario names"
+            )
+        builder, renderer = _REPORTS[args.name]
+        payload = builder(store, workers=args.workers, force=args.force)
+        print(json.dumps(payload, indent=2, sort_keys=True) if args.json else renderer(payload))
+        return 0
+    spec = _resolve_spec(args.name, args.engine)
+    run = run_scenario(spec, workers=args.workers, store=store, force=args.force)
+    print(json.dumps(_run_dict(run), indent=2, sort_keys=True) if args.json else render_payload(run.payload))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the paper's evaluation through the declarative scenario "
+            "subsystem (see docs/SCENARIOS.md)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--tag", help="only scenarios carrying this tag")
+    list_parser.add_argument("--kind", help="only scenarios of this kind")
+    list_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    def add_run_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--engine", help="override the scenario's engine backend")
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="parallel worker processes (results are identical for any value)",
+        )
+        sub.add_argument("--force", action="store_true", help="recompute even on a cache hit")
+        sub.add_argument("--store", help="artifact store directory (default results/store)")
+        sub.add_argument("--json", action="store_true", help="machine-readable output")
+
+    run_parser = subparsers.add_parser("run", help="run scenarios through the sharded runner")
+    run_parser.add_argument("names", nargs="+", metavar="NAME", help="scenario name(s)")
+    add_run_options(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a scenario payload or a derived report"
+    )
+    report_parser.add_argument(
+        "name",
+        metavar="NAME",
+        help=f"scenario name or derived report ({', '.join(sorted(_REPORTS))})",
+    )
+    add_run_options(report_parser)
+    report_parser.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error for a CLI.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ from repro.scheduling.comparison import (
     ScheduleRow,
 )
 from repro.scheduling.schedule import Schedule
+from repro.utils.seeding import ensure_rng
 from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
 
 __all__ = [
@@ -160,6 +161,16 @@ class RoundsResult:
     is empty — possible only with fault injection — carry ``valid=False``
     and ``NaN`` bounds; they count towards ``samples`` but not towards
     :attr:`mean_width`.
+
+    The optional per-sensor arrays (``(B, n)``, sensor-indexed like the
+    scalar :attr:`repro.scheduling.round.RoundResult.broadcast`) expose what
+    every sensor actually broadcast and which sensors the controller's
+    detection procedure flagged — the inputs detection ablations need, on
+    either backend.  Both engines fill them; they are ``None`` only for
+    results built by older third-party backends.  Their entries are
+    meaningful where :attr:`valid` is ``True`` — the scalar engine aborts an
+    empty-fusion round before detection, so invalid rows carry ``NaN``
+    broadcasts and all-``False`` flags on every backend.
     """
 
     schedule_name: str
@@ -167,6 +178,9 @@ class RoundsResult:
     fusion_hi: np.ndarray
     valid: np.ndarray
     attacker_detected: np.ndarray
+    broadcast_lo: np.ndarray | None = None
+    broadcast_hi: np.ndarray | None = None
+    flagged: np.ndarray | None = None
 
     @property
     def samples(self) -> int:
@@ -188,6 +202,23 @@ class RoundsResult:
     def detected_fraction(self) -> float:
         """Fraction of all rounds in which the attacker was flagged."""
         return float(np.asarray(self.attacker_detected, dtype=np.float64).mean())
+
+    @property
+    def flagged_fraction_per_sensor(self) -> np.ndarray:
+        """Per-sensor flag rates over the valid rounds (``(n,)`` floats).
+
+        Requires the per-sensor arrays; raises for results from backends that
+        do not fill them.
+        """
+        if self.flagged is None:
+            raise ExperimentError(
+                "this RoundsResult carries no per-sensor flag array; the producing "
+                "engine predates the per-sensor extension"
+            )
+        valid = np.asarray(self.valid, dtype=bool)
+        if not bool(valid.any()):
+            return np.full(self.flagged.shape[1], np.nan)
+        return np.asarray(self.flagged, dtype=np.float64)[valid].mean(axis=0)
 
     def to_row(self) -> ScheduleRow:
         """Render as a Table I style :class:`~repro.scheduling.comparison.ScheduleRow`."""
@@ -249,7 +280,7 @@ class Engine(abc.ABC):
         behaviour of the legacy ``compare_schedules_batch`` so the engine
         route reproduces its numbers exactly.
         """
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = ensure_rng(rng)
         rows = tuple(
             self.run_rounds(config, schedule, attack, faults, samples, rng).to_row()
             for schedule in schedules

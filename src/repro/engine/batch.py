@@ -39,6 +39,7 @@ from repro.engine.base import (
 )
 from repro.scheduling.comparison import ScheduleComparisonConfig
 from repro.scheduling.schedule import Schedule
+from repro.utils.seeding import ensure_rng
 from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
 
 __all__ = ["BatchEngine"]
@@ -75,7 +76,7 @@ class BatchEngine(Engine):
     ) -> RoundsResult:
         check_samples(samples)
         spec = resolve_attack(attack)
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = ensure_rng(rng)
         round_config = BatchRoundConfig(
             schedule=schedule,
             attacked_indices=config.resolved_attacked,
@@ -86,12 +87,24 @@ class BatchEngine(Engine):
         result = monte_carlo_rounds(
             config.lengths, round_config, samples, true_value=config.true_value, rng=rng
         )
+        # The batch driver keeps broadcasts for empty-fusion rounds (they were
+        # transmitted before fusion failed); the scalar engine aborts such
+        # rounds before recording them, so the engines agree on NaN / no-flag
+        # for invalid rows.
+        invalid = ~result.fusion.valid
+        broadcast_lo = result.broadcast_lo.copy()
+        broadcast_hi = result.broadcast_hi.copy()
+        broadcast_lo[invalid] = np.nan
+        broadcast_hi[invalid] = np.nan
         return RoundsResult(
             schedule_name=schedule.name,
             fusion_lo=result.fusion.lo,
             fusion_hi=result.fusion.hi,
             valid=result.fusion.valid,
             attacker_detected=result.attacker_detected,
+            broadcast_lo=broadcast_lo,
+            broadcast_hi=broadcast_hi,
+            flagged=result.flagged,
         )
 
     def run_case_study(

@@ -40,6 +40,7 @@ from repro.engine.base import (
 from repro.scheduling.comparison import ScheduleComparisonConfig
 from repro.scheduling.round import RoundConfig, run_round
 from repro.scheduling.schedule import FixedSchedule, Schedule
+from repro.utils.seeding import derive_rng, ensure_rng
 from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
 
 __all__ = ["ScalarEngine"]
@@ -78,7 +79,7 @@ class ScalarEngine(Engine):
     ) -> RoundsResult:
         check_samples(samples)
         spec = resolve_attack(attack)
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = ensure_rng(rng)
         n = config.n
         attacked = config.resolved_attacked
 
@@ -103,6 +104,9 @@ class ScalarEngine(Engine):
         fusion_hi = np.full(samples, np.nan)
         valid = np.zeros(samples, dtype=bool)
         detected = np.zeros(samples, dtype=bool)
+        broadcast_lo = np.full((samples, n), np.nan)
+        broadcast_hi = np.full((samples, n), np.nan)
+        flagged = np.zeros((samples, n), dtype=bool)
         for index in range(samples):
             intervals = [Interval(lowers[index, i], uppers[index, i]) for i in range(n)]
             round_config = RoundConfig(
@@ -115,18 +119,30 @@ class ScalarEngine(Engine):
                 result = run_round(intervals, round_config, rng)
             except EmptyFusionError:
                 # The batch engine reports these rounds through its `valid`
-                # mask; mirror that instead of aborting the sweep.
+                # mask; mirror that instead of aborting the sweep.  The
+                # per-sensor arrays keep their NaN / all-False convention for
+                # these rows on both backends.
                 continue
             fusion_lo[index] = result.fusion.lo
             fusion_hi[index] = result.fusion.hi
             valid[index] = True
             detected[index] = result.attacker_detected
+            for sensor, interval in enumerate(result.broadcast):
+                broadcast_lo[index, sensor] = interval.lo
+                broadcast_hi[index, sensor] = interval.hi
+            # Detection reports flags in slot order; re-index by sensor like
+            # the batch engine's flagged array.
+            for slot, sensor in enumerate(result.order):
+                flagged[index, sensor] = result.detection.is_flagged(slot)
         return RoundsResult(
             schedule_name=schedule.name,
             fusion_lo=fusion_lo,
             fusion_hi=fusion_hi,
             valid=valid,
             attacker_detected=detected,
+            broadcast_lo=broadcast_lo,
+            broadcast_hi=broadcast_hi,
+            flagged=flagged,
         )
 
     def run_case_study(
@@ -163,6 +179,9 @@ class ScalarEngine(Engine):
             schedules = (AscendingSchedule(), DescendingSchedule(), RandomSchedule())
         stats = []
         for index, schedule in enumerate(schedules):
-            rng = np.random.default_rng(config.seed + index)
+            # Collision-free per-schedule stream: the old `seed + index`
+            # arithmetic made schedule index+1 under seed s share the stream
+            # of schedule index under seed s+1.
+            rng = derive_rng(config.seed, index)
             stats.append(run_case_study_for_schedule(config, schedule, policy_factory, rng))
         return CaseStudyResult(config=config, stats=tuple(stats))

@@ -1,0 +1,31 @@
+"""Sharded parallel execution and content-addressed caching of scenarios.
+
+See ``docs/SCENARIOS.md`` for the runner's determinism guarantees and the
+artifact-store layout.
+"""
+
+from repro.runner.runner import (
+    ScenarioRun,
+    ShardTask,
+    execute_task,
+    plan_tasks,
+    run_scenario,
+)
+from repro.runner.store import (
+    DEFAULT_STORE_DIR,
+    STORE_ENV_VAR,
+    ArtifactStore,
+    default_store,
+)
+
+__all__ = [
+    "ShardTask",
+    "ScenarioRun",
+    "plan_tasks",
+    "execute_task",
+    "run_scenario",
+    "ArtifactStore",
+    "default_store",
+    "STORE_ENV_VAR",
+    "DEFAULT_STORE_DIR",
+]

@@ -1,0 +1,423 @@
+"""The sharded parallel scenario runner.
+
+``run_scenario`` turns a declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+into results, with three guarantees:
+
+1. **Worker-count invariance.**  A scenario is *planned* into shard tasks
+   whose layout depends only on the spec (``ceil(samples / shard_samples)``
+   shards per comparison case, ``ceil(n_replicas / shard_replicas)`` replica
+   chunks per batch case study, one task per schedule for the scalar
+   oracle).  Every shard derives its own RNG stream statelessly from the
+   spec seed and its position (:func:`repro.utils.seeding.derive_rng` spawn
+   keys), and shard results are merged in plan order — so ``workers=1`` and
+   ``workers=8`` produce bit-identical payloads.
+2. **Parallelism without protocol.**  Shard tasks are plain picklable
+   dataclasses executed by a module-level function, fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor`; no shared state, no
+   ordering assumptions (``Executor.map`` preserves plan order regardless of
+   completion order).
+3. **Free repeats.**  With an :class:`~repro.runner.store.ArtifactStore`,
+   an unchanged spec is a content-hash cache hit and returns without
+   simulating; ``force=True`` recomputes and overwrites.
+
+The per-kind planning/execution/merging lives in the ``_plan_*`` /
+``_execute_*`` / ``_merge_*`` trios below; adding a scenario kind means
+adding one trio and a dispatch entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.core.exceptions import ExperimentError
+from repro.engine import default_engine_name, get_engine
+from repro.runner.store import ArtifactStore
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import (
+    CaseStudyScenario,
+    ComparisonScenario,
+    FigureScenario,
+    ScenarioSpec,
+    schedule_from_spec,
+    spec_key,
+)
+from repro.utils.seeding import derive_rng
+
+__all__ = ["ShardTask", "ScenarioRun", "plan_tasks", "execute_task", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of scenario work, picklable across worker processes.
+
+    ``index`` is the task's position in the plan — the merge order — and
+    ``params`` carries the kind-specific coordinates (e.g. ``(case_index,
+    shard_index, shard_samples)`` for a comparison shard).  The RNG stream
+    is *not* carried: workers rebuild it from the spec seed and the
+    coordinates, which is what keeps execution order irrelevant.
+    """
+
+    spec: ScenarioSpec
+    index: int
+    params: tuple = ()
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Outcome of :func:`run_scenario`: payload plus provenance."""
+
+    spec: ScenarioSpec
+    key: str
+    payload: dict
+    cached: bool
+    shards: int
+    workers: int
+    elapsed_seconds: float
+    store_path: str | None = field(default=None)
+
+
+def _shard_sizes(total: int, shard_size: int) -> list[int]:
+    """Split ``total`` into deterministic chunks of at most ``shard_size``."""
+    sizes = [shard_size] * (total // shard_size)
+    if total % shard_size:
+        sizes.append(total % shard_size)
+    return sizes
+
+
+# --------------------------------------------------------------------------
+# comparison scenarios
+
+
+def _plan_comparison(spec: ComparisonScenario) -> list[ShardTask]:
+    tasks = []
+    for case_index in range(len(spec.cases)):
+        for shard_index, samples in enumerate(_shard_sizes(spec.samples, spec.shard_samples)):
+            tasks.append(
+                ShardTask(spec=spec, index=len(tasks), params=(case_index, shard_index, samples))
+            )
+    return tasks
+
+
+def _execute_comparison(task: ShardTask) -> list[dict]:
+    spec: ComparisonScenario = task.spec
+    case_index, shard_index, samples = task.params
+    case = spec.cases[case_index]
+    engine = get_engine(spec.engine)
+    config = case.comparison_config()
+    faults = case.faults()
+    # One stream per (case, shard), consumed by the schedules sequentially —
+    # the same convention as Engine.compare, so a single-shard scenario
+    # reproduces an engine.compare call exactly.
+    rng = derive_rng(spec.seed, case_index, shard_index)
+    shard_rows = []
+    for schedule in case.schedule_objects():
+        result = engine.run_rounds(config, schedule, case.attack, faults, samples, rng)
+        if result.flagged is None:
+            raise ExperimentError(
+                f"engine {type(engine).__name__} returned a RoundsResult without the "
+                "per-sensor flagged array; scenario payloads require it (fill "
+                "broadcast_lo/broadcast_hi/flagged like the built-in backends)"
+            )
+        valid = result.valid
+        # Ship sufficient statistics, not per-sample arrays: the merge only
+        # ever reduces to means and fractions, and the per-shard sums are
+        # combined in plan order, so the payload stays worker-count
+        # invariant while shard IPC drops from megabytes to bytes.
+        shard_rows.append(
+            {
+                "schedule": result.schedule_name,
+                "samples": result.samples,
+                "valid": int(np.count_nonzero(valid)),
+                "width_sum": float(result.widths[valid].sum()),
+                "detected": int(np.count_nonzero(result.attacker_detected)),
+                "flagged_counts": [int(count) for count in result.flagged[valid].sum(axis=0)],
+            }
+        )
+    return shard_rows
+
+
+def _merge_comparison(spec: ComparisonScenario, outcomes: list[list[dict]]) -> dict:
+    tasks_per_case = len(_shard_sizes(spec.samples, spec.shard_samples))
+    cases = []
+    for case_index, case in enumerate(spec.cases):
+        shard_rows = outcomes[case_index * tasks_per_case : (case_index + 1) * tasks_per_case]
+        rows = []
+        # Rows merge by schedule *position*, never by name: two distinct
+        # fixed/trust-aware schedules share a display name but stay separate.
+        for position, schedule_name in enumerate(row["schedule"] for row in shard_rows[0]):
+            shards = [shard[position] for shard in shard_rows]
+            samples = sum(shard["samples"] for shard in shards)
+            valid = sum(shard["valid"] for shard in shards)
+            width_sum = sum(shard["width_sum"] for shard in shards)
+            flagged_counts = np.sum([shard["flagged_counts"] for shard in shards], axis=0)
+            rows.append(
+                {
+                    "schedule": schedule_name,
+                    "samples": samples,
+                    "expected_width": width_sum / valid if valid else float("nan"),
+                    "valid_fraction": valid / samples,
+                    "detected_fraction": sum(shard["detected"] for shard in shards) / samples,
+                    "flagged_fraction_per_sensor": [
+                        count / valid if valid else float("nan") for count in flagged_counts
+                    ],
+                }
+            )
+        cases.append(
+            {
+                "label": case.label,
+                "lengths": list(case.lengths),
+                "fa": case.fa,
+                "f": case.comparison_config().resolved_f,
+                "attack": case.attack,
+                "fault_probability": case.fault_probability,
+                "rows": rows,
+            }
+        )
+    return {"kind": spec.kind, "cases": cases}
+
+
+# --------------------------------------------------------------------------
+# case-study scenarios
+
+
+def _case_study_attacker_factory(spec: CaseStudyScenario):
+    if spec.attacker == "proxy":
+        return None  # batch_case_study_for_schedule's default proxy attacker
+    true_value_positions, placement_positions, grid_positions = spec.expectation_grid
+
+    def factory():
+        from repro.batch.expectation import ExactExpectationBatchAttacker
+
+        return ExactExpectationBatchAttacker(
+            true_value_positions=true_value_positions,
+            placement_positions=placement_positions,
+            grid_positions=grid_positions,
+        )
+
+    return factory
+
+
+def _plan_case_study(spec: CaseStudyScenario) -> list[ShardTask]:
+    if spec.attacker == "expectation-grid":
+        # The scalar oracle cannot shard replicas; parallelise per schedule
+        # with the exact stream ScalarEngine.run_case_study derives.
+        return [
+            ShardTask(spec=spec, index=index, params=("schedule", index))
+            for index in range(len(spec.schedules))
+        ]
+    return [
+        ShardTask(spec=spec, index=index, params=("replicas", index, replicas))
+        for index, replicas in enumerate(_shard_sizes(spec.n_replicas, spec.shard_replicas))
+    ]
+
+
+def _execute_case_study(task: ShardTask) -> list[dict]:
+    spec: CaseStudyScenario = task.spec
+    config = spec.case_study_config()
+    schedules = [schedule_from_spec(text) for text in spec.schedules]
+    if task.params[0] == "schedule":
+        from repro.attack.expectation import ExpectationPolicy
+        from repro.vehicle.case_study import run_case_study_for_schedule
+
+        schedule_index = task.params[1]
+        true_value_positions, placement_positions, grid_positions = spec.expectation_grid
+
+        def policy_factory():
+            return ExpectationPolicy(
+                true_value_positions=true_value_positions,
+                placement_positions=placement_positions,
+                grid_positions=grid_positions,
+            )
+
+        stats = run_case_study_for_schedule(
+            config,
+            schedules[schedule_index],
+            policy_factory,
+            derive_rng(spec.seed, schedule_index),
+        )
+        return [_stats_dict(schedule_index, stats)]
+
+    from repro.batch.case_study import batch_case_study_for_schedule
+
+    _, shard_index, replicas = task.params
+    attacker_factory = _case_study_attacker_factory(spec)
+    shard_stats = []
+    for schedule_index, schedule in enumerate(schedules):
+        stats = batch_case_study_for_schedule(
+            config,
+            schedule,
+            n_replicas=replicas,
+            rng=derive_rng(spec.seed, schedule_index, shard_index),
+            attacker_factory=attacker_factory,
+        )
+        shard_stats.append(_stats_dict(schedule_index, stats))
+    return shard_stats
+
+
+def _stats_dict(schedule_index: int, stats) -> dict:
+    return {
+        "schedule_index": schedule_index,
+        "rounds": stats.rounds,
+        "upper_violations": stats.upper_violations,
+        "lower_violations": stats.lower_violations,
+    }
+
+
+def _merge_case_study(spec: CaseStudyScenario, outcomes: list[list[dict]]) -> dict:
+    # Keyed by schedule *position* in the spec, never by display name: two
+    # distinct fixed:... schedules both render as "fixed" but must not pool.
+    totals = [
+        {"rounds": 0, "upper_violations": 0, "lower_violations": 0} for _ in spec.schedules
+    ]
+    for shard_stats in outcomes:
+        for stats in shard_stats:
+            row = totals[stats["schedule_index"]]
+            row["rounds"] += stats["rounds"]
+            row["upper_violations"] += stats["upper_violations"]
+            row["lower_violations"] += stats["lower_violations"]
+    rows = []
+    for text, row in zip(spec.schedules, totals):
+        rows.append(
+            {
+                "schedule": schedule_from_spec(text).name,
+                "schedule_spec": text,
+                **row,
+                "upper_percentage": 100.0 * row["upper_violations"] / row["rounds"],
+                "lower_percentage": 100.0 * row["lower_violations"] / row["rounds"],
+            }
+        )
+    return {"kind": spec.kind, "attacker": spec.attacker, "rows": rows}
+
+
+# --------------------------------------------------------------------------
+# figure scenarios
+
+
+def _plan_figure(spec: FigureScenario) -> list[ShardTask]:
+    return [ShardTask(spec=spec, index=0)]
+
+
+def _execute_figure(task: ShardTask) -> dict:
+    from repro.scenarios.figures import FIGURES
+
+    spec: FigureScenario = task.spec
+    return FIGURES[spec.figure](derive_rng(spec.seed, 0))
+
+
+def _merge_figure(spec: FigureScenario, outcomes: list[dict]) -> dict:
+    return {"kind": spec.kind, "figure": spec.figure, **outcomes[0]}
+
+
+# --------------------------------------------------------------------------
+# dispatch + entry point
+
+_PLANNERS = {
+    ComparisonScenario.kind: _plan_comparison,
+    CaseStudyScenario.kind: _plan_case_study,
+    FigureScenario.kind: _plan_figure,
+}
+
+_EXECUTORS = {
+    ComparisonScenario.kind: _execute_comparison,
+    CaseStudyScenario.kind: _execute_case_study,
+    FigureScenario.kind: _execute_figure,
+}
+
+_MERGERS = {
+    ComparisonScenario.kind: _merge_comparison,
+    CaseStudyScenario.kind: _merge_case_study,
+    FigureScenario.kind: _merge_figure,
+}
+
+
+def plan_tasks(spec: ScenarioSpec) -> list[ShardTask]:
+    """The spec's shard plan — a pure function of the spec."""
+    planner = _PLANNERS.get(spec.kind)
+    if planner is None:
+        raise ExperimentError(f"no runner for scenario kind {spec.kind!r}")
+    return planner(spec)
+
+
+def execute_task(task: ShardTask):
+    """Execute one shard task (module-level so worker processes can pickle it)."""
+    return _EXECUTORS[task.spec.kind](task)
+
+
+def run_scenario(
+    scenario: str | ScenarioSpec,
+    workers: int = 1,
+    store: ArtifactStore | None = None,
+    force: bool = False,
+) -> ScenarioRun:
+    """Run a scenario (by name or spec), sharded over ``workers`` processes.
+
+    With a ``store``, an unchanged spec is served from its content-addressed
+    artifact without re-simulation (``force=True`` recomputes).  The payload
+    is bit-identical for any ``workers`` value — see the module docstring
+    for why — so cached and fresh runs are interchangeable.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if workers < 1:
+        raise ExperimentError(f"need at least one worker, got {workers}")
+    if spec.kind == ComparisonScenario.kind and spec.engine is None:
+        # Pin the env-resolved default backend into the spec *before* hashing:
+        # otherwise two REPRO_ENGINE sessions would share one store entry and
+        # a future non-bit-parity backend could serve another backend's
+        # numbers.  The returned run (and the stored artifact) carry the
+        # backend that actually executed.
+        spec = dataclasses.replace(spec, engine=default_engine_name())
+    key = spec_key(spec)
+    if store is not None and not force:
+        document = store.load(spec)
+        if document is not None:
+            return ScenarioRun(
+                spec=spec,
+                key=key,
+                payload=document["payload"],
+                cached=True,
+                shards=int(document.get("meta", {}).get("shards", 0)),
+                workers=0,
+                elapsed_seconds=0.0,
+                store_path=str(store.path_for(spec)),
+            )
+    tasks = plan_tasks(spec)
+    started = time.perf_counter()
+    if workers == 1 or len(tasks) == 1:
+        outcomes = [execute_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            # Executor.map returns results in submission (= plan/merge) order
+            # no matter which worker finishes first.
+            outcomes = list(pool.map(execute_task, tasks))
+    payload = _MERGERS[spec.kind](spec, outcomes)
+    elapsed = time.perf_counter() - started
+    store_path = None
+    if store is not None:
+        store_path = str(
+            store.save(
+                spec,
+                payload,
+                meta={
+                    "shards": len(tasks),
+                    "workers": workers,
+                    "elapsed_seconds": elapsed,
+                    "created_at": datetime.now(timezone.utc).isoformat(),
+                },
+            )
+        )
+    return ScenarioRun(
+        spec=spec,
+        key=key,
+        payload=payload,
+        cached=False,
+        shards=len(tasks),
+        workers=workers,
+        elapsed_seconds=elapsed,
+        store_path=store_path,
+    )

@@ -1,0 +1,128 @@
+"""Content-addressed artifact store for scenario results.
+
+Layout: one JSON document per result at ``<root>/<spec_key(spec)>.json``
+(default root ``results/store/``, overridable with the ``REPRO_STORE_DIR``
+environment variable or the CLI's ``--store``).  The filename *is* the
+invalidation mechanism: any change to the spec — sample budget, seed, shard
+layout, engine, attack, schema version — changes its sha256 content hash
+(:func:`repro.scenarios.spec.spec_key`), so a stale result is simply never
+looked up again.  No mtimes, no manifests, no bookkeeping.
+
+Each document carries the full serialised spec next to the payload, which
+lets :meth:`ArtifactStore.load` verify the (astronomically unlikely) hash
+collision / hand-edited file case, and makes every artifact self-describing
+for archival (CI uploads the whole directory as a workflow artifact).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.exceptions import ExperimentError
+from repro.scenarios.spec import ScenarioSpec, spec_dict, spec_key
+
+__all__ = ["STORE_ENV_VAR", "DEFAULT_STORE_DIR", "ArtifactStore", "default_store"]
+
+#: Environment variable overriding the default store directory.
+STORE_ENV_VAR = "REPRO_STORE_DIR"
+
+#: Store root used when neither the caller nor the environment picks one.
+DEFAULT_STORE_DIR = Path("results") / "store"
+
+
+@dataclass(frozen=True)
+class ArtifactStore:
+    """A directory of content-addressed scenario results."""
+
+    root: Path
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        """The (content-addressed) file a result for ``spec`` lives at."""
+        return self.root / f"{spec_key(spec)}.json"
+
+    def load(self, spec: ScenarioSpec) -> dict | None:
+        """Return the stored document for ``spec``, or ``None`` on a miss.
+
+        A document whose embedded spec does not match ``spec`` (hash
+        collision or a hand-edited file) raises rather than silently serving
+        wrong results.
+        """
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ExperimentError(f"artifact {path} is unreadable: {error}") from error
+        if document.get("spec") != _jsonified_spec(spec):
+            raise ExperimentError(
+                f"artifact {path} does not match the requested spec; delete it or "
+                "bump the scenario (its content hash should have prevented this)"
+            )
+        return document
+
+    def save(self, spec: ScenarioSpec, payload: dict, meta: dict | None = None) -> Path:
+        """Persist ``payload`` for ``spec``; returns the written path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        document = {
+            "key": spec_key(spec),
+            "name": spec.name,
+            "kind": spec.kind,
+            "spec": spec_dict(spec),
+            "meta": meta or {},
+            "payload": payload,
+        }
+        path = self.path_for(spec)
+        # Atomic publish via a per-writer scratch file: a concurrent reader
+        # never sees a half-written document, and two concurrent writers of
+        # the same spec each publish a complete one (last replace wins).
+        handle, scratch = tempfile.mkstemp(
+            dir=self.root, prefix=f".{spec_key(spec)[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps(document, sort_keys=True, indent=2) + "\n")
+            os.replace(scratch, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(scratch)
+            raise
+        return path
+
+    def entries(self) -> list[dict]:
+        """Summaries (name, kind, key, meta) of every stored artifact."""
+        if not self.root.exists():
+            return []
+        summaries = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            summaries.append(
+                {
+                    "name": document.get("name"),
+                    "kind": document.get("kind"),
+                    "key": document.get("key"),
+                    "meta": document.get("meta", {}),
+                    "path": str(path),
+                }
+            )
+        return summaries
+
+
+def _jsonified_spec(spec: ScenarioSpec) -> dict:
+    """The spec as it reads back from JSON (tuples become lists, int keys str)."""
+    return json.loads(json.dumps(spec_dict(spec)))
+
+
+def default_store(root: str | Path | None = None) -> ArtifactStore:
+    """Build the store at ``root`` / ``$REPRO_STORE_DIR`` / ``results/store``."""
+    if root is None:
+        root = os.environ.get(STORE_ENV_VAR, "").strip() or DEFAULT_STORE_DIR
+    return ArtifactStore(root=Path(root))

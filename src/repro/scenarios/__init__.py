@@ -1,0 +1,46 @@
+"""Declarative scenario subsystem: experiments as data.
+
+See ``docs/SCENARIOS.md`` for the full subsystem contract (spec schema,
+registry, runner guarantees, store layout).  Importing this package
+registers the built-in catalogue (:mod:`repro.scenarios.catalog`), so
+
+    from repro.scenarios import get_scenario
+    from repro.runner import run_scenario
+
+    result = run_scenario(get_scenario("table1-row1"), workers=8)
+
+is all it takes to reproduce a paper artifact.
+"""
+
+from repro.scenarios import catalog as _catalog  # noqa: F401  (registers the catalogue)
+from repro.scenarios.registry import (
+    available_scenarios,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.spec import (
+    CaseStudyScenario,
+    ComparisonCase,
+    ComparisonScenario,
+    FigureScenario,
+    ScenarioSpec,
+    schedule_from_spec,
+    spec_dict,
+    spec_key,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ComparisonCase",
+    "ComparisonScenario",
+    "CaseStudyScenario",
+    "FigureScenario",
+    "schedule_from_spec",
+    "spec_dict",
+    "spec_key",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "list_scenarios",
+]

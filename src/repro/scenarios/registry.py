@@ -1,0 +1,61 @@
+"""The scenario registry: named, pre-populated, extensible.
+
+Mirrors the engine registry (:mod:`repro.engine.base`): a flat name → spec
+mapping with loud failures on collisions and unknown names.  The catalogue
+of built-in scenarios (:mod:`repro.scenarios.catalog`) registers itself when
+:mod:`repro.scenarios` is imported; third-party code can add its own specs
+with :func:`register_scenario` and they become reachable from
+``python -m repro run`` immediately.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ExperimentError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "list_scenarios",
+]
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Register ``spec`` under its own name; returns the spec for chaining."""
+    if not isinstance(spec, ScenarioSpec):
+        raise ExperimentError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+    if spec.name in _SCENARIOS and not replace:
+        raise ExperimentError(
+            f"scenario {spec.name!r} is already registered (pass replace=True)"
+        )
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name (raises with the catalogue on miss)."""
+    spec = _SCENARIOS.get(name)
+    if spec is None:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; run `python -m repro list` or see "
+            f"available_scenarios(): {', '.join(available_scenarios())}"
+        )
+    return spec
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Names of all registered scenarios, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def list_scenarios(tag: str | None = None, kind: str | None = None) -> tuple[ScenarioSpec, ...]:
+    """All registered specs (sorted by name), optionally filtered by tag/kind."""
+    specs = (_SCENARIOS[name] for name in available_scenarios())
+    return tuple(
+        spec
+        for spec in specs
+        if (tag is None or tag in spec.tags) and (kind is None or spec.kind == kind)
+    )

@@ -1,0 +1,332 @@
+"""Declarative experiment specifications: experiments as frozen data.
+
+A *scenario* is everything needed to reproduce one experiment of the paper's
+evaluation (or one of the repository's extension workloads) as a frozen
+dataclass: which engine backend runs it, which attack spec drives it, the
+configuration grid, the sample budget, and — crucially — the base seed and
+the shard layout.  Because the shard layout and the per-shard seed derivation
+(:mod:`repro.utils.seeding` spawn keys) are part of the *spec*, not of the
+executor, a scenario's output is a pure function of its spec: the runner
+(:mod:`repro.runner`) produces bit-identical results for ``workers=1`` and
+``workers=8``, and the artifact store can address results by the spec's
+content hash (:func:`spec_key`).
+
+Three scenario kinds cover the paper and the extension workloads:
+
+* :class:`ComparisonScenario` — Table I style schedule sweeps; one or more
+  :class:`ComparisonCase` grid points, each a ``(lengths, fa, schedules,
+  attack, faults)`` configuration run through
+  :meth:`repro.engine.base.Engine.run_rounds`;
+* :class:`CaseStudyScenario` — the Table II platoon case study, with the
+  attacker selected by name (``"proxy"``, ``"exact"``, or the scalar
+  ``"expectation-grid"`` oracle);
+* :class:`FigureScenario` — deterministic paper artifacts (Figures 1–5 and
+  the baseline-fusion ablation) computed by a registered figure function
+  (:mod:`repro.scenarios.figures`).
+
+The registry of named scenarios lives in :mod:`repro.scenarios.registry`,
+the pre-populated catalogue in :mod:`repro.scenarios.catalog`, and the whole
+subsystem is documented in ``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.batch.rounds import BatchTransientFaults
+from repro.core.exceptions import ExperimentError
+from repro.engine.base import resolve_attack
+from repro.scheduling.comparison import ScheduleComparisonConfig
+from repro.scheduling.schedule import (
+    FixedSchedule,
+    Schedule,
+    TrustAwareSchedule,
+    schedule_by_name,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ComparisonCase",
+    "ScenarioSpec",
+    "ComparisonScenario",
+    "CaseStudyScenario",
+    "FigureScenario",
+    "schedule_from_spec",
+    "spec_dict",
+    "spec_key",
+]
+
+#: Bumped whenever the serialised spec layout changes incompatibly; part of
+#: the content hash, so old artifact-store entries invalidate themselves.
+SCHEMA_VERSION = 1
+
+#: Attackers a :class:`CaseStudyScenario` can name, per engine family.
+CASE_STUDY_ATTACKERS = ("proxy", "exact", "expectation-grid")
+
+
+def schedule_from_spec(text: str) -> Schedule:
+    """Build a :class:`~repro.scheduling.schedule.Schedule` from its spec string.
+
+    Scenario specs carry schedules as strings so they stay hashable and
+    JSON-serialisable: ``"ascending"`` / ``"descending"`` / ``"random"``,
+    ``"fixed:2,0,1"`` (an explicit permutation), or
+    ``"trust-aware:0.5,1.0,2.0"`` (per-sensor spoofability scores).
+    """
+    kind, _, argument = text.partition(":")
+    kind = kind.strip().lower()
+    if kind == "fixed":
+        if not argument:
+            raise ExperimentError("a fixed schedule spec needs a permutation, e.g. 'fixed:2,0,1'")
+        return FixedSchedule(tuple(int(part) for part in argument.split(",")))
+    if kind == "trust-aware":
+        if not argument:
+            raise ExperimentError(
+                "a trust-aware schedule spec needs spoofability scores, e.g. 'trust-aware:0.5,1,2'"
+            )
+        return TrustAwareSchedule(tuple(float(part) for part in argument.split(",")))
+    return schedule_by_name(kind)
+
+
+@dataclass(frozen=True)
+class ComparisonCase:
+    """One grid point of a Table I style scenario.
+
+    ``label`` names the point in reports; the remaining fields mirror
+    :class:`~repro.scheduling.comparison.ScheduleComparisonConfig` plus the
+    engine-route attack spec and an optional transient-fault model.  All
+    fields are primitives, so a case is hashable, picklable across worker
+    processes, and JSON-serialisable for the artifact store.
+    """
+
+    label: str
+    lengths: tuple[float, ...]
+    fa: int
+    f: int | None = None
+    attacked_indices: tuple[int, ...] | None = None
+    attack: str = "stretch"
+    schedules: tuple[str, ...] = ("ascending", "descending")
+    fault_probability: float = 0.0
+    fault_min_offset_widths: float = 1.0
+    fault_max_offset_widths: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.schedules:
+            raise ExperimentError(f"case {self.label!r} needs at least one schedule")
+        # Fail at registration time, not mid-run on a worker: the engine
+        # config, attack spec, schedule strings and fault model all validate
+        # their own fields.
+        self.comparison_config()
+        resolve_attack(self.attack)
+        self.schedule_objects()
+        self.faults()
+
+    def comparison_config(self) -> ScheduleComparisonConfig:
+        """The engine-layer configuration for this grid point."""
+        return ScheduleComparisonConfig(
+            lengths=tuple(float(length) for length in self.lengths),
+            fa=self.fa,
+            f=self.f,
+            attacked_indices=self.attacked_indices,
+        )
+
+    def schedule_objects(self) -> tuple[Schedule, ...]:
+        """The schedule instances named by :attr:`schedules`."""
+        return tuple(schedule_from_spec(text) for text in self.schedules)
+
+    def faults(self) -> BatchTransientFaults | None:
+        """The transient-fault model, or ``None`` when faults are disabled."""
+        if self.fault_probability == 0.0:
+            return None
+        return BatchTransientFaults(
+            probability=self.fault_probability,
+            min_offset_widths=self.fault_min_offset_widths,
+            max_offset_widths=self.fault_max_offset_widths,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Fields shared by every scenario kind.
+
+    Attributes
+    ----------
+    name:
+        Registry name (also the CLI spelling: ``python -m repro run NAME``).
+    engine:
+        Simulation backend, resolved through the :mod:`repro.engine`
+        registry; ``None`` uses the (env-overridable) default backend, which
+        the runner pins into the spec — and therefore into the content hash
+        — before executing, so two ``REPRO_ENGINE`` sessions never share a
+        store entry.
+    seed:
+        Base seed.  Every shard derives its stream with
+        :func:`repro.utils.seeding.derive_rng` spawn keys, so the full
+        result is a pure function of the spec.
+    tags:
+        Free-form labels for CLI filtering (``python -m repro list --tag``).
+    """
+
+    name: str
+    description: str = ""
+    engine: str | None = None
+    seed: int = 2014
+    tags: tuple[str, ...] = ()
+
+    #: Discriminator used in serialised specs and the runner dispatch.
+    kind: ClassVar[str] = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("a scenario needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class ComparisonScenario(ScenarioSpec):
+    """A Table I style schedule sweep over one or more configuration cases.
+
+    ``samples`` is the Monte-Carlo budget *per case*; the runner splits it
+    into shards of at most ``shard_samples`` rounds.  The shard layout is a
+    pure function of ``(samples, shard_samples)``, which is what makes runs
+    worker-count invariant.
+    """
+
+    cases: tuple[ComparisonCase, ...] = ()
+    samples: int = 100_000
+    shard_samples: int = 25_000
+
+    kind: ClassVar[str] = "comparison"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.cases:
+            raise ExperimentError(f"comparison scenario {self.name!r} needs at least one case")
+        if self.samples <= 0:
+            raise ExperimentError(f"samples must be positive, got {self.samples}")
+        if self.shard_samples <= 0:
+            raise ExperimentError(f"shard_samples must be positive, got {self.shard_samples}")
+        labels = [case.label for case in self.cases]
+        if len(set(labels)) != len(labels):
+            raise ExperimentError(f"comparison scenario {self.name!r} has duplicate case labels")
+
+
+@dataclass(frozen=True)
+class CaseStudyScenario(ScenarioSpec):
+    """The Table II platoon case study as a scenario.
+
+    ``attacker`` selects the attack implementation by name:
+
+    * ``"proxy"`` — the vectorized
+      :class:`~repro.batch.rounds.ExpectationProxyBatchAttacker` (batch
+      engine; the fast default, validated at the statistics level);
+    * ``"exact"`` — the exact problem (2) attacker
+      (:class:`repro.batch.expectation.ExactExpectationBatchAttacker`) on
+      the ``expectation_grid`` resolution (batch engine);
+    * ``"expectation-grid"`` — the scalar coarse-grid
+      :class:`~repro.attack.expectation.ExpectationPolicy` oracle (scalar
+      engine; slow, the reference).
+
+    Batch case studies shard over platoon replicas (chunks of
+    ``shard_replicas``); the scalar oracle shards one task per schedule.
+    """
+
+    engine: str | None = "batch"
+    attacker: str = "proxy"
+    n_steps: int = 200
+    n_vehicles: int = 3
+    n_replicas: int = 32
+    shard_replicas: int = 8
+    attacked_sensor: str | int = "random"
+    schedules: tuple[str, ...] = ("ascending", "descending", "random")
+    expectation_grid: tuple[int, int, int] = (2, 2, 7)
+
+    kind: ClassVar[str] = "case-study"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.attacker not in CASE_STUDY_ATTACKERS:
+            raise ExperimentError(
+                f"unknown case-study attacker {self.attacker!r}; "
+                f"expected one of {CASE_STUDY_ATTACKERS}"
+            )
+        # The case-study runner has exactly one implementation per attacker,
+        # each welded to its engine — reject every other pairing so an
+        # `--engine` override can never store an artifact whose embedded spec
+        # names a backend that did not actually execute.
+        required_engine = "scalar" if self.attacker == "expectation-grid" else "batch"
+        if self.engine != required_engine:
+            raise ExperimentError(
+                f"attacker={self.attacker!r} runs on engine={required_engine!r} only, "
+                f"got engine={self.engine!r} (the scalar oracle is attacker="
+                "'expectation-grid'; 'proxy'/'exact' are batch attackers)"
+            )
+        for field_name in ("n_steps", "n_vehicles", "n_replicas", "shard_replicas"):
+            if getattr(self, field_name) <= 0:
+                raise ExperimentError(
+                    f"{field_name} must be positive, got {getattr(self, field_name)}"
+                )
+        if not self.schedules:
+            raise ExperimentError(f"case-study scenario {self.name!r} needs at least one schedule")
+        if len(set(self.schedules)) != len(self.schedules):
+            raise ExperimentError(
+                f"case-study scenario {self.name!r} has duplicate schedule specs"
+            )
+        for text in self.schedules:
+            schedule_from_spec(text)
+        self.case_study_config()  # validates attacked_sensor eagerly
+
+    def case_study_config(self):
+        """The :class:`~repro.vehicle.case_study.CaseStudyConfig` this spec implies."""
+        from repro.vehicle.case_study import CaseStudyConfig
+
+        return CaseStudyConfig(
+            n_steps=self.n_steps,
+            n_vehicles=self.n_vehicles,
+            attacked_sensor=self.attacked_sensor,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class FigureScenario(ScenarioSpec):
+    """A deterministic paper artifact computed by a registered figure function.
+
+    ``figure`` names an entry of :data:`repro.scenarios.figures.FIGURES`;
+    the function receives a generator derived from :attr:`seed` and returns a
+    JSON-serialisable payload.
+    """
+
+    figure: str = ""
+
+    kind: ClassVar[str] = "figure"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        from repro.scenarios.figures import FIGURES
+
+        if self.figure not in FIGURES:
+            raise ExperimentError(
+                f"unknown figure function {self.figure!r}; available: {', '.join(sorted(FIGURES))}"
+            )
+
+
+def spec_dict(spec: ScenarioSpec) -> dict:
+    """Serialise a spec to plain JSON types (the store's canonical form)."""
+    payload = dataclasses.asdict(spec)
+    payload["kind"] = spec.kind
+    payload["schema"] = SCHEMA_VERSION
+    return payload
+
+
+def spec_key(spec: ScenarioSpec) -> str:
+    """Content-address of a spec: sha256 over its canonical JSON serialisation.
+
+    Any field change — sample budget, seed, shard layout, engine, schema
+    version — changes the key, which is how the artifact store invalidates
+    stale results without bookkeeping.
+    """
+    canonical = json.dumps(spec_dict(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

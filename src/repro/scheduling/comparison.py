@@ -45,6 +45,7 @@ from repro.core.marzullo import max_safe_fault_bound
 from repro.scheduling.enumeration import count_combinations, enumerate_combinations
 from repro.scheduling.round import RoundConfig, RoundResult, run_round
 from repro.scheduling.schedule import Schedule
+from repro.utils.seeding import ensure_rng
 
 __all__ = [
     "ScheduleComparisonConfig",
@@ -169,7 +170,7 @@ def expected_fusion_width_exhaustive(
     give_oracle: bool = False,
 ) -> ScheduleRow:
     """Expected fusion width by exhaustive enumeration (the paper's method)."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = ensure_rng(rng)
     round_config = RoundConfig(
         schedule=schedule,
         attacked_indices=config.resolved_attacked,
@@ -201,7 +202,7 @@ def expected_fusion_width_monte_carlo(
     """Expected fusion width by uniform sampling of correct placements."""
     if samples <= 0:
         raise ExperimentError(f"need a positive number of samples, got {samples}")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = ensure_rng(rng)
     round_config = RoundConfig(
         schedule=schedule,
         attacked_indices=config.resolved_attacked,
@@ -319,7 +320,7 @@ def compare_schedules(
         )
     if policy_factory is None:
         policy_factory = ExpectationPolicy
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = ensure_rng(rng)
     rows = []
     for schedule in schedules:
         policy = policy_factory()

@@ -1,5 +1,20 @@
-"""Small shared utilities (deterministic RNG construction)."""
+"""Small shared utilities (deterministic RNG construction and derivation)."""
 
 from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.seeding import (
+    child_seed_sequence,
+    derive_rng,
+    ensure_rng,
+    shard_rngs,
+    shard_seed_sequences,
+)
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "child_seed_sequence",
+    "derive_rng",
+    "ensure_rng",
+    "shard_rngs",
+    "shard_seed_sequences",
+]

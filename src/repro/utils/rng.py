@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.seeding import shard_rngs
+
 __all__ = ["make_rng", "spawn_rngs"]
 
 
@@ -20,6 +22,11 @@ def make_rng(seed: int | None = None) -> np.random.Generator:
 
 
 def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` independent generators from one base seed."""
-    seed_sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seed_sequence.spawn(count)]
+    """Derive ``count`` independent generators from one base seed.
+
+    Alias of :func:`repro.utils.seeding.shard_rngs` — the derivation lives in
+    :mod:`repro.utils.seeding` so every child stream in the repository is
+    spelled the same way (``SeedSequence(seed).spawn(count)[i]`` and
+    ``SeedSequence(entropy=seed, spawn_key=(i,))`` are the same sequence).
+    """
+    return shard_rngs(seed, count)

@@ -38,6 +38,7 @@ from repro.attack.expectation import ExpectationPolicy
 from repro.attack.policy import AttackPolicy
 from repro.core.exceptions import ExperimentError
 from repro.scheduling.schedule import Schedule
+from repro.utils.seeding import ensure_rng
 from repro.vehicle.platoon import Platoon, PlatoonConfig
 from repro.vehicle.selection import AttackedSensorSelector, selector_from_spec
 
@@ -155,7 +156,7 @@ def run_case_study_for_schedule(
     and vehicle); the vectorized counterpart is
     :func:`repro.batch.case_study.batch_case_study_for_schedule`.
     """
-    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    rng = ensure_rng(rng, config.seed)
     platoon = Platoon(
         config.platoon_config(),
         schedule,

@@ -1,0 +1,141 @@
+"""CLI coverage: in-process command tests plus a true subprocess smoke."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main, render_payload
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+
+def run_cli(*argv, capsys):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListCommand:
+    def test_list_names_catalogue(self, capsys):
+        code, out, _ = run_cli("list", capsys=capsys)
+        assert code == 0
+        assert "table1-row1" in out and "table2-exact" in out
+
+    def test_list_json_with_tag_filter(self, capsys):
+        code, out, _ = run_cli("list", "--json", "--tag", "smoke", capsys=capsys)
+        assert code == 0
+        names = [entry["name"] for entry in json.loads(out)["scenarios"]]
+        assert names == ["table1-smoke"]
+
+
+class TestRunCommand:
+    def test_run_uses_store_and_reports_cache_hit(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code, out, _ = run_cli(
+            "run", "table1-smoke", "--workers", "2", "--store", store, capsys=capsys
+        )
+        assert code == 0 and "shard(s)" in out
+        code, out, _ = run_cli("run", "table1-smoke", "--store", store, capsys=capsys)
+        assert code == 0 and "cache hit" in out
+
+    def test_run_json_workers_invariance(self, capsys, tmp_path):
+        def payload(workers: str):
+            code, out, _ = run_cli(
+                "run",
+                "table1-smoke",
+                "--workers",
+                workers,
+                "--force",
+                "--json",
+                "--store",
+                str(tmp_path / f"store-{workers}"),
+                capsys=capsys,
+            )
+            assert code == 0
+            (result,) = json.loads(out)["results"]
+            assert result["cached"] is False
+            return result["payload"]
+
+        assert payload("1") == payload("2")
+
+    def test_engine_override_changes_key_not_results(self, capsys, tmp_path):
+        # scalar and batch are bit-identical under the stretch attacker, but
+        # the override must address a different store entry.
+        store = str(tmp_path / "store")
+        code, out, _ = run_cli(
+            "run", "table1-smoke", "--json", "--store", store, capsys=capsys
+        )
+        (batch_result,) = json.loads(out)["results"]
+        code, out, _ = run_cli(
+            "run", "table1-smoke", "--engine", "scalar", "--json", "--store", store, capsys=capsys
+        )
+        (scalar_result,) = json.loads(out)["results"]
+        assert scalar_result["key"] != batch_result["key"]
+        assert scalar_result["cached"] is False
+        assert scalar_result["payload"] == batch_result["payload"]
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code, _, err = run_cli("run", "no-such-scenario", capsys=capsys)
+        assert code == 1
+        assert "unknown scenario" in err
+
+
+class TestReportCommand:
+    def test_report_renders_figure(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            "report", "fig1-marzullo", "--store", str(tmp_path), capsys=capsys
+        )
+        assert code == 0
+        assert "fusion interval for f = 0, 1, 2" in out
+
+    def test_engine_flag_rejected_on_derived_reports(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            "report", "table2-exact-vs-proxy", "--engine", "scalar", "--store", str(tmp_path), capsys=capsys
+        )
+        assert code == 1
+        assert "--engine only applies to plain scenario names" in err
+
+    def test_render_payload_falls_back_to_json(self):
+        assert render_payload({"kind": "mystery", "x": 1}).startswith("{")
+
+
+class TestSubprocessSmoke:
+    def test_python_m_repro_end_to_end(self, tmp_path):
+        """The acceptance-criterion flow through a real `python -m repro`."""
+        env = {
+            **os.environ,
+            "PYTHONPATH": SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+            "REPRO_STORE_DIR": str(tmp_path),
+        }
+
+        def invoke(*args):
+            return subprocess.run(
+                [sys.executable, "-m", "repro", *args],
+                capture_output=True,
+                text=True,
+                cwd=str(tmp_path),
+                env=env,
+                check=True,
+            )
+
+        listing = invoke("list", "--json")
+        assert "table1-smoke" in listing.stdout
+
+        parallel = json.loads(invoke("run", "table1-smoke", "--workers", "4", "--json").stdout)
+        (first,) = parallel["results"]
+        assert first["cached"] is False and first["shards"] == 4
+
+        serial = json.loads(
+            invoke("run", "table1-smoke", "--workers", "1", "--force", "--json").stdout
+        )
+        (second,) = serial["results"]
+        assert second["payload"] == first["payload"], "workers=4 vs workers=1 diverged"
+
+        cached = json.loads(invoke("run", "table1-smoke", "--json").stdout)
+        (third,) = cached["results"]
+        assert third["cached"] is True
+        assert third["payload"] == first["payload"]
+        assert (tmp_path / f"{first['key']}.json").exists()

@@ -30,6 +30,11 @@ def _assert_rounds_equal(a, b):
     np.testing.assert_array_equal(a.fusion_hi, b.fusion_hi)
     np.testing.assert_array_equal(a.valid, b.valid)
     np.testing.assert_array_equal(a.attacker_detected, b.attacker_detected)
+    # Per-sensor extension: broadcasts and detection flags are part of the
+    # parity contract too (NaN broadcasts / no flags on invalid rows).
+    np.testing.assert_array_equal(a.broadcast_lo, b.broadcast_lo)
+    np.testing.assert_array_equal(a.broadcast_hi, b.broadcast_hi)
+    np.testing.assert_array_equal(a.flagged, b.flagged)
 
 
 def _run_both(config, schedule, seed, attack="stretch", faults=None, samples=48):
@@ -116,3 +121,37 @@ def test_rounds_result_accessors():
     row = result.to_row()
     assert row.schedule_name == "descending"
     assert row.combinations == 500
+
+
+def test_per_sensor_arrays_are_populated_and_consistent():
+    config = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1)
+    for engine in (ScalarEngine(), BatchEngine()):
+        result = engine.run_rounds(
+            config, AscendingSchedule(), samples=64, rng=np.random.default_rng(3)
+        )
+        assert result.broadcast_lo.shape == (64, 3)
+        assert result.broadcast_hi.shape == (64, 3)
+        assert result.flagged.shape == (64, 3)
+        # Broadcast intervals are well-formed wherever the round is valid.
+        assert (result.broadcast_lo[result.valid] <= result.broadcast_hi[result.valid]).all()
+        # The per-round attacker_detected mask is derivable from the
+        # per-sensor flags and the attacked set (sensor 0 is the most precise).
+        np.testing.assert_array_equal(result.attacker_detected, result.flagged[:, 0])
+        rates = result.flagged_fraction_per_sensor
+        assert rates.shape == (3,)
+        assert ((0.0 <= rates) & (rates <= 1.0)).all()
+
+
+def test_flagged_fraction_requires_per_sensor_arrays():
+    from repro.core.exceptions import ExperimentError
+    from repro.engine import RoundsResult
+
+    legacy = RoundsResult(
+        schedule_name="ascending",
+        fusion_lo=np.zeros(4),
+        fusion_hi=np.ones(4),
+        valid=np.ones(4, dtype=bool),
+        attacker_detected=np.zeros(4, dtype=bool),
+    )
+    with pytest.raises(ExperimentError):
+        legacy.flagged_fraction_per_sensor

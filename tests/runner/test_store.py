@@ -1,0 +1,91 @@
+"""The content-addressed artifact store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import ExperimentError
+from repro.runner import ArtifactStore, default_store
+from repro.runner.store import STORE_ENV_VAR
+from repro.scenarios import ComparisonCase, ComparisonScenario, spec_key
+
+
+def spec(**overrides) -> ComparisonScenario:
+    defaults = dict(
+        name="store-test",
+        cases=(ComparisonCase(label="case", lengths=(1.0, 2.0, 3.0), fa=1),),
+        samples=10,
+        shard_samples=10,
+    )
+    defaults.update(overrides)
+    return ComparisonScenario(**defaults)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        payload = {"kind": "comparison", "cases": []}
+        path = store.save(spec(), payload, meta={"shards": 1})
+        assert path == store.path_for(spec())
+        assert path.name == f"{spec_key(spec())}.json"
+        document = store.load(spec())
+        assert document["payload"] == payload
+        assert document["meta"]["shards"] == 1
+        assert document["spec"]["name"] == "store-test"
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).load(spec()) is None
+
+    def test_document_is_valid_json_on_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.save(spec(), {"kind": "comparison"})
+        document = json.loads(path.read_text())
+        assert document["key"] == spec_key(spec())
+
+    def test_no_scratch_files_left_behind(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(spec(), {"kind": "comparison"})
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestInvalidation:
+    def test_spec_change_misses(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(spec(), {"kind": "comparison"})
+        assert store.load(spec(samples=20)) is None
+        assert store.load(dataclasses.replace(spec(), seed=1)) is None
+
+    def test_mismatched_embedded_spec_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.save(spec(), {"kind": "comparison"})
+        # Simulate a hand-edited artifact: same filename, different spec.
+        document = json.loads(path.read_text())
+        document["spec"]["samples"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ExperimentError, match="does not match"):
+            store.load(spec())
+
+    def test_corrupt_artifact_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.path_for(spec()).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(spec()).write_text("not json")
+        with pytest.raises(ExperimentError, match="unreadable"):
+            store.load(spec())
+
+
+class TestEntriesAndDefaults:
+    def test_entries_summarise_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.entries() == []
+        store.save(spec(), {"kind": "comparison"})
+        store.save(spec(name="store-test-2"), {"kind": "comparison"})
+        names = {entry["name"] for entry in store.entries()}
+        assert names == {"store-test", "store-test-2"}
+
+    def test_default_store_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env-store"))
+        assert default_store().root == tmp_path / "env-store"
+        assert default_store(tmp_path / "explicit").root == tmp_path / "explicit"
+        monkeypatch.delenv(STORE_ENV_VAR)
+        assert str(default_store().root).endswith("results/store")

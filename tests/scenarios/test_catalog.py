@@ -1,0 +1,103 @@
+"""Behavioural checks of catalogue scenarios at reduced budgets.
+
+The registered budgets target reproduction quality; these tests shrink them
+with ``dataclasses.replace`` (a *different* spec, so nothing here can poison
+a real artifact store) and assert the qualitative claims each scenario's
+description makes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.runner import run_scenario
+from repro.scenarios import get_scenario
+
+
+def shrunk(name: str, samples: int = 800, shard_samples: int = 400):
+    return dataclasses.replace(
+        get_scenario(name), samples=samples, shard_samples=shard_samples
+    )
+
+
+def widths_by_label(payload: dict) -> dict[str, dict[str, float]]:
+    return {
+        case["label"]: {row["schedule"]: row["expected_width"] for row in case["rows"]}
+        for case in payload["cases"]
+    }
+
+
+def test_table1_row_ascending_beats_descending():
+    payload = run_scenario(shrunk("table1-row1", samples=4_000)).payload
+    rows = widths_by_label(payload)["n3-fa1"]
+    assert rows["ascending"] < rows["descending"]
+
+
+def test_ablation_fault_bound_widths_grow_with_f():
+    payload = run_scenario(shrunk("ablation-fault-bound")).payload
+    rows = widths_by_label(payload)
+    assert rows["f=1"]["descending"] < rows["f=2"]["descending"]
+
+
+def test_ablation_attacked_sensor_most_precise_is_strongest():
+    # Theorem 4: compromising the most precise sensor is the strongest
+    # choice.  The two wide sensors barely influence the fusion interval
+    # (the encoders pin it), so their widths differ only by noise.
+    payload = run_scenario(shrunk("ablation-attacked-sensor", samples=2_000)).payload
+    rows = widths_by_label(payload)
+    assert rows["encoder (most precise)"]["descending"] > max(
+        rows["gps"]["descending"], rows["camera (least precise)"]["descending"]
+    )
+
+
+def test_ablation_attacker_strength_ordering():
+    payload = run_scenario(shrunk("ablation-attacker-strength", samples=600, shard_samples=300), workers=2).payload
+    rows = widths_by_label(payload)
+    truthful = rows["truthful"]["descending"]
+    stretch = rows["stretch"]["descending"]
+    expectation = rows["expectation"]["descending"]
+    assert truthful < stretch
+    assert truthful < expectation
+    # The exact expectation attacker is at least as strong as the greedy
+    # stretch heuristic (small estimation noise allowed at this budget).
+    assert expectation > stretch * 0.95
+
+
+def test_sweep_multi_fault_more_attackers_wider_fusion():
+    payload = run_scenario(shrunk("sweep-multi-fault", samples=2_000, shard_samples=1_000)).payload
+    rows = widths_by_label(payload)
+    assert (
+        rows["fa=1"]["descending"]
+        <= rows["fa=2"]["descending"]
+        <= rows["fa=3"]["descending"]
+    )
+
+
+def test_sweep_sensor_dropout_tracks_empty_fusions():
+    payload = run_scenario(shrunk("sweep-sensor-dropout", samples=2_000, shard_samples=1_000)).payload
+    valid = {
+        case["label"]: case["rows"][0]["valid_fraction"] for case in payload["cases"]
+    }
+    assert valid["p=0"] == 1.0
+    assert valid["p=0.15"] < valid["p=0.05"] <= 1.0
+
+
+def test_sweep_hetero_noise_heterogeneity_helps_ascending():
+    payload = run_scenario(shrunk("sweep-hetero-noise", samples=2_000, shard_samples=1_000)).payload
+    rows = widths_by_label(payload)
+    for label in ("homogeneous", "mild", "extreme"):
+        assert rows[label]["ascending"] <= rows[label]["descending"] * 1.05
+
+
+@pytest.mark.parametrize("name", ["table2-proxy", "table2-exact"])
+def test_table2_scenarios_preserve_paper_ordering(name):
+    spec = dataclasses.replace(
+        get_scenario(name), n_steps=30, n_replicas=4, shard_replicas=2
+    )
+    payload = run_scenario(spec, workers=2).payload
+    totals = {
+        row["schedule"]: row["upper_violations"] + row["lower_violations"]
+        for row in payload["rows"]
+    }
+    assert totals["ascending"] == 0
+    assert totals["ascending"] < totals["descending"]

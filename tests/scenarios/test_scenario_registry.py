@@ -1,0 +1,96 @@
+"""Scenario registry behaviour and the built-in catalogue."""
+
+import pytest
+
+from repro.analysis.experiments import TABLE1_CONFIGURATIONS, table1_row_name
+from repro.core import ExperimentError
+from repro.scenarios import (
+    ComparisonCase,
+    ComparisonScenario,
+    available_scenarios,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.figures import FIGURES
+
+
+def make_spec(name="registry-test-spec"):
+    return ComparisonScenario(
+        name=name,
+        cases=(ComparisonCase(label="case", lengths=(1.0, 2.0, 3.0), fa=1),),
+        samples=10,
+        shard_samples=10,
+    )
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        spec = register_scenario(make_spec(), replace=True)
+        assert get_scenario(spec.name) is spec
+
+    def test_duplicate_registration_rejected(self):
+        spec = register_scenario(make_spec("registry-dup"), replace=True)
+        with pytest.raises(ExperimentError, match="already registered"):
+            register_scenario(spec)
+        register_scenario(spec, replace=True)  # explicit replacement is fine
+
+    def test_unknown_scenario_lists_catalogue(self):
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ExperimentError):
+            register_scenario(object())
+
+    def test_list_filters(self):
+        by_tag = list_scenarios(tag="table1")
+        assert by_tag and all("table1" in spec.tags for spec in by_tag)
+        by_kind = list_scenarios(kind="figure")
+        assert by_kind and all(spec.kind == "figure" for spec in by_kind)
+
+
+class TestCatalogue:
+    def test_every_table1_row_is_registered(self):
+        names = available_scenarios()
+        for index in range(len(TABLE1_CONFIGURATIONS)):
+            assert table1_row_name(index) in names
+
+    def test_paper_artifacts_present(self):
+        names = set(available_scenarios())
+        expected = {
+            "table1-smoke",
+            "table1-expectation",
+            "table2-proxy",
+            "table2-exact",
+            "table2-scalar",
+            "fig1-marzullo",
+            "fig2-no-optimal-policy",
+            "fig3-theorem1",
+            "fig4-worst-case",
+            "fig5-schedule-examples",
+            "ablation-attacked-sensor",
+            "ablation-attacker-strength",
+            "ablation-baseline-fusion",
+            "ablation-fault-bound",
+            "ablation-trust-schedule",
+            "sweep-multi-fault",
+            "sweep-sensor-dropout",
+            "sweep-hetero-noise",
+        }
+        assert expected <= names
+
+    def test_table1_rows_carry_paper_configuration(self):
+        for index, entry in enumerate(TABLE1_CONFIGURATIONS):
+            spec = get_scenario(table1_row_name(index))
+            (case,) = spec.cases
+            assert case.lengths == entry.lengths
+            assert case.fa == entry.fa
+
+    def test_figure_scenarios_reference_registered_functions(self):
+        for spec in list_scenarios(kind="figure"):
+            assert spec.figure in FIGURES
+
+    def test_row_name_bounds(self):
+        with pytest.raises(IndexError):
+            table1_row_name(len(TABLE1_CONFIGURATIONS))

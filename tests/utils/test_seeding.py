@@ -1,0 +1,80 @@
+"""The centralized seed-derivation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import make_rng, spawn_rngs
+from repro.utils.seeding import (
+    child_seed_sequence,
+    derive_rng,
+    ensure_rng,
+    shard_rngs,
+    shard_seed_sequences,
+)
+
+
+def test_child_sequence_matches_spawn():
+    # The stateless spawn-key construction equals SeedSequence.spawn — the
+    # property that lets workers rebuild their streams without coordination.
+    root = np.random.SeedSequence(2014)
+    children = root.spawn(5)
+    for index, child in enumerate(children):
+        stateless = child_seed_sequence(2014, index)
+        assert stateless.entropy == child.entropy
+        assert stateless.spawn_key == child.spawn_key
+        a = np.random.default_rng(stateless).random(8)
+        b = np.random.default_rng(child).random(8)
+        np.testing.assert_array_equal(a, b)
+
+
+def test_derive_rng_is_deterministic_and_keyed():
+    a = derive_rng(7, 1, 2).random(16)
+    b = derive_rng(7, 1, 2).random(16)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, derive_rng(7, 1, 3).random(16))
+    assert not np.array_equal(a, derive_rng(8, 1, 2).random(16))
+
+
+def test_derive_rng_root_matches_default_rng():
+    np.testing.assert_array_equal(
+        derive_rng(123).random(8), np.random.default_rng(123).random(8)
+    )
+
+
+def test_no_cross_seed_collision():
+    # The failure mode of the old `seed + index` arithmetic: stream (seed, 1)
+    # must NOT equal stream (seed + 1, 0).
+    np.random.default_rng(2014 + 1)
+    collided = np.array_equal(derive_rng(2014, 1).random(16), derive_rng(2015, 0).random(16))
+    assert not collided
+
+
+def test_ensure_rng_passthrough_and_default():
+    rng = np.random.default_rng(5)
+    assert ensure_rng(rng) is rng
+    np.testing.assert_array_equal(
+        ensure_rng(None).random(4), np.random.default_rng(0).random(4)
+    )
+    np.testing.assert_array_equal(
+        ensure_rng(None, 42).random(4), np.random.default_rng(42).random(4)
+    )
+
+
+def test_shard_helpers_and_legacy_alias():
+    sequences = shard_seed_sequences(9, 3)
+    assert [s.spawn_key for s in sequences] == [(0,), (1,), (2,)]
+    ours = [rng.random(4) for rng in shard_rngs(9, 3)]
+    legacy = [rng.random(4) for rng in spawn_rngs(9, 3)]
+    for a, b in zip(ours, legacy):
+        np.testing.assert_array_equal(a, b)
+    draws = {tuple(values) for values in ours}
+    assert len(draws) == 3  # independent streams
+
+
+def test_make_rng_unseeded_still_works():
+    assert isinstance(make_rng(), np.random.Generator)
+
+
+@pytest.mark.parametrize("count", [1, 4])
+def test_shard_rngs_count(count):
+    assert len(shard_rngs(0, count)) == count

@@ -6,6 +6,11 @@ These counts were produced by the scalar driver at a reduced-but-stable
 scale (60 steps, 2 vehicles, seed 2014); the percentages land close to the
 paper's Table II (Ascending 0/0, Descending 17.42/17.65, Random 5.72/5.97)
 and preserve its Ascending < Random < Descending ordering exactly.
+
+The per-schedule streams are derived with
+:func:`repro.utils.seeding.derive_rng` (SeedSequence spawn keys); the pins
+were recomputed when that replaced the collision-prone ``seed + index``
+arithmetic.
 """
 
 import pytest
@@ -15,8 +20,8 @@ from repro.vehicle import CaseStudyConfig, run_case_study
 #: (upper_violations, lower_violations) per schedule for the pinned config.
 PINNED_COUNTS = {
     "ascending": (0, 0),
-    "descending": (20, 23),
-    "random": (7, 6),
+    "descending": (27, 24),
+    "random": (11, 9),
 }
 
 PINNED_CONFIG = dict(n_steps=60, n_vehicles=2, seed=2014)
