@@ -1,0 +1,167 @@
+"""Fused engine throughput vs the batch engine on the n=9 multi-slot row.
+
+The fused engine's design target is the workload that collapses the batch
+engine's per-slot loop: many sensors, several compromised transmissions,
+and a random schedule, so the attacker forges at nearly every slot across
+the batch and the slot loop runs an active-mode support sweep per slot.
+The benchmark row is the nine-sensor extension of the paper's Table I
+grid (the paper tops out at n=5) with ``fa=3`` simultaneously compromised
+sensors, run under Ascending, Descending and Random.
+
+Two assertions gate every run:
+
+* **bit identity** — the fused engine's :class:`~repro.engine.base.RoundsResult`
+  must equal the batch engine's array for array on every schedule (the
+  conformance suite pins this at small scale; the benchmark re-checks it
+  at Monte-Carlo scale);
+* **throughput floor** — on the multi-slot random-schedule leg the fused
+  engine must deliver at least ``REPRO_BENCH_FUSED_FLOOR`` (default 3x)
+  the batch engine's rounds/sec; the deterministic legs are reported but
+  not gated (they gain ~1.2–1.9x — the slot loop hurts them less).
+
+Besides the human-readable table, the run writes
+``benchmarks/results/bench_fused_engine.json`` (rates, speedups, samples
+per leg) which CI uploads as a workflow artifact.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.engine import BatchEngine, FusedEngine
+from repro.scheduling import (
+    AscendingSchedule,
+    DescendingSchedule,
+    RandomSchedule,
+    ScheduleComparisonConfig,
+)
+
+#: The n=9 multi-slot row: the Table I length grid extended to nine
+#: sensors, three sensors across the precision range compromised together
+#: (the ``sweep-multi-fault`` scenario family's territory).
+MULTI_SLOT_LENGTHS = (5.0, 5.0, 5.0, 8.0, 8.0, 11.0, 14.0, 17.0, 20.0)
+MULTI_SLOT_FA = 3
+MULTI_SLOT_ATTACKED = (0, 4, 8)
+
+SCHEDULES = (AscendingSchedule(), DescendingSchedule(), RandomSchedule())
+#: The gated leg: under a random schedule the compromised transmissions
+#: land in different slots every round — the multi-slot stress case.
+GATED_SCHEDULE = "random"
+
+
+def _config() -> ScheduleComparisonConfig:
+    return ScheduleComparisonConfig(
+        lengths=MULTI_SLOT_LENGTHS,
+        fa=MULTI_SLOT_FA,
+        attacked_indices=MULTI_SLOT_ATTACKED,
+    )
+
+
+def _best_rate(engine, schedule, samples: int, repeats: int = 3) -> tuple[float, object]:
+    """Best-of-N rounds/sec for one engine on one schedule (plus a result)."""
+    config = _config()
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        rng = np.random.default_rng(0)
+        start = time.perf_counter()
+        result = engine.run_rounds(config, schedule, "stretch", None, samples, rng)
+        best = min(best, time.perf_counter() - start)
+    return samples / best, result
+
+
+def _assert_bit_identical(batch_result, fused_result, schedule_name: str) -> None:
+    for field in (
+        "fusion_lo",
+        "fusion_hi",
+        "valid",
+        "attacker_detected",
+        "broadcast_lo",
+        "broadcast_hi",
+        "flagged",
+    ):
+        np.testing.assert_array_equal(
+            getattr(batch_result, field),
+            getattr(fused_result, field),
+            err_msg=f"fused != batch on {schedule_name}/{field}",
+        )
+
+
+def test_fused_engine_speedup(report_writer, json_report_writer, batch_samples, fused_speedup_floor):
+    """Fused vs batch on the n=9 multi-slot row: parity plus the 3x floor."""
+    batch_engine = BatchEngine()
+    fused_engine = FusedEngine()
+    rows = []
+    legs = {}
+    parity = []
+    for schedule in SCHEDULES:
+        batch_rate, batch_result = _best_rate(batch_engine, schedule, batch_samples)
+        fused_rate, fused_result = _best_rate(fused_engine, schedule, batch_samples)
+        parity.append((batch_result, fused_result, schedule.name))
+        speedup = fused_rate / batch_rate
+        legs[schedule.name] = {
+            "batch_rounds_per_second": batch_rate,
+            "fused_rounds_per_second": fused_rate,
+            "speedup": speedup,
+            "samples": batch_samples,
+        }
+        rows.append(
+            [
+                schedule.name,
+                f"{batch_rate:,.0f}",
+                f"{fused_rate:,.0f}",
+                f"{speedup:.2f}x",
+                "yes" if schedule.name == GATED_SCHEDULE else "",
+            ]
+        )
+    report_writer(
+        "bench_fused_engine",
+        format_table(
+            ["schedule", "batch rounds/s", "fused rounds/s", "speedup", "gated"],
+            rows,
+            title=(
+                "Fused vs batch engine — n=9 multi-slot row "
+                f"(fa={MULTI_SLOT_FA}, attacked={MULTI_SLOT_ATTACKED}, "
+                f"{batch_samples:,} rounds per leg, bit-identical results)"
+            ),
+        ),
+    )
+    json_report_writer(
+        "bench_fused_engine",
+        {
+            "row": {
+                "lengths": list(MULTI_SLOT_LENGTHS),
+                "fa": MULTI_SLOT_FA,
+                "attacked_indices": list(MULTI_SLOT_ATTACKED),
+            },
+            "gated_schedule": GATED_SCHEDULE,
+            "floor": fused_speedup_floor,
+            "legs": legs,
+        },
+    )
+    # Assertions come *after* the reports, so a failing run still leaves
+    # the table and the JSON behind for CI to upload and diagnose.
+    for batch_result, fused_result, name in parity:
+        _assert_bit_identical(batch_result, fused_result, name)
+    gated = legs[GATED_SCHEDULE]["speedup"]
+    assert gated >= fused_speedup_floor, (
+        f"fused engine is only {gated:.2f}x the batch engine on the n=9 multi-slot "
+        f"{GATED_SCHEDULE} row (floor: {fused_speedup_floor}x)"
+    )
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: s.name)
+def test_fused_engine_benchmark(benchmark, schedule, batch_samples):
+    """pytest-benchmark timing of the fused engine per schedule leg."""
+    engine = FusedEngine()
+    config = _config()
+
+    def run():
+        return engine.run_rounds(
+            config, schedule, "stretch", None, batch_samples, np.random.default_rng(0)
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.valid.all()

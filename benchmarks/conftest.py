@@ -103,6 +103,20 @@ def speedup_floor() -> float:
 
 
 @pytest.fixture(scope="session")
+def fused_speedup_floor() -> float:
+    """Required fused-vs-batch throughput ratio on the multi-slot row (default 3x).
+
+    ``REPRO_BENCH_FUSED_FLOOR`` loosens the gate on noisy shared runners;
+    the reference machine shows ~3.5x on the n=9 multi-slot random row.
+    """
+    value = os.environ.get("REPRO_BENCH_FUSED_FLOOR", "")
+    try:
+        return float(value) if value else 3.0
+    except ValueError:
+        return 3.0
+
+
+@pytest.fixture(scope="session")
 def report_writer():
     """Write a named report to ``benchmarks/results`` and echo it to stdout."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -111,6 +125,26 @@ def report_writer():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def json_report_writer():
+    """Write a named machine-readable report to ``benchmarks/results/<name>.json``.
+
+    CI uploads these as workflow artifacts, so benchmark numbers are
+    archived per run next to the human-readable tables.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _write(name: str, payload: dict) -> Path:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"\n[benchmark JSON written to {path}]")
         return path
 
     return _write

@@ -41,6 +41,12 @@ from repro.batch.fuse import (
     batch_fuse_or_none,
     coverage_extremes,
 )
+from repro.batch.fused import (
+    FusedPlan,
+    fused_fusion,
+    fused_monte_carlo_rounds,
+    fused_rounds,
+)
 from repro.batch.rounds import (
     ActiveStretchBatchAttacker,
     BatchAttacker,
@@ -78,6 +84,11 @@ __all__ = [
     "sample_correct_bounds",
     "batch_rounds",
     "monte_carlo_rounds",
+    # fused multi-slot kernels
+    "FusedPlan",
+    "fused_fusion",
+    "fused_rounds",
+    "fused_monte_carlo_rounds",
     # schedule sweeps
     "expected_fusion_width_batch",
     "compare_schedules_batch",

@@ -1,0 +1,524 @@
+"""Fused multi-slot evaluation of batched fusion rounds.
+
+:func:`fused_rounds` produces the same :class:`~repro.batch.rounds.BatchRoundResult`
+as :func:`repro.batch.rounds.batch_rounds` — bit-for-bit — but replaces the
+per-slot Python loop and its per-slot buffers with a fused array program:
+
+* the attacker is evaluated per *compromised transmission* (``fa``
+  iterations, typically 1–2) instead of per schedule slot (``n``
+  iterations), because the stretch attacker's decision at a slot depends
+  only on the transmitted prefix and its anchored support — never on the
+  honest slots in between;
+* the whole program stays in **sensor space**: fusion and detection are
+  order-independent over the *set* of broadcast intervals, so the per-slot
+  gather/scatter transmit buffers disappear entirely — the only slot-space
+  structure left is one scatter building the inverse permutation
+  (slot-of-sensor), from which the attacker's prefix sets are derived;
+* the endpoint sweeps run on a **complex-sorted event matrix**
+  (:func:`fused_fusion`): the event position lives in the real part and the
+  opening/closing flag in the imaginary part, so one ``np.sort`` realises
+  the scalar ``(position, -delta)`` event order — no index indirection, no
+  ``argsort``, and the running-coverage bookkeeping shrinks to an ``int16``
+  cumulative sum in reusable scratch buffers;
+* the attacker's active-mode support searches run the same sweep *one-sided*
+  (only the stretch side's extreme is needed) over compact per-prefix
+  groups — rows are bucketed by the compromised slot, so each group sweeps
+  a dense ``(rows, 2·slot)`` matrix instead of a masked ``(B, 2n)`` one;
+* schedule-static structure — the compromised slot→sensor layout of fixed
+  schedules, the admissibility thresholds ``n - f - far``, the scratch
+  buffers — is precomputed once per ``(config, schedule)`` and cached in a
+  :class:`FusedPlan`.
+
+The fused program covers the deterministic, RNG-free attackers — the exact
+:class:`~repro.batch.rounds.TruthfulBatchAttacker` and the fixed-side
+:class:`~repro.batch.rounds.ActiveStretchBatchAttacker` — which is what the
+Table I sweeps and the stretch-attacker scenarios run.  Any other attacker
+(the RNG-consuming side-adaptive proxy, the memoised exact expectation
+attacker, third-party :class:`~repro.batch.rounds.BatchAttacker`
+subclasses) transparently delegates to
+:func:`~repro.batch.rounds.batch_rounds`, so :func:`fused_rounds` is a
+drop-in replacement with an identical contract for *every* configuration.
+Both paths share the validation/RNG prologue
+(:func:`repro.batch.rounds.prepare_rounds`), so the random stream is
+consumed identically no matter which path runs.
+
+Why the restructuring is exact:
+
+1. *Per-transmission ordering.*  Processing each round's compromised
+   transmissions in slot order observes exactly the prefixes the slot loop
+   observes — honest entries are known upfront and earlier compromised
+   entries were forged in earlier iterations.
+2. *Complex event order.*  NumPy sorts complex values lexicographically by
+   ``(real, imag)``; encoding openings with imaginary part ``0`` and
+   closings with ``1`` reproduces the scalar tie rule that opening events
+   precede closing events at equal positions, and every selected bound is
+   an exact input endpoint carried through the sort unchanged.
+3. *Order independence.*  Marzullo fusion and overlap detection depend on
+   the broadcast interval *set*, not the transmission order, so evaluating
+   them in sensor order returns the values the slot-ordered sweep returns.
+
+The parity suites (``tests/batch/test_fused_rounds.py``,
+``tests/engine/``) pin all of this bit-for-bit against both the batch
+driver and the scalar oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.candidates import PASSIVE_WIDTH_TOL
+from repro.batch.fuse import BatchFusion, _validate_bounds, batch_detect
+from repro.batch.rounds import (
+    ActiveStretchBatchAttacker,
+    BatchRoundConfig,
+    BatchRoundResult,
+    TruthfulBatchAttacker,
+    batch_rounds,
+    prepare_rounds,
+    sample_correct_bounds,
+)
+from repro.core.marzullo import validate_fault_bound
+from repro.scheduling.schedule import FixedSchedule, Schedule
+from repro.utils.seeding import ensure_rng
+
+__all__ = [
+    "FusedPlan",
+    "fusable_attacker",
+    "plan_for",
+    "clear_plan_cache",
+    "fused_fusion",
+    "fused_rounds",
+    "fused_monte_carlo_rounds",
+]
+
+
+def fusable_attacker(config: BatchRoundConfig) -> bool:
+    """Whether the fused multi-slot program covers ``config.attacker``.
+
+    Exact type checks on purpose: a subclass (e.g. the side-adaptive
+    :class:`~repro.batch.rounds.ExpectationProxyBatchAttacker`, which draws
+    randomness in ``_resolve_sides``) overrides parts of the decision rule
+    the fused program hard-codes, so it must take the slot-loop path.
+    """
+    return type(config.attacker) in (TruthfulBatchAttacker, ActiveStretchBatchAttacker)
+
+
+@dataclass
+class FusedPlan:
+    """Schedule-static structure shared by every round of a ``(config, schedule)``.
+
+    ``static_comp_slots`` / ``static_comp_sensors`` describe the compromised
+    transmissions (in slot order) when the slot→sensor layout itself is
+    static — a :class:`~repro.scheduling.schedule.FixedSchedule` with a
+    static attacked set.  ``required`` — the active-mode admissibility
+    thresholds ``n - f - (fa - j)`` for the ``j``-th compromised
+    transmission — only needs a static attacked set.  Work buffers come
+    from the shared per-shape scratch pool (:meth:`buffers`); buffers that
+    escape into results are always freshly allocated.
+    """
+
+    n: int
+    f: int
+    attacked: tuple[int, ...]
+    required: np.ndarray | None
+    static_comp_slots: np.ndarray | None
+    static_comp_sensors: np.ndarray | None
+
+    def buffers(self, batch: int) -> dict:
+        """The reusable work buffers for full batches of ``batch`` rounds.
+
+        Buffers depend only on ``(batch, n)``, so they live in one shared
+        module-level pool — plans for different schedules or attacked sets
+        at the same shape reuse the same memory instead of each retaining
+        its own multi-megabyte scratch.
+        """
+        return _scratch_buffers(batch, self.n)
+
+
+class _SweepScratch:
+    """Reusable event-matrix buffers for one ``(rows, events)`` sweep shape."""
+
+    def __init__(self, rows: int, events: int) -> None:
+        self.events = np.empty((rows, events), dtype=np.complex128)
+        self.coverage = np.empty((rows, events), dtype=np.int16)
+        self.positions = np.arange(events, dtype=np.int16)[None, :]
+        self.rows = np.arange(rows)
+
+
+#: Plans keyed on the schedule-static inputs; unhashable custom schedules
+#: simply rebuild (plans are small — a few index arrays each, and read-only
+#: after construction, so concurrent lookups are safe).
+_PLAN_CACHE: dict = {}
+
+#: Scratch pools are **thread-local**: two threads running fused rounds at
+#: the same ``(batch, n)`` must never share work buffers (the slot-loop
+#: driver has no shared mutable state, and the fused driver keeps that
+#: property).  Each thread's pool is bounded so a sweep over many batch
+#: sizes cannot accumulate dead buffers (a full-batch entry is tens of
+#: megabytes at B=10⁵).
+_SCRATCH = threading.local()
+_SCRATCH_POOL_LIMIT = 4
+
+
+def _scratch_pool() -> dict:
+    pool = getattr(_SCRATCH, "pool", None)
+    if pool is None:
+        pool = _SCRATCH.pool = {}
+    return pool
+
+
+def _scratch_buffers(batch: int, n: int) -> dict:
+    pool = _scratch_pool()
+    key = (batch, n)
+    buffers = pool.get(key)
+    if buffers is None:
+        buffers = {
+            "rows2": np.arange(batch, dtype=np.int64)[:, None],
+            "slots": np.arange(n, dtype=np.int64)[None, :],
+            "inverse": np.empty((batch, n), dtype=np.int64),
+            "sweep": _SweepScratch(batch, 2 * n),
+        }
+        while len(pool) >= _SCRATCH_POOL_LIMIT:
+            pool.pop(next(iter(pool)))  # evict oldest
+        pool[key] = buffers
+    return buffers
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached :class:`FusedPlan` and this thread's scratch pool."""
+    _PLAN_CACHE.clear()
+    _scratch_pool().clear()
+
+
+def _static_layout(
+    schedule: Schedule, attacked: tuple[int, ...], n: int
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """(slots, sensors) of compromised transmissions when statically known."""
+    if type(schedule) is not FixedSchedule or len(schedule.permutation) != n:
+        return None
+    attacked_set = set(attacked)
+    pairs = [
+        (slot, sensor)
+        for slot, sensor in enumerate(schedule.permutation)
+        if sensor in attacked_set
+    ]
+    slots = np.array([slot for slot, _ in pairs], dtype=np.int64)
+    sensors = np.array([sensor for _, sensor in pairs], dtype=np.int64)
+    return slots, sensors
+
+
+def plan_for(config: BatchRoundConfig, n: int, f: int) -> FusedPlan:
+    """The (cached) fused plan for one ``(config, schedule)`` pair."""
+    attacked = tuple(sorted(set(config.attacked_indices)))
+    dynamic_mask = config.attacked_mask is not None
+    try:
+        key = (config.schedule, attacked, n, f, dynamic_mask)
+        plan = _PLAN_CACHE.get(key)
+    except TypeError:  # unhashable custom schedule: build a one-shot plan
+        key = None
+        plan = None
+    if plan is not None:
+        return plan
+    required = None
+    layout = None
+    if not dynamic_mask:
+        fa = len(attacked)
+        required = n - f - (fa - np.arange(fa, dtype=np.int64))
+        layout = _static_layout(config.schedule, attacked, n)
+    plan = FusedPlan(
+        n=n,
+        f=f,
+        attacked=attacked,
+        required=required,
+        static_comp_slots=layout[0] if layout else None,
+        static_comp_sensors=layout[1] if layout else None,
+    )
+    if key is not None:
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def _sorted_event_matrix(
+    lowers: np.ndarray, uppers: np.ndarray, scratch: _SweepScratch | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The complex-sorted event matrix and its coverage-ready scratch.
+
+    Positions live in the real part, the closing flag in the imaginary
+    part, so one value sort realises the scalar ``(position, -delta)``
+    event order (openings ahead of closings at equal positions).
+    """
+    rows, n = lowers.shape
+    if scratch is None or scratch.events.shape != (rows, 2 * n):
+        scratch = _SweepScratch(rows, 2 * n)
+    events = scratch.events
+    events.real[:, :n] = lowers
+    events.real[:, n:] = uppers
+    events.imag[:, :n] = 0.0
+    events.imag[:, n:] = 1.0
+    events.sort(axis=1)
+    return events, scratch
+
+
+def _running_coverage(events: np.ndarray, scratch: _SweepScratch) -> np.ndarray:
+    """Post-event running coverage per sorted event (int16, in scratch)."""
+    opening = events.imag == 0.0
+    coverage = scratch.coverage
+    np.cumsum(opening, axis=1, dtype=np.int16, out=coverage)
+    # coverage = openings_so_far - closings_so_far = 2*openings - (p + 1)
+    np.multiply(coverage, 2, out=coverage)
+    np.subtract(coverage, scratch.positions, out=coverage)
+    np.subtract(coverage, 1, out=coverage)
+    return coverage
+
+
+def fused_fusion(
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    f: int,
+    scratch: _SweepScratch | None = None,
+) -> BatchFusion:
+    """Batched Marzullo fusion on the complex-sorted event matrix.
+
+    Bit-identical to :func:`repro.batch.fuse.batch_fuse` (the parity suite
+    asserts it): same bounds and fault-bound validation (malformed inputs
+    raise, exactly like the event sweep), same tie rule, same ``NaN`` /
+    ``valid`` reporting for empty-fusion rows — only the sweep mechanics
+    differ.  Validated inputs are finite with ordered bounds, so the
+    complex sweep needs no per-event finiteness checks.
+    """
+    lowers, uppers, _ = _validate_bounds(lowers, uppers, None)
+    validate_fault_bound(lowers.shape[1], f)
+    required = lowers.shape[1] - f
+    events, scratch = _sorted_event_matrix(lowers, uppers, scratch)
+    coverage = _running_coverage(events, scratch)
+    row = scratch.rows
+    last = events.shape[1] - 1
+
+    reaches = coverage >= required
+    lower_index = np.argmax(reaches, axis=1)
+    has_lower = reaches[row, lower_index]
+    # Pre-event coverage of a closing event is coverage + 1.
+    upper_ok = (events.imag != 0.0) & (coverage >= required - 1)
+    upper_index = last - np.argmax(upper_ok[:, ::-1], axis=1)
+    has_upper = upper_ok[row, upper_index]
+    lo = events.real[row, lower_index]
+    hi = events.real[row, upper_index]
+    valid = has_lower & has_upper & (hi >= lo)
+    return BatchFusion(
+        lo=np.where(valid, lo, np.nan), hi=np.where(valid, hi, np.nan), valid=valid
+    )
+
+
+def _support_points(
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    required: int | np.ndarray,
+    right: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided active-mode support search over a dense prefix group.
+
+    Returns ``(point, valid)`` where ``point`` is the extreme point on the
+    stretch side covered by at least ``required`` of the prefix intervals —
+    the value :func:`repro.batch.fuse.coverage_extremes` reports as ``hi``
+    (``lo`` for a left stretch).  On a dense, finite prefix a point of the
+    required coverage exists on one side exactly when it exists on the
+    other, so the single-sided sweep decides validity alone.
+    """
+    events, scratch = _sorted_event_matrix(lowers, uppers, None)
+    coverage = _running_coverage(events, scratch)
+    row = scratch.rows
+    req = np.asarray(required, dtype=np.int16)
+    req = np.maximum(req, 1)
+    if req.ndim:
+        req = req[:, None]
+    if right:
+        ok = (events.imag != 0.0) & (coverage >= req - 1)
+        index = (events.shape[1] - 1) - np.argmax(ok[:, ::-1], axis=1)
+    else:
+        ok = (events.imag == 0.0) & (coverage >= req)
+        index = np.argmax(ok, axis=1)
+    valid = ok[row, index]
+    return events.real[row, index], valid
+
+
+def fused_rounds(
+    correct_lo: np.ndarray,
+    correct_hi: np.ndarray,
+    config: BatchRoundConfig,
+    rng: np.random.Generator,
+    plan: FusedPlan | None = None,
+) -> BatchRoundResult:
+    """Drop-in :func:`~repro.batch.rounds.batch_rounds` with the fused kernel.
+
+    Bit-identical results for every configuration: fusable attackers run
+    the fused program, everything else delegates to the slot loop.
+    ``plan`` may carry a precomputed :class:`FusedPlan`; by default it is
+    resolved (and cached) from the config.
+    """
+    if not fusable_attacker(config):
+        return batch_rounds(correct_lo, correct_hi, config, rng)
+    prepared = prepare_rounds(correct_lo, correct_hi, config, rng)
+    batch, n = prepared.shape
+    f = prepared.f
+    validate_fault_bound(n, f)  # batch_fuse would; fail before simulating
+    if plan is None:
+        plan = plan_for(config, n, f)
+    buffers = plan.buffers(batch)
+    rows2 = buffers["rows2"]
+    row_index = rows2[:, 0]
+    orders = prepared.orders
+
+    # Fusion and detection are order-independent over the broadcast *set*,
+    # so the program stays in sensor space; the broadcast matrix doubles as
+    # the working transmit state (it escapes into the result, so it is
+    # freshly allocated, not scratch).
+    broadcast_lo = prepared.sent_lo.copy()
+    broadcast_hi = prepared.sent_hi.copy()
+
+    if prepared.attacked:
+        fa_rows = np.full(batch, len(prepared.attacked), dtype=np.int64)
+        fa_max = len(prepared.attacked)
+    else:
+        fa_rows = prepared.attacked_mask.sum(axis=1)
+        fa_max = int(fa_rows.max()) if batch else 0
+    stretch = type(config.attacker) is ActiveStretchBatchAttacker
+    # The attacker protocol resets per batch even when no slot is forged.
+    config.attacker.reset(batch)
+
+    if stretch and fa_max:
+        # slot-of-sensor: the one piece of slot-space structure the
+        # attacker's prefix sets need.
+        inverse = buffers["inverse"]
+        inverse[rows2, orders] = buffers["slots"]
+        static = bool(prepared.attacked)  # every row attacks the same sensors
+        if plan.static_comp_slots is not None and plan.static_comp_slots.shape[0] == fa_max:
+            comp_slots = np.broadcast_to(plan.static_comp_slots, (batch, fa_max))
+            comp_sensors = np.broadcast_to(plan.static_comp_sensors, (batch, fa_max))
+        elif static and fa_max == 1:
+            comp_sensors = np.broadcast_to(
+                np.array(prepared.attacked, dtype=np.int64), (batch, 1)
+            )
+            comp_slots = inverse[:, prepared.attacked]
+        elif static:
+            # Sort each row's few attacked sensors by their slot — an
+            # (B, fa) argsort, not an (B, n) one.
+            slots_of_attacked = inverse[:, prepared.attacked]
+            by_slot = np.argsort(slots_of_attacked, axis=1, kind="stable")
+            comp_slots = np.take_along_axis(slots_of_attacked, by_slot, axis=1)
+            comp_sensors = np.asarray(prepared.attacked, dtype=np.int64)[by_slot]
+        else:
+            # Per-round masks: push the honest sensors behind an
+            # out-of-range sentinel slot and take the fa_max earliest.
+            masked_slots = np.where(prepared.attacked_mask, inverse, n)
+            comp_sensors = np.argsort(masked_slots, axis=1, kind="stable")[:, :fa_max]
+            comp_slots = masked_slots[row_index[:, None], comp_sensors]
+        right = config.attacker.side > 0
+        support = np.full(batch, np.nan)
+        unplaced = np.ones(batch, dtype=bool)  # no anchored support yet
+        delta_lo, delta_hi = prepared.delta_lo, prepared.delta_hi
+        delta_width = delta_hi - delta_lo
+        static_required = (
+            plan.required if plan.required is not None and plan.required.shape[0] == fa_max
+            else None
+        )
+        for j in range(fa_max):
+            active_rows = None if static else fa_rows > j  # None: every row
+            slot = comp_slots[:, j]
+            sensor = comp_sensors[:, j]
+            width = prepared.widths[row_index, sensor]
+            need = unplaced if static else (active_rows & unplaced)
+            need_any = bool(need.any())
+            if need_any:
+                if static_required is not None:
+                    required_j = int(static_required[j])
+                    can_active = (
+                        need & (slot >= required_j) if required_j >= 1
+                        else np.zeros(batch, dtype=bool)
+                    )
+                else:
+                    required = n - f - (fa_rows - j)
+                    can_active = need & (slot >= required) & (required >= 1)
+            else:
+                can_active = np.zeros(batch, dtype=bool)
+            placed_any = False
+            if bool(can_active.any()):
+                # Bucket by prefix length: each group sweeps a dense
+                # (rows, 2·slot) event matrix — no masks, no padding.
+                for s in np.unique(slot[can_active]):
+                    group = np.nonzero(can_active & (slot == s))[0]
+                    prefix_sensors = orders[group[:, None], buffers["slots"][:, :s]]
+                    prefix_lo = broadcast_lo[group[:, None], prefix_sensors]
+                    prefix_hi = broadcast_hi[group[:, None], prefix_sensors]
+                    group_required = (
+                        required_j if static_required is not None else required[group]
+                    )
+                    point, valid = _support_points(
+                        prefix_lo, prefix_hi, group_required, right
+                    )
+                    anchored_rows = group[valid]
+                    support[anchored_rows] = point[valid]
+                    unplaced[anchored_rows] = False
+                    placed_any = placed_any or bool(valid.any())
+            if not need_any or (placed_any and not bool(unplaced.any())):
+                # Every (active) row is anchored: no passive/truthful lanes.
+                lo = support if right else support - width
+                hi = support + width if right else support
+            else:
+                own_lo = prepared.correct_lo[row_index, sensor]
+                own_hi = prepared.correct_hi[row_index, sensor]
+                anchored = ~unplaced if static else (active_rows & ~unplaced)
+                lo = np.where(anchored, support if right else support - width, own_lo)
+                hi = np.where(anchored, support + width if right else support, own_hi)
+                rest = need & unplaced
+                if bool(rest.any()):
+                    passive = rest & (width >= delta_width - PASSIVE_WIDTH_TOL)
+                    lo = np.where(passive, delta_lo if right else delta_hi - width, lo)
+                    hi = np.where(passive, delta_lo + width if right else delta_hi, hi)
+            if active_rows is None:
+                broadcast_lo[row_index, sensor] = lo
+                broadcast_hi[row_index, sensor] = hi
+            else:
+                writers = np.nonzero(active_rows)[0]
+                broadcast_lo[writers, sensor[writers]] = lo[writers]
+                broadcast_hi[writers, sensor[writers]] = hi[writers]
+    elif fa_max:
+        # Truthful attacker: compromised sensors report their correct
+        # readings, which (faults never hit attacked sensors) are already in
+        # the broadcast matrix.  Nothing to forge.
+        pass
+
+    fusion = fused_fusion(broadcast_lo, broadcast_hi, f, scratch=buffers["sweep"])
+    flagged = batch_detect(broadcast_lo, broadcast_hi, fusion)
+
+    return BatchRoundResult(
+        orders=orders,
+        correct_lo=prepared.correct_lo,
+        correct_hi=prepared.correct_hi,
+        broadcast_lo=broadcast_lo,
+        broadcast_hi=broadcast_hi,
+        fusion=fusion,
+        flagged=flagged,
+        attacked_indices=prepared.attacked,
+        fault_mask=prepared.fault_mask,
+        attacked_mask=prepared.attacked_mask,
+    )
+
+
+def fused_monte_carlo_rounds(
+    lengths: tuple[float, ...] | np.ndarray,
+    config: BatchRoundConfig,
+    samples: int,
+    true_value: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> BatchRoundResult:
+    """Fused counterpart of :func:`~repro.batch.rounds.monte_carlo_rounds`.
+
+    Samples through the shared :func:`~repro.batch.rounds.sample_correct_bounds`
+    primitive, so the fused engine's stream matches the batch engine's.
+    """
+    rng = ensure_rng(rng)
+    lowers, uppers = sample_correct_bounds(lengths, true_value, samples, rng)
+    return fused_rounds(lowers, uppers, config, rng)

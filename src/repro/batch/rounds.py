@@ -63,8 +63,10 @@ __all__ = [
     "BatchTransientFaults",
     "BatchRoundConfig",
     "BatchRoundResult",
+    "PreparedRounds",
     "batch_orders",
     "sample_correct_bounds",
+    "prepare_rounds",
     "batch_rounds",
     "monte_carlo_rounds",
 ]
@@ -473,26 +475,43 @@ def sample_correct_bounds(
     return lowers, lowers + lengths
 
 
-def batch_rounds(
+@dataclass(frozen=True)
+class PreparedRounds:
+    """The validated, RNG-consuming prologue shared by every batch driver.
+
+    Both :func:`batch_rounds` and the fused driver
+    (:func:`repro.batch.fused.fused_rounds`) start from this structure, so
+    they validate identically and — crucially — consume the random stream in
+    exactly the same order (transmission orders before fault injection),
+    which is what keeps their results bit-comparable.
+    """
+
+    correct_lo: np.ndarray
+    correct_hi: np.ndarray
+    widths: np.ndarray
+    orders: np.ndarray
+    attacked: tuple[int, ...]
+    attacked_mask: np.ndarray
+    any_attacked: np.ndarray
+    f: int
+    delta_lo: np.ndarray
+    delta_hi: np.ndarray
+    sent_lo: np.ndarray
+    sent_hi: np.ndarray
+    fault_mask: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.correct_lo.shape
+
+
+def prepare_rounds(
     correct_lo: np.ndarray,
     correct_hi: np.ndarray,
     config: BatchRoundConfig,
     rng: np.random.Generator,
-) -> BatchRoundResult:
-    """Simulate ``B`` independent fusion rounds at once.
-
-    Parameters
-    ----------
-    correct_lo / correct_hi:
-        ``(B, n)`` arrays with every sensor's correct reading per round, in
-        sensor order (compromised sensors still have a correct reading — the
-        attacker sees it).
-    config:
-        Batch round configuration; ``config.f`` defaults to the conservative
-        ``ceil(n/2) - 1`` like the scalar simulator.
-    rng:
-        Random source for randomized schedules and fault injection.
-    """
+) -> PreparedRounds:
+    """Validate a batch of rounds and draw its schedule orders and faults."""
     correct_lo = np.asarray(correct_lo, dtype=np.float64)
     correct_hi = np.asarray(correct_hi, dtype=np.float64)
     if correct_lo.ndim != 2 or correct_hi.shape != correct_lo.shape:
@@ -526,7 +545,18 @@ def batch_rounds(
     widths = correct_hi - correct_lo
     orders = batch_orders(config.schedule, widths, rng)
 
-    if bool(any_attacked.any()):
+    if attacked:
+        # Static attacked set: Δ is a max/min over the attacked columns only
+        # (identical values to the masked reduction below, at a fraction of
+        # the traffic — this prologue is on every driver's hot path).
+        columns = list(attacked)
+        delta_lo = correct_lo[:, columns].max(axis=1)
+        delta_hi = correct_hi[:, columns].min(axis=1)
+        if np.any(delta_hi < delta_lo):
+            raise EmptyIntersectionError(
+                "the compromised sensors' correct readings have an empty intersection"
+            )
+    elif bool(any_attacked.any()):
         delta_lo = np.where(attacked_mask, correct_lo, -np.inf).max(axis=1)
         delta_hi = np.where(attacked_mask, correct_hi, np.inf).min(axis=1)
         if np.any((delta_hi < delta_lo) & any_attacked):
@@ -546,6 +576,53 @@ def batch_rounds(
     else:
         sent_lo, sent_hi = correct_lo, correct_hi
         fault_mask = np.zeros((batch, n), dtype=bool)
+
+    return PreparedRounds(
+        correct_lo=correct_lo,
+        correct_hi=correct_hi,
+        widths=widths,
+        orders=orders,
+        attacked=attacked,
+        attacked_mask=attacked_mask,
+        any_attacked=any_attacked,
+        f=f,
+        delta_lo=delta_lo,
+        delta_hi=delta_hi,
+        sent_lo=sent_lo,
+        sent_hi=sent_hi,
+        fault_mask=fault_mask,
+    )
+
+
+def batch_rounds(
+    correct_lo: np.ndarray,
+    correct_hi: np.ndarray,
+    config: BatchRoundConfig,
+    rng: np.random.Generator,
+) -> BatchRoundResult:
+    """Simulate ``B`` independent fusion rounds at once.
+
+    Parameters
+    ----------
+    correct_lo / correct_hi:
+        ``(B, n)`` arrays with every sensor's correct reading per round, in
+        sensor order (compromised sensors still have a correct reading — the
+        attacker sees it).
+    config:
+        Batch round configuration; ``config.f`` defaults to the conservative
+        ``ceil(n/2) - 1`` like the scalar simulator.
+    rng:
+        Random source for randomized schedules and fault injection.
+    """
+    prepared = prepare_rounds(correct_lo, correct_hi, config, rng)
+    batch, n = prepared.shape
+    correct_lo, correct_hi = prepared.correct_lo, prepared.correct_hi
+    widths, orders = prepared.widths, prepared.orders
+    attacked, attacked_mask = prepared.attacked, prepared.attacked_mask
+    f = prepared.f
+    delta_lo, delta_hi = prepared.delta_lo, prepared.delta_hi
+    sent_lo, sent_hi = prepared.sent_lo, prepared.sent_hi
+    fault_mask = prepared.fault_mask
 
     config.attacker.reset(batch)
     row_index = np.arange(batch)

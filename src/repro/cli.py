@@ -29,7 +29,13 @@ from typing import Sequence
 from repro.analysis.report import format_table
 from repro.core.exceptions import ExperimentError
 from repro.runner import ArtifactStore, ScenarioRun, default_store, run_scenario
-from repro.scenarios import get_scenario, list_scenarios, spec_key
+from repro.scenarios import (
+    available_scenarios,
+    get_scenario,
+    list_scenarios,
+    near_misses,
+    spec_key,
+)
 
 __all__ = ["main", "report_table2_exact_vs_proxy"]
 
@@ -258,6 +264,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
         payload = builder(store, workers=args.workers, force=args.force)
         print(json.dumps(payload, indent=2, sort_keys=True) if args.json else renderer(payload))
         return 0
+    if args.name not in available_scenarios():
+        # One message covering both namespaces the command accepts, with
+        # did-you-mean hints drawn from reports *and* scenarios.
+        close = near_misses(args.name, [*_REPORTS, *available_scenarios()])
+        hint = f"; did you mean: {', '.join(close)}?" if close else ""
+        raise ExperimentError(
+            f"unknown scenario or derived report {args.name!r}{hint} "
+            f"(derived reports: {', '.join(sorted(_REPORTS))}; run "
+            "`python -m repro list` for the scenario catalogue)"
+        )
     spec = _resolve_spec(args.name, args.engine)
     run = run_scenario(spec, workers=args.workers, store=store, force=args.force)
     print(json.dumps(_run_dict(run), indent=2, sort_keys=True) if args.json else render_payload(run.payload))

@@ -1,19 +1,24 @@
-"""Pluggable simulation engines: one protocol, two registered backends.
+"""Pluggable simulation engines: one protocol, three registered backends.
 
 ``repro.engine`` is the single seam through which every experiment selects
 its simulation backend:
 
 >>> from repro.engine import get_engine
->>> engine = get_engine("batch")          # or "scalar", or None for default
+>>> engine = get_engine("fused")          # or "batch", "scalar", None for default
 >>> result = engine.run_rounds(config, schedule, samples=100_000)
 
 The default backend is ``"scalar"`` (the reference Python loop) unless the
-``REPRO_ENGINE`` environment variable names another registered engine.  The
+``REPRO_ENGINE`` environment variable names another registered engine;
+``"batch"`` is the vectorized NumPy engine and ``"fused"`` its fused
+multi-slot sibling (same results bit-for-bit, precomputed schedule-static
+structure, several times the throughput on the heavy rows).  The
 high-level call sites — :func:`repro.scheduling.comparison.compare_schedules`
 (``engine=...``), :func:`repro.vehicle.case_study.run_case_study`
-(``engine=...``) and the Table I/II benchmarks — all resolve their backend
-here, so a future numba or jax engine only needs one
-:func:`register_engine` call to become reachable everywhere.
+(``engine=...``), the scenario specs' ``engine`` field and the Table I/II
+benchmarks — all resolve their backend here, so a future numba or jax
+engine only needs one :func:`register_engine` call to become reachable
+everywhere; the conformance suite in ``tests/engine/`` covers it the
+moment it registers (parametrised over :func:`list_engines`).
 """
 
 from repro.engine.base import (
@@ -31,11 +36,14 @@ from repro.engine.base import (
     register_engine,
     resolve_attack,
 )
+from repro.engine.base import list_engines
 from repro.engine.batch import BatchEngine
+from repro.engine.fused import FusedEngine
 from repro.engine.scalar import ScalarEngine
 
 register_engine(ScalarEngine.name, ScalarEngine, replace=True)
 register_engine(BatchEngine.name, BatchEngine, replace=True)
+register_engine(FusedEngine.name, FusedEngine, replace=True)
 
 __all__ = [
     "ENGINE_ENV_VAR",
@@ -49,8 +57,10 @@ __all__ = [
     "Engine",
     "ScalarEngine",
     "BatchEngine",
+    "FusedEngine",
     "register_engine",
     "available_engines",
+    "list_engines",
     "default_engine_name",
     "get_engine",
 ]

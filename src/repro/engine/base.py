@@ -66,6 +66,7 @@ __all__ = [
     "Engine",
     "register_engine",
     "available_engines",
+    "list_engines",
     "default_engine_name",
     "get_engine",
 ]
@@ -322,6 +323,12 @@ def register_engine(name: str, factory: Callable[[], Engine], replace: bool = Fa
 def available_engines() -> tuple[str, ...]:
     """Names of all registered backends, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+#: Alias used by the registry-driven engine conformance suite
+#: (``tests/engine/conformance.py``): parametrising over ``list_engines()``
+#: covers every backend the moment it registers.
+list_engines = available_engines
 
 
 def default_engine_name() -> str:

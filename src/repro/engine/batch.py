@@ -50,6 +50,10 @@ class BatchEngine(Engine):
 
     name = "batch"
 
+    #: Monte-Carlo driver behind :meth:`run_rounds`; subclasses swap in a
+    #: different kernel with the same contract (the fused engine does).
+    _driver = staticmethod(monte_carlo_rounds)
+
     @staticmethod
     def _attacker(
         attack: TruthfulAttack | StretchAttack | ExpectationAttack,
@@ -84,18 +88,22 @@ class BatchEngine(Engine):
             f=config.resolved_f,
             faults=faults,
         )
-        result = monte_carlo_rounds(
+        result = self._driver(
             config.lengths, round_config, samples, true_value=config.true_value, rng=rng
         )
         # The batch driver keeps broadcasts for empty-fusion rounds (they were
         # transmitted before fusion failed); the scalar engine aborts such
         # rounds before recording them, so the engines agree on NaN / no-flag
-        # for invalid rows.
+        # for invalid rows.  Without invalid rows (faults off, the common
+        # case) the driver arrays pass through untouched.
         invalid = ~result.fusion.valid
-        broadcast_lo = result.broadcast_lo.copy()
-        broadcast_hi = result.broadcast_hi.copy()
-        broadcast_lo[invalid] = np.nan
-        broadcast_hi[invalid] = np.nan
+        broadcast_lo = result.broadcast_lo
+        broadcast_hi = result.broadcast_hi
+        if bool(invalid.any()):
+            broadcast_lo = broadcast_lo.copy()
+            broadcast_hi = broadcast_hi.copy()
+            broadcast_lo[invalid] = np.nan
+            broadcast_hi[invalid] = np.nan
         return RoundsResult(
             schedule_name=schedule.name,
             fusion_lo=result.fusion.lo,

@@ -1,0 +1,38 @@
+"""The fused engine: multi-slot array programs over whole rounds.
+
+:class:`FusedEngine` is the third registered backend (``engine="fused"``,
+``REPRO_ENGINE=fused``).  It shares everything with
+:class:`repro.engine.batch.BatchEngine` — the attack-spec resolution, the
+case-study stepper, the per-sensor result conventions — and swaps the
+Monte-Carlo driver for :func:`repro.batch.fused.fused_monte_carlo_rounds`:
+schedule-static structure (slot→sensor layout, admissibility tables,
+scratch buffers) is precomputed once per ``(config, schedule)``, the
+per-slot Python loop collapses into one pass per *compromised
+transmission*, and the endpoint sweeps run on a complex-sorted event
+matrix (see :mod:`repro.batch.fused` for the kernel design and the
+bit-identity argument).
+
+Contract: results are **bit-identical** to :class:`BatchEngine` (and hence
+to the scalar oracle) under every attack spec — the fused kernels cover
+the truthful and stretch attackers, and the exact expectation attacker
+transparently runs the shared slot-loop driver — while the heavy Table I
+style rows run ~2–4x the batch engine's throughput (the multi-slot
+random-schedule rows gain the most; ``benchmarks/bench_fused_engine.py``
+gates the floor).  The registry-driven conformance suite in
+``tests/engine/`` covers this engine like any other registered backend.
+"""
+
+from __future__ import annotations
+
+from repro.batch.fused import fused_monte_carlo_rounds
+from repro.engine.batch import BatchEngine
+
+__all__ = ["FusedEngine"]
+
+
+class FusedEngine(BatchEngine):
+    """Fused multi-slot backend: batch semantics, fused kernels."""
+
+    name = "fused"
+
+    _driver = staticmethod(fused_monte_carlo_rounds)

@@ -12,6 +12,9 @@ Each document carries the full serialised spec next to the payload, which
 lets :meth:`ArtifactStore.load` verify the (astronomically unlikely) hash
 collision / hand-edited file case, and makes every artifact self-describing
 for archival (CI uploads the whole directory as a workflow artifact).
+Corrupt artifacts — truncated writes, non-JSON bytes, embedded-spec
+mismatches — are treated as cache misses (with a warning) and healed by
+the next atomic :meth:`ArtifactStore.save`, never crashes.
 """
 
 from __future__ import annotations
@@ -20,10 +23,10 @@ import contextlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.exceptions import ExperimentError
 from repro.scenarios.spec import ScenarioSpec, spec_dict, spec_key
 
 __all__ = ["STORE_ENV_VAR", "DEFAULT_STORE_DIR", "ArtifactStore", "default_store"]
@@ -48,9 +51,13 @@ class ArtifactStore:
     def load(self, spec: ScenarioSpec) -> dict | None:
         """Return the stored document for ``spec``, or ``None`` on a miss.
 
-        A document whose embedded spec does not match ``spec`` (hash
-        collision or a hand-edited file) raises rather than silently serving
-        wrong results.
+        Robustness contract: a corrupt artifact — truncated or non-JSON
+        bytes (a crashed writer, a torn disk), a document without a
+        ``payload``, or an embedded spec that does not match ``spec`` (hash
+        collision or a hand-edited file) — is treated as a **cache miss**,
+        never a crash.  The runner then re-simulates and
+        :meth:`save` atomically replaces the bad file.  A warning is
+        emitted so silent corruption still surfaces in logs.
         """
         path = self.path_for(spec)
         if not path.exists():
@@ -58,13 +65,27 @@ class ArtifactStore:
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as error:
-            raise ExperimentError(f"artifact {path} is unreadable: {error}") from error
+            self._warn_corrupt(path, f"unreadable ({error})")
+            return None
+        if (
+            not isinstance(document, dict)
+            or not isinstance(document.get("payload"), dict)
+        ):
+            self._warn_corrupt(path, "document carries no payload")
+            return None
         if document.get("spec") != _jsonified_spec(spec):
-            raise ExperimentError(
-                f"artifact {path} does not match the requested spec; delete it or "
-                "bump the scenario (its content hash should have prevented this)"
-            )
+            self._warn_corrupt(path, "embedded spec does not match the requested spec")
+            return None
         return document
+
+    @staticmethod
+    def _warn_corrupt(path: Path, reason: str) -> None:
+        warnings.warn(
+            f"artifact {path} is corrupt — {reason}; treating it as a cache miss "
+            "(the result will be re-simulated and the artifact rewritten)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def save(self, spec: ScenarioSpec, payload: dict, meta: dict | None = None) -> Path:
         """Persist ``payload`` for ``spec``; returns the written path."""

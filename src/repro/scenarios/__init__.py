@@ -17,6 +17,7 @@ from repro.scenarios.registry import (
     available_scenarios,
     get_scenario,
     list_scenarios,
+    near_misses,
     register_scenario,
 )
 from repro.scenarios.spec import (
@@ -43,4 +44,5 @@ __all__ = [
     "get_scenario",
     "available_scenarios",
     "list_scenarios",
+    "near_misses",
 ]

@@ -10,6 +10,9 @@ with :func:`register_scenario` and they become reachable from
 
 from __future__ import annotations
 
+import difflib
+from typing import Iterable
+
 from repro.core.exceptions import ExperimentError
 from repro.scenarios.spec import ScenarioSpec
 
@@ -18,6 +21,7 @@ __all__ = [
     "get_scenario",
     "available_scenarios",
     "list_scenarios",
+    "near_misses",
 ]
 
 _SCENARIOS: dict[str, ScenarioSpec] = {}
@@ -35,14 +39,30 @@ def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec
     return spec
 
 
+def near_misses(name: str, candidates: Iterable[str], limit: int = 3) -> list[str]:
+    """Close matches for a mistyped name, for did-you-mean error messages."""
+    return difflib.get_close_matches(name, list(candidates), n=limit, cutoff=0.5)
+
+
+def _unknown_name_message(name: str) -> str:
+    close = near_misses(name, available_scenarios())
+    hint = f"; did you mean: {', '.join(close)}?" if close else ""
+    return (
+        f"unknown scenario {name!r}{hint} "
+        "(run `python -m repro list` for the full catalogue)"
+    )
+
+
 def get_scenario(name: str) -> ScenarioSpec:
-    """Look up a registered scenario by name (raises with the catalogue on miss)."""
+    """Look up a registered scenario by name.
+
+    An unknown name raises with the closest registered names (a
+    did-you-mean hint) instead of dumping the whole catalogue — the CLI
+    turns this into its non-zero exit path.
+    """
     spec = _SCENARIOS.get(name)
     if spec is None:
-        raise ExperimentError(
-            f"unknown scenario {name!r}; run `python -m repro list` or see "
-            f"available_scenarios(): {', '.join(available_scenarios())}"
-        )
+        raise ExperimentError(_unknown_name_message(name))
     return spec
 
 

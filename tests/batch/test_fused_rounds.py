@@ -1,0 +1,258 @@
+"""Fused kernels vs the slot-loop batch driver: bit-for-bit equivalence.
+
+The engine-level conformance suite pins ``FusedEngine`` against the scalar
+oracle; this module pins the *kernels* underneath — ``fused_fusion``
+against ``batch_fuse`` (exact ties included: the complex event encoding
+must reproduce the opening-before-closing rule) and ``fused_rounds``
+against ``batch_rounds`` across schedules, attacked sets, fault models and
+per-round attacked masks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.fuse import batch_fuse
+from repro.batch.fused import (
+    clear_plan_cache,
+    fusable_attacker,
+    fused_fusion,
+    fused_monte_carlo_rounds,
+    fused_rounds,
+    plan_for,
+)
+from repro.batch.rounds import (
+    ActiveStretchBatchAttacker,
+    BatchRoundConfig,
+    BatchTransientFaults,
+    ExpectationProxyBatchAttacker,
+    TruthfulBatchAttacker,
+    batch_rounds,
+    monte_carlo_rounds,
+)
+from repro.core.exceptions import FaultBoundError, FusionError
+from repro.scheduling.schedule import (
+    AscendingSchedule,
+    DescendingSchedule,
+    FixedSchedule,
+    RandomSchedule,
+)
+
+SCHEDULES = [
+    AscendingSchedule(),
+    DescendingSchedule(),
+    RandomSchedule(),
+    FixedSchedule((2, 0, 3, 1, 4)),
+]
+
+
+def assert_results_equal(a, b):
+    np.testing.assert_array_equal(a.orders, b.orders)
+    np.testing.assert_array_equal(a.broadcast_lo, b.broadcast_lo)
+    np.testing.assert_array_equal(a.broadcast_hi, b.broadcast_hi)
+    np.testing.assert_array_equal(a.fusion.lo, b.fusion.lo)
+    np.testing.assert_array_equal(a.fusion.hi, b.fusion.hi)
+    np.testing.assert_array_equal(a.fusion.valid, b.fusion.valid)
+    np.testing.assert_array_equal(a.flagged, b.flagged)
+    np.testing.assert_array_equal(a.fault_mask, b.fault_mask)
+    np.testing.assert_array_equal(a.attacked_mask, b.attacked_mask)
+
+
+class TestFusedFusion:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1), f=st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_batch_fuse_random_batches(self, seed, f):
+        rng = np.random.default_rng(seed)
+        lowers = rng.normal(size=(64, 6))
+        uppers = lowers + rng.random((64, 6)) * 3
+        a = batch_fuse(lowers, uppers, f)
+        b = fused_fusion(lowers, uppers, f)
+        np.testing.assert_array_equal(a.lo, b.lo)
+        np.testing.assert_array_equal(a.hi, b.hi)
+        np.testing.assert_array_equal(a.valid, b.valid)
+
+    def test_matches_batch_fuse_with_exact_ties(self):
+        # Opening-before-closing at equal positions is the tie rule the
+        # complex event encoding must reproduce: [0,1] and [1,2] intersect
+        # at exactly the point 1 for f=0.
+        lowers = np.array([[0.0, 1.0], [0.0, 2.0], [0.0, 0.0]])
+        uppers = np.array([[1.0, 2.0], [1.0, 3.0], [2.0, 2.0]])
+        a = batch_fuse(lowers, uppers, 0)
+        b = fused_fusion(lowers, uppers, 0)
+        np.testing.assert_array_equal(a.lo, b.lo)
+        np.testing.assert_array_equal(a.hi, b.hi)
+        np.testing.assert_array_equal(a.valid, b.valid)
+        assert b.valid[0] and b.lo[0] == b.hi[0] == 1.0
+
+    def test_reports_empty_fusions_via_valid_mask(self):
+        lowers = np.array([[0.0, 5.0]])
+        uppers = np.array([[1.0, 6.0]])
+        result = fused_fusion(lowers, uppers, 0)
+        assert not result.valid[0]
+        assert np.isnan(result.lo[0]) and np.isnan(result.hi[0])
+
+    def test_validates_fault_bound(self):
+        with pytest.raises(FaultBoundError):
+            fused_fusion(np.zeros((2, 3)), np.ones((2, 3)), 2)
+
+    @pytest.mark.parametrize(
+        "lowers, uppers",
+        [
+            ([[0.0, np.nan, 1.0]], [[1.0, np.nan, 4.0]]),   # non-finite bounds
+            ([[0.0, 2.0, 1.0]], [[1.0, 1.0, 4.0]]),         # upper < lower
+            ([[0.0, np.inf, 1.0]], [[1.0, np.inf, 4.0]]),   # infinite bounds
+        ],
+    )
+    def test_rejects_malformed_bounds_like_batch_fuse(self, lowers, uppers):
+        # The drop-in contract covers errors too: inputs batch_fuse rejects
+        # must raise here, never come back as valid-looking fusions.
+        lowers, uppers = np.asarray(lowers), np.asarray(uppers)
+        with pytest.raises(FusionError):
+            batch_fuse(lowers, uppers, 1)
+        with pytest.raises(FusionError):
+            fused_fusion(lowers, uppers, 1)
+
+
+class TestFusedRounds:
+    @pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("attacked", [(), (0,), (2,), (0, 3), (1, 2, 4)])
+    @pytest.mark.parametrize("side", [1, -1])
+    def test_stretch_parity(self, schedule, attacked, side):
+        config = BatchRoundConfig(
+            schedule=schedule,
+            attacked_indices=attacked,
+            attacker=ActiveStretchBatchAttacker(side=side),
+        )
+        a = monte_carlo_rounds((2.0, 3.0, 3.0, 6.0, 8.0), config, 160, rng=np.random.default_rng(3))
+        b = fused_monte_carlo_rounds(
+            (2.0, 3.0, 3.0, 6.0, 8.0), config, 160, rng=np.random.default_rng(3)
+        )
+        assert_results_equal(a, b)
+
+    @pytest.mark.parametrize("schedule", SCHEDULES[:2], ids=lambda s: s.name)
+    def test_parity_with_transient_faults_and_empty_fusions(self, schedule):
+        config = BatchRoundConfig(
+            schedule=schedule,
+            attacked_indices=(0,),
+            f=2,
+            faults=BatchTransientFaults(probability=0.35),
+            attacker=ActiveStretchBatchAttacker(side=1),
+        )
+        a = monte_carlo_rounds((1.0,) * 5, config, 256, rng=np.random.default_rng(7))
+        b = fused_monte_carlo_rounds((1.0,) * 5, config, 256, rng=np.random.default_rng(7))
+        assert_results_equal(a, b)
+        assert not a.fusion.valid.all(), "expected some empty fusions under heavy faults"
+
+    def test_parity_with_per_round_attacked_mask(self):
+        rng = np.random.default_rng(4)
+        mask = np.zeros((200, 5), dtype=bool)
+        mask[np.arange(200), rng.integers(0, 5, 200)] = True
+        mask[np.arange(200), rng.integers(0, 5, 200)] = True  # 1-2 attacked per row
+        lowers = -np.random.default_rng(2).random((200, 5))
+        uppers = lowers + 2.0
+        config = BatchRoundConfig(
+            schedule=RandomSchedule(),
+            attacker=ActiveStretchBatchAttacker(side=1),
+            attacked_mask=mask,
+        )
+        a = batch_rounds(lowers, uppers, config, np.random.default_rng(9))
+        b = fused_rounds(lowers, uppers, config, np.random.default_rng(9))
+        assert_results_equal(a, b)
+
+    def test_truthful_parity(self):
+        config = BatchRoundConfig(
+            schedule=AscendingSchedule(), attacked_indices=(1,), attacker=TruthfulBatchAttacker()
+        )
+        a = monte_carlo_rounds((1.0, 2.0, 3.0), config, 120, rng=np.random.default_rng(5))
+        b = fused_monte_carlo_rounds((1.0, 2.0, 3.0), config, 120, rng=np.random.default_rng(5))
+        assert_results_equal(a, b)
+
+    @given(
+        lengths=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        fa=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_parity(self, lengths, seed, fa):
+        n = len(lengths)
+        attacked = tuple(range(min(fa, n - 1)))
+        schedule = SCHEDULES[seed % len(SCHEDULES)]
+        if isinstance(schedule, FixedSchedule) and len(schedule.permutation) != n:
+            schedule = AscendingSchedule()
+        config = BatchRoundConfig(
+            schedule=schedule,
+            attacked_indices=attacked,
+            attacker=ActiveStretchBatchAttacker(side=1 if seed % 3 else -1),
+        )
+        a = monte_carlo_rounds(tuple(lengths), config, 32, rng=np.random.default_rng(seed))
+        b = fused_monte_carlo_rounds(tuple(lengths), config, 32, rng=np.random.default_rng(seed))
+        assert_results_equal(a, b)
+
+
+class TestDelegationAndPlans:
+    def test_non_fusable_attackers_delegate_to_slot_loop(self):
+        # The proxy subclasses the stretch attacker but draws randomness;
+        # the fused driver must hand it to batch_rounds verbatim.
+        proxy = BatchRoundConfig(
+            schedule=AscendingSchedule(),
+            attacked_indices=(0,),
+            attacker=ExpectationProxyBatchAttacker(),
+        )
+        assert not fusable_attacker(proxy)
+        a = monte_carlo_rounds((1.0, 2.0, 3.0), proxy, 64, rng=np.random.default_rng(11))
+        b = fused_monte_carlo_rounds((1.0, 2.0, 3.0), proxy, 64, rng=np.random.default_rng(11))
+        assert_results_equal(a, b)
+
+    def test_plan_is_cached_per_config_schedule(self):
+        clear_plan_cache()
+        config = BatchRoundConfig(
+            schedule=FixedSchedule((2, 0, 3, 1, 4)),
+            attacked_indices=(0, 3),
+            attacker=ActiveStretchBatchAttacker(),
+        )
+        plan = plan_for(config, 5, 2)
+        assert plan_for(config, 5, 2) is plan
+        # FixedSchedule with a static attacked set: fully static layout.
+        np.testing.assert_array_equal(plan.static_comp_slots, [1, 2])
+        np.testing.assert_array_equal(plan.static_comp_sensors, [0, 3])
+        np.testing.assert_array_equal(plan.required, [5 - 2 - 2, 5 - 2 - 1])
+
+    def test_thread_safety_of_the_scratch_pool(self):
+        # The slot-loop driver has no shared mutable state; the fused
+        # driver must keep that property — concurrent same-shape calls get
+        # thread-local scratch, never each other's half-written buffers.
+        from concurrent.futures import ThreadPoolExecutor
+
+        config = BatchRoundConfig(
+            schedule=RandomSchedule(),
+            attacked_indices=(0, 2),
+            attacker=ActiveStretchBatchAttacker(side=1),
+        )
+
+        def run(seed: int):
+            return fused_monte_carlo_rounds(
+                (2.0, 3.0, 3.0, 6.0, 8.0), config, 2_000, rng=np.random.default_rng(seed)
+            )
+
+        reference = {seed: run(seed) for seed in range(8)}
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for _ in range(3):
+                for seed, result in zip(range(8), pool.map(run, range(8))):
+                    np.testing.assert_array_equal(result.fusion.lo, reference[seed].fusion.lo)
+                    np.testing.assert_array_equal(result.flagged, reference[seed].flagged)
+
+    def test_scratch_buffers_do_not_leak_into_results(self):
+        # Two consecutive calls share scratch; the first result must not be
+        # overwritten by the second (escaping arrays are freshly allocated).
+        config = BatchRoundConfig(
+            schedule=AscendingSchedule(),
+            attacked_indices=(0,),
+            attacker=ActiveStretchBatchAttacker(),
+        )
+        first = fused_monte_carlo_rounds((1.0, 2.0, 3.0), config, 64, rng=np.random.default_rng(1))
+        snapshot = (first.broadcast_lo.copy(), first.fusion.lo.copy(), first.flagged.copy())
+        fused_monte_carlo_rounds((1.0, 2.0, 3.0), config, 64, rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(first.broadcast_lo, snapshot[0])
+        np.testing.assert_array_equal(first.fusion.lo, snapshot[1])
+        np.testing.assert_array_equal(first.flagged, snapshot[2])

@@ -83,6 +83,54 @@ class TestRunCommand:
         assert "unknown scenario" in err
 
 
+class TestErrorPaths:
+    """Unknown names exit non-zero with near-miss hints, never a traceback."""
+
+    def test_run_suggests_near_miss_names(self, capsys):
+        code, _, err = run_cli("run", "table1-smok", capsys=capsys)
+        assert code == 1
+        assert "did you mean" in err and "table1-smoke" in err
+        assert "Traceback" not in err
+
+    def test_run_without_near_miss_points_at_the_catalogue(self, capsys):
+        code, _, err = run_cli("run", "zzz-no-such-thing", capsys=capsys)
+        assert code == 1
+        assert "unknown scenario" in err
+        assert "python -m repro list" in err
+
+    def test_report_suggests_derived_reports_and_scenarios(self, capsys):
+        code, _, err = run_cli("report", "table2-exact-vs-prox", capsys=capsys)
+        assert code == 1
+        assert "did you mean" in err and "table2-exact-vs-proxy" in err
+        code, _, err = run_cli("report", "table2-exac", capsys=capsys)
+        assert code == 1
+        assert "table2-exact" in err
+
+    def test_report_unknown_name_lists_report_namespace(self, capsys):
+        code, _, err = run_cli("report", "zzz-no-such-thing", capsys=capsys)
+        assert code == 1
+        assert "unknown scenario or derived report" in err
+        assert "table2-exact-vs-proxy" in err  # the derived-report namespace
+
+    def test_unknown_names_exit_nonzero_in_a_real_subprocess(self, tmp_path):
+        env = {
+            **os.environ,
+            "PYTHONPATH": SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+            "REPRO_STORE_DIR": str(tmp_path),
+        }
+        for arguments in (["run", "table1-smok"], ["report", "no-such-report"]):
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro", *arguments],
+                capture_output=True,
+                text=True,
+                cwd=str(tmp_path),
+                env=env,
+            )
+            assert completed.returncode == 1
+            assert "error:" in completed.stderr
+            assert "Traceback" not in completed.stderr
+
+
 class TestReportCommand:
     def test_report_renders_figure(self, capsys, tmp_path):
         code, out, _ = run_cli(

@@ -1,11 +1,10 @@
-"""Scalar/Batch engine parity: identical RoundsResult under the stretch attacker.
+"""Randomized engine parity on top of the conformance suite.
 
-Both engines draw correct intervals through the same
-``sample_correct_bounds`` call and (when faults are configured) the same
-``BatchTransientFaults.apply`` call, so for deterministic schedules their
-RNG streams coincide and the per-round result arrays must match
-bit-for-bit.  This extends the ``tests/batch`` equivalence suites from the
-raw drivers to the public engine API.
+The deterministic parity matrix lives in ``conformance.py`` and runs for
+every registered engine in ``test_conformance.py``; this module adds the
+hypothesis fuzz over random configurations — again parametrised over the
+registry, so new backends inherit the fuzz too — plus the
+:class:`~repro.engine.base.RoundsResult` accessor coverage.
 """
 
 import numpy as np
@@ -13,90 +12,40 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.batch import BatchTransientFaults
-from repro.engine import BatchEngine, ScalarEngine, StretchAttack
+from conformance import assert_rounds_equal
+from repro.engine import BatchEngine, ScalarEngine, StretchAttack, get_engine, list_engines
 from repro.scheduling import (
     AscendingSchedule,
     DescendingSchedule,
-    FixedSchedule,
-    RandomSchedule,
     ScheduleComparisonConfig,
 )
 
-
-def _assert_rounds_equal(a, b):
-    assert a.schedule_name == b.schedule_name
-    np.testing.assert_array_equal(a.fusion_lo, b.fusion_lo)
-    np.testing.assert_array_equal(a.fusion_hi, b.fusion_hi)
-    np.testing.assert_array_equal(a.valid, b.valid)
-    np.testing.assert_array_equal(a.attacker_detected, b.attacker_detected)
-    # Per-sensor extension: broadcasts and detection flags are part of the
-    # parity contract too (NaN broadcasts / no flags on invalid rows).
-    np.testing.assert_array_equal(a.broadcast_lo, b.broadcast_lo)
-    np.testing.assert_array_equal(a.broadcast_hi, b.broadcast_hi)
-    np.testing.assert_array_equal(a.flagged, b.flagged)
+#: The oracle fuzzes against every other registered backend.
+NON_ORACLE_ENGINES = [name for name in list_engines() if name != "scalar"]
 
 
-def _run_both(config, schedule, seed, attack="stretch", faults=None, samples=48):
-    scalar = ScalarEngine().run_rounds(
-        config, schedule, attack, faults, samples, np.random.default_rng(seed)
-    )
-    batch = BatchEngine().run_rounds(
-        config, schedule, attack, faults, samples, np.random.default_rng(seed)
-    )
-    return scalar, batch
-
-
+@pytest.mark.parametrize("engine_name", NON_ORACLE_ENGINES)
 @given(
-    st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=7),
-    st.integers(min_value=0, max_value=6),
-    st.sampled_from([1, -1]),
-    st.integers(min_value=0, max_value=2**31 - 1),
+    lengths=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=7),
+    attacked_index=st.integers(min_value=0, max_value=6),
+    side=st.sampled_from([1, -1]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
 )
 @settings(max_examples=30, deadline=None)
-def test_engines_bitmatch_random_configs(lengths, attacked_index, side, seed):
+def test_engines_bitmatch_random_configs(engine_name, lengths, attacked_index, side, seed):
     lengths = tuple(lengths)
     config = ScheduleComparisonConfig(
         lengths=lengths, fa=1, attacked_indices=(attacked_index % len(lengths),)
     )
     schedule = AscendingSchedule() if seed % 2 else DescendingSchedule()
-    scalar, batch = _run_both(config, schedule, seed, attack=StretchAttack(side=side), samples=8)
-    _assert_rounds_equal(scalar, batch)
-
-
-@pytest.mark.parametrize(
-    "schedule",
-    [AscendingSchedule(), DescendingSchedule(), FixedSchedule((2, 0, 3, 1, 4))],
-    ids=lambda s: s.name,
-)
-@pytest.mark.parametrize("attack", ["stretch", "stretch-left", "truthful"])
-def test_engines_bitmatch_fa2(schedule, attack):
-    config = ScheduleComparisonConfig(lengths=(2.0, 3.0, 3.0, 6.0, 8.0), fa=2)
-    scalar, batch = _run_both(config, schedule, seed=11, attack=attack)
-    _assert_rounds_equal(scalar, batch)
-    assert scalar.valid.all()
-
-
-def test_engines_bitmatch_random_schedule():
-    # Both engines draw per-round permutations through the same vectorized
-    # batch_orders call, so even RandomSchedule is bit-reproducible.
-    config = ScheduleComparisonConfig(lengths=(1.0, 2.0, 3.0, 4.0, 5.0), fa=1)
-    scalar, batch = _run_both(config, RandomSchedule(), seed=23, samples=64)
-    _assert_rounds_equal(scalar, batch)
-
-
-def test_engines_bitmatch_with_transient_faults():
-    # Faults can produce empty fusions; both engines must report the same
-    # rows as invalid (the scalar engine converts EmptyFusionError into the
-    # batch engine's valid=False convention).
-    config = ScheduleComparisonConfig(lengths=(1.0, 1.0, 1.0, 1.0, 1.0), fa=1, f=2)
-    faults = BatchTransientFaults(probability=0.35)
-    scalar, batch = _run_both(
-        config, AscendingSchedule(), seed=7, faults=faults, samples=256
+    attack = StretchAttack(side=side)
+    scalar = ScalarEngine().run_rounds(
+        config, schedule, attack, None, 8, np.random.default_rng(seed)
     )
-    _assert_rounds_equal(scalar, batch)
-    assert not scalar.valid.all(), "expected some empty fusions under heavy faults"
-    assert np.isnan(scalar.fusion_lo[~scalar.valid]).all()
+    other = get_engine(engine_name).run_rounds(
+        config, schedule, attack, None, 8, np.random.default_rng(seed)
+    )
+    assert_rounds_equal(scalar, other)
 
 
 def test_engine_compare_rows_match():
@@ -105,10 +54,11 @@ def test_engine_compare_rows_match():
     scalar = ScalarEngine().compare(
         config, schedules, samples=64, rng=np.random.default_rng(9)
     )
-    batch = BatchEngine().compare(
-        config, schedules, samples=64, rng=np.random.default_rng(9)
-    )
-    assert scalar.rows == batch.rows
+    for name in NON_ORACLE_ENGINES:
+        other = get_engine(name).compare(
+            config, schedules, samples=64, rng=np.random.default_rng(9)
+        )
+        assert scalar.rows == other.rows
 
 
 def test_rounds_result_accessors():
@@ -121,25 +71,6 @@ def test_rounds_result_accessors():
     row = result.to_row()
     assert row.schedule_name == "descending"
     assert row.combinations == 500
-
-
-def test_per_sensor_arrays_are_populated_and_consistent():
-    config = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1)
-    for engine in (ScalarEngine(), BatchEngine()):
-        result = engine.run_rounds(
-            config, AscendingSchedule(), samples=64, rng=np.random.default_rng(3)
-        )
-        assert result.broadcast_lo.shape == (64, 3)
-        assert result.broadcast_hi.shape == (64, 3)
-        assert result.flagged.shape == (64, 3)
-        # Broadcast intervals are well-formed wherever the round is valid.
-        assert (result.broadcast_lo[result.valid] <= result.broadcast_hi[result.valid]).all()
-        # The per-round attacker_detected mask is derivable from the
-        # per-sensor flags and the attacked set (sensor 0 is the most precise).
-        np.testing.assert_array_equal(result.attacker_detected, result.flagged[:, 0])
-        rates = result.flagged_fraction_per_sensor
-        assert rates.shape == (3,)
-        assert ((0.0 <= rates) & (rates <= 1.0)).all()
 
 
 def test_flagged_fraction_requires_per_sensor_arrays():

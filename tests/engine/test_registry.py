@@ -31,11 +31,19 @@ CONFIG = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1)
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert available_engines() == ("batch", "scalar")
+        assert available_engines() == ("batch", "fused", "scalar")
+
+    def test_list_engines_alias(self):
+        from repro.engine import list_engines
+
+        assert list_engines() == available_engines()
 
     def test_get_engine_by_name(self):
+        from repro.engine import FusedEngine
+
         assert isinstance(get_engine("scalar"), ScalarEngine)
         assert isinstance(get_engine("batch"), BatchEngine)
+        assert isinstance(get_engine("fused"), FusedEngine)
 
     def test_get_engine_passthrough_instance(self):
         engine = BatchEngine()

@@ -2,10 +2,10 @@
 
 import dataclasses
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.core import ExperimentError
 from repro.runner import ArtifactStore, default_store
 from repro.runner.store import STORE_ENV_VAR
 from repro.scenarios import ComparisonCase, ComparisonScenario, spec_key
@@ -56,22 +56,69 @@ class TestInvalidation:
         assert store.load(spec(samples=20)) is None
         assert store.load(dataclasses.replace(spec(), seed=1)) is None
 
-    def test_mismatched_embedded_spec_raises(self, tmp_path):
-        store = ArtifactStore(tmp_path)
-        path = store.save(spec(), {"kind": "comparison"})
-        # Simulate a hand-edited artifact: same filename, different spec.
-        document = json.loads(path.read_text())
-        document["spec"]["samples"] = 999
-        path.write_text(json.dumps(document))
-        with pytest.raises(ExperimentError, match="does not match"):
-            store.load(spec())
 
-    def test_corrupt_artifact_raises(self, tmp_path):
+def corruptions():
+    """Ways an artifact on disk can rot; each must read back as a miss."""
+    return {
+        "not-json": lambda text: "not json {",
+        "truncated": lambda text: text[: len(text) // 2],
+        "empty": lambda text: "",
+        "json-but-not-a-document": lambda text: json.dumps(["wrong", "shape"]),
+        "missing-payload": lambda text: json.dumps(
+            {key: value for key, value in json.loads(text).items() if key != "payload"}
+        ),
+        "mismatched-spec": lambda text: json.dumps(
+            {**json.loads(text), "spec": {**json.loads(text)["spec"], "samples": 999}}
+        ),
+    }
+
+
+class TestCorruptionRobustness:
+    """Corrupt artifacts are cache misses, not crashes (then healed on save)."""
+
+    @pytest.mark.parametrize("kind", sorted(corruptions()))
+    def test_corrupt_artifact_is_a_cache_miss(self, tmp_path, kind):
         store = ArtifactStore(tmp_path)
-        store.path_for(spec()).parent.mkdir(parents=True, exist_ok=True)
-        store.path_for(spec()).write_text("not json")
-        with pytest.raises(ExperimentError, match="unreadable"):
-            store.load(spec())
+        path = store.save(spec(), {"kind": "comparison", "cases": []})
+        path.write_text(corruptions()[kind](path.read_text()), encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="cache miss"):
+            assert store.load(spec()) is None
+
+    @pytest.mark.parametrize("kind", sorted(corruptions()))
+    def test_save_heals_a_corrupt_artifact(self, tmp_path, kind):
+        store = ArtifactStore(tmp_path)
+        payload = {"kind": "comparison", "cases": []}
+        path = store.save(spec(), payload)
+        path.write_text(corruptions()[kind](path.read_text()), encoding="utf-8")
+        store.save(spec(), payload)
+        document = store.load(spec())
+        assert document is not None and document["payload"] == payload
+
+    def test_runner_resimulates_through_a_corrupt_artifact(self, tmp_path):
+        # End to end: run → corrupt the stored artifact → run again.  The
+        # second run must not crash, must not serve the corrupt bytes, and
+        # must leave a healed artifact behind for the third run to hit.
+        from repro.runner import run_scenario
+        from repro.scenarios import ComparisonCase as Case
+
+        scenario = ComparisonScenario(
+            name="store-corruption-e2e",
+            engine="batch",
+            samples=40,
+            shard_samples=20,
+            cases=(Case(label="case", lengths=(1.0, 2.0, 3.0), fa=1),),
+        )
+        store = ArtifactStore(tmp_path)
+        first = run_scenario(scenario, store=store)
+        assert not first.cached
+        Path(first.store_path).write_text("garbage", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="cache miss"):
+            second = run_scenario(scenario, store=store)
+        assert not second.cached
+        assert second.payload == first.payload
+        third = run_scenario(scenario, store=store)
+        assert third.cached
+        assert third.payload == first.payload
 
 
 class TestEntriesAndDefaults:
