@@ -117,6 +117,46 @@ def fused_speedup_floor() -> float:
 
 
 @pytest.fixture(scope="session")
+def serve_coalescing_floor() -> float:
+    """Required coalescing-vs-baseline serving throughput ratio (default 3x).
+
+    ``REPRO_BENCH_SERVE_FLOOR`` loosens the gate on noisy shared runners;
+    the reference machine shows well above 3x at 64 identical-plan clients.
+    """
+    value = os.environ.get("REPRO_BENCH_SERVE_FLOOR", "")
+    try:
+        return float(value) if value else 3.0
+    except ValueError:
+        return 3.0
+
+
+@pytest.fixture(scope="session")
+def serve_clients() -> int:
+    """Concurrent identical-plan clients for the serving benchmark (default 64)."""
+    value = os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "")
+    try:
+        return max(8, int(value)) if value else 64
+    except ValueError:
+        return 64
+
+
+@pytest.fixture(scope="session")
+def serve_samples() -> int:
+    """Monte-Carlo rounds per served request (default 400, floor 100).
+
+    Split into 16 small shards per request — the many-small-passes regime
+    dynamic batching exists for.  Raising this towards ~10⁴ shifts requests
+    into per-round-dominated territory where coalescing (by design) matters
+    less.
+    """
+    value = os.environ.get("REPRO_BENCH_SERVE_SAMPLES", "")
+    try:
+        return max(100, int(value)) if value else 400
+    except ValueError:
+        return 400
+
+
+@pytest.fixture(scope="session")
 def report_writer():
     """Write a named report to ``benchmarks/results`` and echo it to stdout."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

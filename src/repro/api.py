@@ -1,0 +1,231 @@
+"""The public API facade: one module, four verbs, every execution path.
+
+``repro.api`` is the supported programmatic surface of the repository.  The
+layers underneath — engines, scenario registry, sharded runner, artifact
+store, serving stack — stay importable for power users, but everything a
+typical caller needs is one of four verbs, and the CLI (``python -m
+repro``) and the HTTP server (``python -m repro serve``) are both thin
+shells over exactly these functions, so library, command line and network
+callers cannot drift apart:
+
+* :func:`run` — execute a scenario (registry name or spec) through the
+  sharded runner with content-addressed caching; the workhorse.
+* :func:`compare` — a Table I style schedule comparison on one
+  configuration, without declaring a scenario first; the quick look.
+* :func:`case_study` — the Table II closed-loop platoon case study.
+* :func:`serve` — fusion-as-a-service: an asyncio HTTP server with dynamic
+  request batching (:mod:`repro.serve`), plus :func:`create_service` /
+  :func:`create_server` for embedding and tests.
+
+Store arguments follow one convention everywhere: the string ``"default"``
+(the default) resolves through :func:`repro.runner.default_store` —
+``results/store`` or ``$REPRO_STORE_DIR`` — a path selects that directory,
+an :class:`~repro.runner.ArtifactStore` is used as-is, and ``None`` disables
+caching.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ExperimentError
+from repro.engine import get_engine
+from repro.engine.base import AttackSpec
+from repro.runner import ArtifactStore, ScenarioRun, default_store, run_scenario
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    schedule_from_spec,
+)
+from repro.scheduling.comparison import ScheduleComparison, ScheduleComparisonConfig
+from repro.scheduling.schedule import Schedule
+from repro.serve import FusionServer, FusionService
+from repro.utils.seeding import ensure_rng
+from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
+
+__all__ = [
+    "run",
+    "compare",
+    "case_study",
+    "serve",
+    "create_service",
+    "create_server",
+    "resolve_store",
+]
+
+
+def resolve_store(store: ArtifactStore | str | Path | None) -> ArtifactStore | None:
+    """Apply the facade-wide store convention (see the module docstring)."""
+    if store is None or isinstance(store, ArtifactStore):
+        return store
+    if store == "default":
+        return default_store()
+    return default_store(store)
+
+
+def run(
+    scenario: str | ScenarioSpec,
+    *,
+    workers: int = 1,
+    store: ArtifactStore | str | Path | None = "default",
+    force: bool = False,
+) -> ScenarioRun:
+    """Run a scenario by registry name or spec; results are cached by content.
+
+    A thin, documented alias for :func:`repro.runner.run_scenario` with the
+    facade's store convention: unchanged specs are cache hits, ``workers``
+    only changes wall-clock time (payloads are worker-count invariant), and
+    ``force=True`` recomputes.  To run a registered scenario on a different
+    backend, derive a new spec first (``dataclasses.replace(spec,
+    engine="fused")``) — engine choice is part of a result's identity.
+    """
+    return run_scenario(scenario, workers=workers, store=resolve_store(store), force=force)
+
+
+def _schedule_objects(
+    schedules: Sequence[str | Schedule],
+) -> tuple[Schedule, ...]:
+    return tuple(
+        schedule_from_spec(entry) if isinstance(entry, str) else entry
+        for entry in schedules
+    )
+
+
+def compare(
+    lengths: Sequence[float],
+    fa: int,
+    *,
+    f: int | None = None,
+    attacked_indices: Sequence[int] | None = None,
+    schedules: Sequence[str | Schedule] = ("ascending", "descending"),
+    attack: AttackSpec = "stretch",
+    samples: int = 10_000,
+    engine: str | None = None,
+    faults=None,
+    rng: np.random.Generator | int | None = None,
+) -> ScheduleComparison:
+    """Compare schedules on one sensor configuration (Table I style).
+
+    The one-call spelling of the paper's central experiment: sensors of the
+    given interval ``lengths``, ``fa`` attacked sensors, each schedule in
+    ``schedules`` (spec strings like ``"ascending"`` / ``"fixed:2,0,1"`` /
+    ``"trust-aware:0.5,1,2"``, or :class:`~repro.scheduling.schedule.Schedule`
+    instances) simulated for ``samples`` Monte-Carlo rounds under the
+    engine-route ``attack`` spec.  Schedules share one RNG stream consumed
+    in order, so results are reproducible from ``rng`` (a generator or a
+    seed) alone.  ``engine`` selects the backend by registry name (default:
+    the ``REPRO_ENGINE``-overridable default).
+
+    For repeated or published numbers, prefer declaring a
+    :class:`~repro.scenarios.spec.ComparisonScenario` and calling
+    :func:`run` — that path adds sharding, caching and provenance.
+    """
+    if not schedules:
+        raise ExperimentError("compare needs at least one schedule")
+    config = ScheduleComparisonConfig(
+        lengths=tuple(float(length) for length in lengths),
+        fa=fa,
+        f=f,
+        attacked_indices=tuple(attacked_indices) if attacked_indices is not None else None,
+    )
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(rng)
+    return get_engine(engine).compare(
+        config,
+        _schedule_objects(schedules),
+        samples=samples,
+        rng=ensure_rng(rng),
+        attack=attack,
+        faults=faults,
+    )
+
+
+def case_study(
+    schedules: Sequence[str | Schedule] | None = None,
+    *,
+    config: CaseStudyConfig | None = None,
+    engine: str | None = "batch",
+    **options,
+) -> CaseStudyResult:
+    """Run the Table II platoon case study on the selected backend.
+
+    ``options`` pass through to the engine (``n_replicas`` /
+    ``attacker_factory`` on the batch family, ``policy_factory`` on the
+    scalar oracle); engines reject options they cannot honour.  As with
+    :func:`compare`, the scenario route (:func:`run` with a
+    :class:`~repro.scenarios.spec.CaseStudyScenario`) is the cached,
+    sharded spelling of the same computation.
+    """
+    resolved = _schedule_objects(schedules) if schedules is not None else None
+    return get_engine(engine).run_case_study(config, resolved, **options)
+
+
+def create_service(
+    *,
+    store: ArtifactStore | str | Path | None = "default",
+    max_wait_ms: float = 2.0,
+    max_batch: int = 64,
+) -> FusionService:
+    """Build the transport-independent serving core (see :mod:`repro.serve`)."""
+    return FusionService(
+        store=resolve_store(store), max_wait_ms=max_wait_ms, max_batch=max_batch
+    )
+
+
+def create_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8014,
+    store: ArtifactStore | str | Path | None = "default",
+    max_wait_ms: float = 2.0,
+    max_batch: int = 64,
+    service: FusionService | None = None,
+) -> FusionServer:
+    """Build an (unstarted) HTTP server; ``port=0`` picks a free port.
+
+    The embedding/test entry: ``async with create_server(port=0) as server``
+    starts serving and exposes the bound ``server.port``.  Pass ``service``
+    to share a pre-built :class:`~repro.serve.FusionService` (e.g. to
+    inspect its collator counters from a test).
+    """
+    if service is None:
+        service = create_service(store=store, max_wait_ms=max_wait_ms, max_batch=max_batch)
+    return FusionServer(service, host=host, port=port)
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8014,
+    store: ArtifactStore | str | Path | None = "default",
+    max_wait_ms: float = 2.0,
+    max_batch: int = 64,
+) -> None:
+    """Run fusion-as-a-service until interrupted (the ``repro serve`` CLI).
+
+    ``max_wait_ms`` and ``max_batch`` tune the dynamic batching window:
+    same-plan requests arriving within ``max_wait_ms`` of each other (up to
+    ``max_batch`` of them) share a single packed engine pass — and, per the
+    :meth:`~repro.engine.base.Engine.run_many` contract, still receive
+    payloads bit-identical to solo runs.  See ``docs/SERVING.md``.
+    """
+
+    async def _serve() -> None:
+        server = create_server(
+            host=host, port=port, store=store, max_wait_ms=max_wait_ms, max_batch=max_batch
+        )
+        async with server:
+            print(
+                f"repro fusion service on http://{server.host}:{server.port} "
+                f"(max_wait_ms={max_wait_ms:g}, max_batch={max_batch})",
+                flush=True,
+            )
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass

@@ -75,8 +75,10 @@ from repro.batch.rounds import (
     ActiveStretchBatchAttacker,
     BatchRoundConfig,
     BatchRoundResult,
+    PreparedRounds,
     TruthfulBatchAttacker,
     batch_rounds,
+    batch_rounds_prepared,
     prepare_rounds,
     sample_correct_bounds,
 )
@@ -91,6 +93,7 @@ __all__ = [
     "clear_plan_cache",
     "fused_fusion",
     "fused_rounds",
+    "fused_rounds_prepared",
     "fused_monte_carlo_rounds",
 ]
 
@@ -361,6 +364,25 @@ def fused_rounds(
     if not fusable_attacker(config):
         return batch_rounds(correct_lo, correct_hi, config, rng)
     prepared = prepare_rounds(correct_lo, correct_hi, config, rng)
+    return fused_rounds_prepared(prepared, config, rng, plan=plan)
+
+
+def fused_rounds_prepared(
+    prepared: PreparedRounds,
+    config: BatchRoundConfig,
+    rng: np.random.Generator,
+    plan: FusedPlan | None = None,
+) -> BatchRoundResult:
+    """The fused simulation body over an already-prepared batch.
+
+    Counterpart of :func:`repro.batch.rounds.batch_rounds_prepared` for the
+    fused kernel: packed batches (:func:`repro.batch.rounds.concat_prepared`)
+    run the per-compromised-transmission program once over all items.
+    Non-fusable attackers delegate to the shared slot loop, exactly like
+    :func:`fused_rounds` does before preparing.
+    """
+    if not fusable_attacker(config):
+        return batch_rounds_prepared(prepared, config, rng)
     batch, n = prepared.shape
     f = prepared.f
     validate_fault_bound(n, f)  # batch_fuse would; fail before simulating

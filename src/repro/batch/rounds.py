@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -67,7 +68,9 @@ __all__ = [
     "batch_orders",
     "sample_correct_bounds",
     "prepare_rounds",
+    "concat_prepared",
     "batch_rounds",
+    "batch_rounds_prepared",
     "monte_carlo_rounds",
 ]
 
@@ -594,6 +597,56 @@ def prepare_rounds(
     )
 
 
+def concat_prepared(items: Sequence[PreparedRounds]) -> PreparedRounds:
+    """Pack several prepared batches of the *same* configuration into one.
+
+    The packing seam behind :meth:`repro.engine.batch.BatchEngine.run_many`:
+    each item was prepared with its own RNG stream (so its draws match a
+    standalone run exactly), and the packed batch runs the simulation body
+    once.  Because the post-prepare simulation of the deterministic attack
+    specs consumes no randomness, slicing the packed result row-wise is
+    bit-identical to simulating every item separately.
+
+    Every item must share the attacked set and fault bound (they came from
+    one :class:`BatchRoundConfig`); mismatches raise rather than silently
+    pooling incompatible rounds.
+    """
+    if not items:
+        raise ScheduleError("concat_prepared needs at least one prepared batch")
+    if len(items) == 1:
+        return items[0]
+    first = items[0]
+    for item in items[1:]:
+        if item.attacked != first.attacked or item.f != first.f:
+            raise ScheduleError(
+                "cannot pack prepared batches with different attacked sets or "
+                f"fault bounds: {item.attacked}/f={item.f} vs {first.attacked}/f={first.f}"
+            )
+        if item.shape[1] != first.shape[1]:
+            raise ScheduleError(
+                f"cannot pack prepared batches with different sensor counts: "
+                f"{item.shape[1]} vs {first.shape[1]}"
+            )
+    def stack(name: str) -> np.ndarray:
+        return np.concatenate([getattr(item, name) for item in items])
+
+    return PreparedRounds(
+        correct_lo=stack("correct_lo"),
+        correct_hi=stack("correct_hi"),
+        widths=stack("widths"),
+        orders=stack("orders"),
+        attacked=first.attacked,
+        attacked_mask=stack("attacked_mask"),
+        any_attacked=stack("any_attacked"),
+        f=first.f,
+        delta_lo=stack("delta_lo"),
+        delta_hi=stack("delta_hi"),
+        sent_lo=stack("sent_lo"),
+        sent_hi=stack("sent_hi"),
+        fault_mask=stack("fault_mask"),
+    )
+
+
 def batch_rounds(
     correct_lo: np.ndarray,
     correct_hi: np.ndarray,
@@ -614,7 +667,22 @@ def batch_rounds(
     rng:
         Random source for randomized schedules and fault injection.
     """
-    prepared = prepare_rounds(correct_lo, correct_hi, config, rng)
+    return batch_rounds_prepared(prepare_rounds(correct_lo, correct_hi, config, rng), config, rng)
+
+
+def batch_rounds_prepared(
+    prepared: PreparedRounds,
+    config: BatchRoundConfig,
+    rng: np.random.Generator,
+) -> BatchRoundResult:
+    """The slot-loop simulation body over an already-prepared batch.
+
+    Split out of :func:`batch_rounds` so packed batches
+    (:func:`concat_prepared`) can run the loop once over items that were
+    prepared — and therefore consumed their RNG draws — independently.
+    ``rng`` is forwarded to the attacker's ``forge`` hook; the built-in
+    attack-spec attackers are deterministic there and never draw from it.
+    """
     batch, n = prepared.shape
     correct_lo, correct_hi = prepared.correct_lo, prepared.correct_hi
     widths, orders = prepared.widths, prepared.orders

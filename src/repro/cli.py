@@ -1,6 +1,7 @@
 """``python -m repro`` — the single entry point reproducing the paper.
 
-Three subcommands over the scenario subsystem (``docs/SCENARIOS.md``):
+Five subcommands over the scenario subsystem (``docs/SCENARIOS.md``), each a
+thin shell over the :mod:`repro.api` facade:
 
 * ``python -m repro list [--tag TAG] [--kind KIND] [--json]`` — the
   registered scenario catalogue;
@@ -11,11 +12,17 @@ Three subcommands over the scenario subsystem (``docs/SCENARIOS.md``):
 * ``python -m repro report NAME [...]`` — render a scenario's (cached or
   freshly computed) payload as tables, plus derived cross-scenario reports
   such as ``table2-exact-vs-proxy`` (the exact problem (2) attacker versus
-  the vectorized proxy on the Table II case study).
+  the vectorized proxy on the Table II case study);
+* ``python -m repro serve [--host H] [--port P] [--max-wait-ms W]
+  [--max-batch B] [--store DIR]`` — fusion-as-a-service: the asyncio HTTP
+  server with dynamic request batching (``docs/SERVING.md``);
+* ``python -m repro store ls|gc`` — artifact-store housekeeping: list each
+  scenario's latest artifact, collect superseded keys.
 
 Every flag keeps the determinism contract: ``--workers`` changes wall-clock
 time, never results; ``--engine`` derives a *new* spec (different content
-hash) rather than mutating the stored one.
+hash) rather than mutating the stored one; serving coalesces work without
+changing a single payload byte.
 """
 
 from __future__ import annotations
@@ -24,11 +31,13 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 from typing import Sequence
 
+from repro import api
 from repro.analysis.report import format_table
 from repro.core.exceptions import ExperimentError
-from repro.runner import ArtifactStore, ScenarioRun, default_store, run_scenario
+from repro.runner import ArtifactStore, ScenarioRun, default_store
 from repro.scenarios import (
     available_scenarios,
     get_scenario,
@@ -168,7 +177,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runs = []
     for name in args.names:
         spec = _resolve_spec(name, args.engine)
-        run = run_scenario(spec, workers=args.workers, store=store, force=args.force)
+        run = api.run(spec, workers=args.workers, store=store, force=args.force)
         runs.append(run)
         if not args.json:
             if run.cached:
@@ -201,8 +210,8 @@ def report_table2_exact_vs_proxy(
         description="Proxy-attacker twin of table2-exact (same scale, attacker swapped)",
         attacker="proxy",
     )
-    exact = run_scenario(exact_spec, workers=workers, store=store, force=force)
-    proxy = run_scenario(proxy_spec, workers=workers, store=store, force=force)
+    exact = api.run(exact_spec, workers=workers, store=store, force=force)
+    proxy = api.run(proxy_spec, workers=workers, store=store, force=force)
     proxy_rows = {row["schedule"]: row for row in proxy.payload["rows"]}
     rows = []
     for exact_row in exact.payload["rows"]:
@@ -275,8 +284,103 @@ def _cmd_report(args: argparse.Namespace) -> int:
             "`python -m repro list` for the scenario catalogue)"
         )
     spec = _resolve_spec(args.name, args.engine)
-    run = run_scenario(spec, workers=args.workers, store=store, force=args.force)
+    run = api.run(spec, workers=args.workers, store=store, force=args.force)
     print(json.dumps(_run_dict(run), indent=2, sort_keys=True) if args.json else render_payload(run.payload))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    api.serve(
+        host=args.host,
+        port=args.port,
+        store=args.store if args.store else "default",
+        max_wait_ms=args.max_wait_ms,
+        max_batch=args.max_batch,
+    )
+    return 0
+
+
+def _format_size(size: int) -> str:
+    if size >= 1024 * 1024:
+        return f"{size / (1024 * 1024):.1f}M"
+    if size >= 1024:
+        return f"{size / 1024:.1f}K"
+    return f"{size}B"
+
+
+def _format_age(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds >= 86_400:
+        return f"{seconds / 86_400:.1f}d"
+    if seconds >= 3_600:
+        return f"{seconds / 3_600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds:.0f}s"
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    store = default_store(args.store)
+    index = store.latest_index()
+    entries = [index[name] for name in sorted(index)]
+    total = len(store.entries())
+    if args.json:
+        print(
+            json.dumps(
+                {"root": str(store.root), "artifacts": total, "latest": entries},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    now = time.time()
+    rows = [
+        [
+            entry["name"],
+            (entry["key"] or "")[:12],
+            entry["kind"] or "?",
+            _format_size(entry["size_bytes"]),
+            _format_age(now - entry["modified"]),
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["name", "latest key", "kind", "size", "age"],
+            rows,
+            title=f"{store.root} — {total} artifact(s), {len(rows)} scenario name(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = default_store(args.store)
+    if args.keep_latest < 1:
+        raise ExperimentError(
+            f"--keep-latest must be at least 1, got {args.keep_latest}"
+        )
+    deleted = store.gc(keep_latest=args.keep_latest)
+    reclaimed = sum(entry["size_bytes"] for entry in deleted)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": str(store.root),
+                    "deleted": deleted,
+                    "reclaimed_bytes": reclaimed,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for entry in deleted:
+        print(f"deleted {entry['name']} [{(entry['key'] or '')[:12]}] ({_format_size(entry['size_bytes'])})")
+    print(
+        f"kept the latest {args.keep_latest} per name; "
+        f"removed {len(deleted)} artifact(s), reclaimed {_format_size(reclaimed)}"
+    )
     return 0
 
 
@@ -323,6 +427,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_options(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run fusion-as-a-service (asyncio HTTP with request batching)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8014, help="TCP port (0 picks one)")
+    serve_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="dynamic-batching window: how long a request waits for same-plan company",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="flush a batch at this many coalesced requests (1 disables coalescing)",
+    )
+    serve_parser.add_argument("--store", help="artifact store directory (default results/store)")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    store_parser = subparsers.add_parser("store", help="artifact-store housekeeping")
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+    ls_parser = store_subparsers.add_parser(
+        "ls", help="each scenario name's latest artifact (key, size, age)"
+    )
+    ls_parser.add_argument("--store", help="artifact store directory (default results/store)")
+    ls_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    ls_parser.set_defaults(handler=_cmd_store_ls)
+    gc_parser = store_subparsers.add_parser(
+        "gc", help="delete superseded artifacts (older keys of each scenario name)"
+    )
+    gc_parser.add_argument(
+        "--keep-latest",
+        type=int,
+        default=1,
+        help="artifacts to keep per scenario name (newest first, default 1)",
+    )
+    gc_parser.add_argument("--store", help="artifact store directory (default results/store)")
+    gc_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    gc_parser.set_defaults(handler=_cmd_store_gc)
     return parser
 
 

@@ -239,6 +239,25 @@ def check_samples(samples: int) -> None:
         raise ExperimentError(f"need a positive number of samples, got {samples}")
 
 
+def check_run_many_args(
+    budgets: Sequence[int], rngs: Sequence[np.random.Generator] | None
+) -> tuple[list[int], list[np.random.Generator]]:
+    """Shared validation for the :meth:`Engine.run_many` arguments."""
+    budgets = list(budgets)
+    streams = list(rngs) if rngs is not None else None
+    if streams is None or len(streams) != len(budgets):
+        raise ExperimentError(
+            "run_many needs one RNG stream per budget (got "
+            f"{len(budgets)} budgets and "
+            f"{'no' if streams is None else len(streams)} rngs)"
+        )
+    if not budgets:
+        raise ExperimentError("run_many needs at least one budget")
+    for samples in budgets:
+        check_samples(samples)
+    return budgets, streams
+
+
 class Engine(abc.ABC):
     """One simulation backend (scalar reference loop, vectorized batch, ...)."""
 
@@ -265,6 +284,35 @@ class Engine(abc.ABC):
         :class:`RoundsResult` arrays (the parity tests rely on this).
         ``faults`` takes a :class:`repro.batch.rounds.BatchTransientFaults`.
         """
+
+    def run_many(
+        self,
+        config: ScheduleComparisonConfig,
+        schedule: Schedule,
+        attack: AttackSpec = "stretch",
+        faults=None,
+        budgets: Sequence[int] = (),
+        rngs: Sequence[np.random.Generator] | None = None,
+    ) -> list[RoundsResult]:
+        """Run several independent sample budgets of one plan in one call.
+
+        The micro-batching seam behind the serving layer
+        (:mod:`repro.serve`): ``budgets[i]`` rounds are simulated with the
+        stream ``rngs[i]``, and the contract is that the returned results
+        are **bit-identical** to calling :meth:`run_rounds` once per
+        ``(budget, rng)`` pair — a request coalesced into a shared engine
+        pass must receive exactly the payload it would have computed alone.
+
+        This default implementation *is* that reference loop; vectorized
+        backends override it to pack every budget into a single simulation
+        pass (see :meth:`repro.engine.batch.BatchEngine.run_many`) so the
+        per-invocation overhead is paid once for the whole batch.
+        """
+        budgets, streams = check_run_many_args(budgets, rngs)
+        return [
+            self.run_rounds(config, schedule, attack, faults, samples, rng)
+            for samples, rng in zip(budgets, streams)
+        ]
 
     def compare(
         self,

@@ -22,9 +22,14 @@ from repro.batch.rounds import (
     ActiveStretchBatchAttacker,
     BatchAttacker,
     BatchRoundConfig,
+    BatchRoundResult,
     BatchTransientFaults,
     TruthfulBatchAttacker,
+    batch_rounds_prepared,
+    concat_prepared,
     monte_carlo_rounds,
+    prepare_rounds,
+    sample_correct_bounds,
 )
 from repro.core.exceptions import ExperimentError
 from repro.engine.base import (
@@ -34,6 +39,7 @@ from repro.engine.base import (
     RoundsResult,
     StretchAttack,
     TruthfulAttack,
+    check_run_many_args,
     check_samples,
     resolve_attack,
 )
@@ -91,6 +97,10 @@ class BatchEngine(Engine):
         result = self._driver(
             config.lengths, round_config, samples, true_value=config.true_value, rng=rng
         )
+        return self._rounds_result(schedule, result)
+
+    @staticmethod
+    def _rounds_result(schedule: Schedule, result: BatchRoundResult) -> RoundsResult:
         # The batch driver keeps broadcasts for empty-fusion rounds (they were
         # transmitted before fusion failed); the scalar engine aborts such
         # rounds before recording them, so the engines agree on NaN / no-flag
@@ -114,6 +124,69 @@ class BatchEngine(Engine):
             broadcast_hi=broadcast_hi,
             flagged=result.flagged,
         )
+
+    #: Simulation body applied to an already-prepared (possibly packed)
+    #: batch; the fused engine swaps in its fused counterpart.
+    _prepared_driver = staticmethod(batch_rounds_prepared)
+
+    def run_many(
+        self,
+        config: ScheduleComparisonConfig,
+        schedule: Schedule,
+        attack: AttackSpec = "stretch",
+        faults: BatchTransientFaults | None = None,
+        budgets: Sequence[int] = (),
+        rngs: Sequence[np.random.Generator] | None = None,
+    ) -> list[RoundsResult]:
+        """Pack every budget into one simulation pass (bit-identical split).
+
+        Each budget samples its correct bounds, schedule orders and faults
+        from its *own* RNG stream — exactly the draws a standalone
+        :meth:`run_rounds` call would make — via the per-item
+        :func:`repro.batch.rounds.prepare_rounds` prologue.  The prepared
+        items are then concatenated and the RNG-free simulation body runs
+        once over the packed batch, so ``len(budgets)`` requests pay one
+        invocation's overhead.  Slicing the packed result row-wise returns
+        exactly the per-request arrays of the reference loop (the
+        ``run_many`` conformance tests pin this).
+        """
+        budgets, streams = check_run_many_args(budgets, rngs)
+        spec = resolve_attack(attack)
+        round_config = BatchRoundConfig(
+            schedule=schedule,
+            attacked_indices=config.resolved_attacked,
+            attacker=self._attacker(spec),
+            f=config.resolved_f,
+            faults=faults,
+        )
+        items = [
+            prepare_rounds(
+                *sample_correct_bounds(config.lengths, config.true_value, samples, rng),
+                round_config,
+                rng,
+            )
+            for samples, rng in zip(budgets, streams)
+        ]
+        packed = self._prepared_driver(concat_prepared(items), round_config, streams[0])
+        full = self._rounds_result(schedule, packed)
+        results = []
+        start = 0
+        for samples in budgets:
+            stop = start + samples
+            results.append(
+                RoundsResult(
+                    schedule_name=full.schedule_name,
+                    fusion_lo=full.fusion_lo[start:stop],
+                    fusion_hi=full.fusion_hi[start:stop],
+                    valid=full.valid[start:stop],
+                    attacker_detected=full.attacker_detected[start:stop],
+                    broadcast_lo=full.broadcast_lo[start:stop],
+                    broadcast_hi=full.broadcast_hi[start:stop],
+                    flagged=full.flagged[start:stop],
+                )
+            )
+            start = stop
+        return results
 
     def run_case_study(
         self,

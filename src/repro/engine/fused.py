@@ -24,7 +24,7 @@ gates the floor).  The registry-driven conformance suite in
 
 from __future__ import annotations
 
-from repro.batch.fused import fused_monte_carlo_rounds
+from repro.batch.fused import fused_monte_carlo_rounds, fused_rounds_prepared
 from repro.engine.batch import BatchEngine
 
 __all__ = ["FusedEngine"]
@@ -36,3 +36,6 @@ class FusedEngine(BatchEngine):
     name = "fused"
 
     _driver = staticmethod(fused_monte_carlo_rounds)
+    #: run_many packs prepared items and runs the fused body once; the
+    #: non-fusable attackers delegate to the shared slot loop inside.
+    _prepared_driver = staticmethod(fused_rounds_prepared)

@@ -7,8 +7,11 @@ artifact-store layout.
 from repro.runner.runner import (
     ScenarioRun,
     ShardTask,
+    comparison_stats_row,
     execute_task,
+    merge_outcomes,
     plan_tasks,
+    resolve_spec_engine,
     run_scenario,
 )
 from repro.runner.store import (
@@ -21,8 +24,11 @@ from repro.runner.store import (
 __all__ = [
     "ShardTask",
     "ScenarioRun",
+    "comparison_stats_row",
+    "merge_outcomes",
     "plan_tasks",
     "execute_task",
+    "resolve_spec_engine",
     "run_scenario",
     "ArtifactStore",
     "default_store",

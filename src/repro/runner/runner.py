@@ -49,7 +49,16 @@ from repro.scenarios.spec import (
 )
 from repro.utils.seeding import derive_rng
 
-__all__ = ["ShardTask", "ScenarioRun", "plan_tasks", "execute_task", "run_scenario"]
+__all__ = [
+    "ShardTask",
+    "ScenarioRun",
+    "comparison_stats_row",
+    "execute_task",
+    "merge_outcomes",
+    "plan_tasks",
+    "resolve_spec_engine",
+    "run_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,34 @@ def _plan_comparison(spec: ComparisonScenario) -> list[ShardTask]:
     return tasks
 
 
+def comparison_stats_row(result) -> dict:
+    """Reduce one :class:`~repro.engine.base.RoundsResult` to its shard row.
+
+    The sufficient statistics a comparison merge consumes — the merge only
+    ever reduces to means and fractions, and the per-shard sums are combined
+    in plan order, so payloads stay worker-count invariant while shard IPC
+    drops from megabytes to bytes.  Public because the serving layer
+    (:mod:`repro.serve`) produces ``RoundsResult`` values through the batch
+    collator and must reduce them with *exactly* the runner's arithmetic to
+    keep served payloads bit-identical to ``python -m repro run`` artifacts.
+    """
+    if result.flagged is None:
+        raise ExperimentError(
+            "engine returned a RoundsResult without the per-sensor flagged "
+            "array; scenario payloads require it (fill broadcast_lo/"
+            "broadcast_hi/flagged like the built-in backends)"
+        )
+    valid = result.valid
+    return {
+        "schedule": result.schedule_name,
+        "samples": result.samples,
+        "valid": int(np.count_nonzero(valid)),
+        "width_sum": float(result.widths[valid].sum()),
+        "detected": int(np.count_nonzero(result.attacker_detected)),
+        "flagged_counts": [int(count) for count in result.flagged[valid].sum(axis=0)],
+    }
+
+
 def _execute_comparison(task: ShardTask) -> list[dict]:
     spec: ComparisonScenario = task.spec
     case_index, shard_index, samples = task.params
@@ -115,31 +152,10 @@ def _execute_comparison(task: ShardTask) -> list[dict]:
     # the same convention as Engine.compare, so a single-shard scenario
     # reproduces an engine.compare call exactly.
     rng = derive_rng(spec.seed, case_index, shard_index)
-    shard_rows = []
-    for schedule in case.schedule_objects():
-        result = engine.run_rounds(config, schedule, case.attack, faults, samples, rng)
-        if result.flagged is None:
-            raise ExperimentError(
-                f"engine {type(engine).__name__} returned a RoundsResult without the "
-                "per-sensor flagged array; scenario payloads require it (fill "
-                "broadcast_lo/broadcast_hi/flagged like the built-in backends)"
-            )
-        valid = result.valid
-        # Ship sufficient statistics, not per-sample arrays: the merge only
-        # ever reduces to means and fractions, and the per-shard sums are
-        # combined in plan order, so the payload stays worker-count
-        # invariant while shard IPC drops from megabytes to bytes.
-        shard_rows.append(
-            {
-                "schedule": result.schedule_name,
-                "samples": result.samples,
-                "valid": int(np.count_nonzero(valid)),
-                "width_sum": float(result.widths[valid].sum()),
-                "detected": int(np.count_nonzero(result.attacker_detected)),
-                "flagged_counts": [int(count) for count in result.flagged[valid].sum(axis=0)],
-            }
-        )
-    return shard_rows
+    return [
+        comparison_stats_row(engine.run_rounds(config, schedule, case.attack, faults, samples, rng))
+        for schedule in case.schedule_objects()
+    ]
 
 
 def _merge_comparison(spec: ComparisonScenario, outcomes: list[list[dict]]) -> dict:
@@ -349,6 +365,34 @@ def execute_task(task: ShardTask):
     return _EXECUTORS[task.spec.kind](task)
 
 
+def merge_outcomes(spec: ScenarioSpec, outcomes: list) -> dict:
+    """Merge plan-ordered shard outcomes into the scenario payload.
+
+    The exact reduction :func:`run_scenario` applies; public so alternative
+    executors (the serving layer routes comparison shards through a batch
+    collator instead of a process pool) can reuse the arithmetic and stay
+    bit-identical to CLI artifacts.  ``outcomes`` must align with
+    :func:`plan_tasks` order.
+    """
+    merger = _MERGERS.get(spec.kind)
+    if merger is None:
+        raise ExperimentError(f"no runner for scenario kind {spec.kind!r}")
+    return merger(spec, outcomes)
+
+
+def resolve_spec_engine(spec: ScenarioSpec) -> ScenarioSpec:
+    """Pin the env-resolved default backend into a comparison spec.
+
+    Applied *before* hashing: otherwise two ``REPRO_ENGINE`` sessions would
+    share one store entry and a future non-bit-parity backend could serve
+    another backend's numbers.  Non-comparison specs (whose engines are
+    validated fields) and explicitly pinned specs pass through unchanged.
+    """
+    if spec.kind == ComparisonScenario.kind and spec.engine is None:
+        return dataclasses.replace(spec, engine=default_engine_name())
+    return spec
+
+
 def run_scenario(
     scenario: str | ScenarioSpec,
     workers: int = 1,
@@ -365,13 +409,7 @@ def run_scenario(
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if workers < 1:
         raise ExperimentError(f"need at least one worker, got {workers}")
-    if spec.kind == ComparisonScenario.kind and spec.engine is None:
-        # Pin the env-resolved default backend into the spec *before* hashing:
-        # otherwise two REPRO_ENGINE sessions would share one store entry and
-        # a future non-bit-parity backend could serve another backend's
-        # numbers.  The returned run (and the stored artifact) carry the
-        # backend that actually executed.
-        spec = dataclasses.replace(spec, engine=default_engine_name())
+    spec = resolve_spec_engine(spec)
     key = spec_key(spec)
     if store is not None and not force:
         document = store.load(spec)
@@ -395,7 +433,7 @@ def run_scenario(
             # Executor.map returns results in submission (= plan/merge) order
             # no matter which worker finishes first.
             outcomes = list(pool.map(execute_task, tasks))
-    payload = _MERGERS[spec.kind](spec, outcomes)
+    payload = merge_outcomes(spec, outcomes)
     elapsed = time.perf_counter() - started
     store_path = None
     if store is not None:

@@ -116,12 +116,18 @@ class ArtifactStore:
         return path
 
     def entries(self) -> list[dict]:
-        """Summaries (name, kind, key, meta) of every stored artifact."""
+        """Summaries (name, kind, key, meta, size, mtime) of every artifact.
+
+        ``size_bytes`` and ``modified`` (epoch seconds) come from the
+        filesystem, so housekeeping (``python -m repro store ls`` / ``gc``)
+        works without parsing payloads; unreadable files are skipped.
+        """
         if not self.root.exists():
             return []
         summaries = []
         for path in sorted(self.root.glob("*.json")):
             try:
+                stat = path.stat()
                 document = json.loads(path.read_text(encoding="utf-8"))
             except (OSError, json.JSONDecodeError):
                 continue
@@ -132,9 +138,49 @@ class ArtifactStore:
                     "key": document.get("key"),
                     "meta": document.get("meta", {}),
                     "path": str(path),
+                    "size_bytes": stat.st_size,
+                    "modified": stat.st_mtime,
                 }
             )
         return summaries
+
+    def latest_index(self) -> dict[str, dict]:
+        """Scenario name → its most recently written entry.
+
+        The content-addressed layout keeps every historical key of a scenario
+        (each spec change writes a new file); this view answers "what is the
+        current result for NAME" by modification time.
+        """
+        index: dict[str, dict] = {}
+        for entry in self.entries():
+            name = entry["name"]
+            current = index.get(name)
+            if current is None or entry["modified"] > current["modified"]:
+                index[name] = entry
+        return index
+
+    def gc(self, keep_latest: int = 1) -> list[dict]:
+        """Delete superseded artifacts, keeping each scenario's newest entries.
+
+        For every scenario name, the ``keep_latest`` most recently modified
+        files survive; older keys (stale spec versions that will never be
+        looked up again) are removed.  Returns the deleted entries so callers
+        can report reclaimed space.  Files that vanish mid-walk (a concurrent
+        gc) are counted as already collected.
+        """
+        if keep_latest < 1:
+            raise ValueError(f"gc must keep at least one entry per name, got {keep_latest}")
+        by_name: dict[str, list[dict]] = {}
+        for entry in self.entries():
+            by_name.setdefault(entry["name"], []).append(entry)
+        deleted = []
+        for entries in by_name.values():
+            entries.sort(key=lambda entry: entry["modified"], reverse=True)
+            for entry in entries[keep_latest:]:
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(entry["path"])
+                    deleted.append(entry)
+        return deleted
 
 
 def _jsonified_spec(spec: ScenarioSpec) -> dict:

@@ -50,6 +50,8 @@ from repro.scheduling.schedule import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SPEC_VERSION",
+    "SUPPORTED_SPEC_VERSIONS",
     "ComparisonCase",
     "ScenarioSpec",
     "ComparisonScenario",
@@ -57,12 +59,26 @@ __all__ = [
     "FigureScenario",
     "schedule_from_spec",
     "spec_dict",
+    "spec_from_dict",
     "spec_key",
 ]
 
 #: Bumped whenever the serialised spec layout changes incompatibly; part of
 #: the content hash, so old artifact-store entries invalidate themselves.
 SCHEMA_VERSION = 1
+
+#: Version of the *wire format* :func:`spec_dict` speaks — the JSON shape
+#: the serving layer (:mod:`repro.serve`) accepts on ``POST /v1/run``.
+#: Unlike :data:`SCHEMA_VERSION` it is **not** part of the content hash:
+#: version 1 payloads omit the ``spec_version`` field entirely (absent
+#: implies 1, and every pre-existing ``results/store/`` hash stays valid),
+#: and :func:`spec_from_dict` tolerates an explicit ``spec_version: 1``.
+#: A future incompatible wire layout bumps this constant, starts emitting
+#: the field, and teaches the reader the new shape.
+SPEC_VERSION = 1
+
+#: Wire-format versions :func:`spec_from_dict` can read.
+SUPPORTED_SPEC_VERSIONS = (1,)
 
 #: Attackers a :class:`CaseStudyScenario` can name, per engine family.
 CASE_STUDY_ATTACKERS = ("proxy", "exact", "expectation-grid")
@@ -314,11 +330,110 @@ class FigureScenario(ScenarioSpec):
 
 
 def spec_dict(spec: ScenarioSpec) -> dict:
-    """Serialise a spec to plain JSON types (the store's canonical form)."""
+    """Serialise a spec to plain JSON types (the store's canonical form).
+
+    This is also the wire format the serving layer speaks; see
+    :data:`SPEC_VERSION` for how the format is versioned without
+    invalidating stored content hashes, and :func:`spec_from_dict` for the
+    tolerant reader.
+    """
     payload = dataclasses.asdict(spec)
     payload["kind"] = spec.kind
     payload["schema"] = SCHEMA_VERSION
+    if SPEC_VERSION != 1:
+        # v1 is implied by absence so v1 hashes never change; only later
+        # wire versions mark themselves explicitly.
+        payload["spec_version"] = SPEC_VERSION
     return payload
+
+
+#: Scenario kinds the tolerant reader can reconstruct.
+_SPEC_KINDS: dict[str, type[ScenarioSpec]] = {
+    ComparisonScenario.kind: ComparisonScenario,
+    CaseStudyScenario.kind: CaseStudyScenario,
+    FigureScenario.kind: FigureScenario,
+}
+
+#: Tuple-valued fields that JSON round-trips as lists.
+_TUPLE_FIELDS = {
+    "tags",
+    "schedules",
+    "lengths",
+    "attacked_indices",
+    "expectation_grid",
+    "cases",
+}
+
+
+def _tuplify(name: str, value):
+    if value is None or name not in _TUPLE_FIELDS:
+        return value
+    return tuple(value)
+
+
+def _case_from_dict(payload: dict) -> ComparisonCase:
+    if not isinstance(payload, dict):
+        raise ExperimentError(f"a comparison case must be an object, got {type(payload).__name__}")
+    fields = {field.name for field in dataclasses.fields(ComparisonCase)}
+    unknown = sorted(set(payload) - fields)
+    if unknown:
+        raise ExperimentError(f"comparison case carries unknown fields: {', '.join(unknown)}")
+    return ComparisonCase(**{name: _tuplify(name, value) for name, value in payload.items()})
+
+
+def spec_from_dict(payload: dict) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from its :func:`spec_dict` form.
+
+    The tolerant reader behind the serving layer's wire format:
+
+    * ``spec_version`` may be absent (implies version 1) or any member of
+      :data:`SUPPORTED_SPEC_VERSIONS`; anything else is rejected with the
+      supported list, so an old server fails loudly on a future client.
+    * ``schema`` and ``kind`` bookkeeping keys are honoured, list-valued
+      fields come back as the tuples the frozen dataclasses expect, and the
+      dataclass validation (``__post_init__``) runs eagerly — a malformed
+      spec never reaches an engine.
+    * Unknown fields are rejected by name (a typo diagnosis, not a silent
+      drop).
+
+    Round-trip guarantee: ``spec_from_dict(spec_dict(spec)) == spec`` (and
+    therefore shares its :func:`spec_key`) for every registered scenario.
+    """
+    if not isinstance(payload, dict):
+        raise ExperimentError(f"a scenario spec must be a JSON object, got {type(payload).__name__}")
+    payload = dict(payload)
+    version = payload.pop("spec_version", 1)
+    if version not in SUPPORTED_SPEC_VERSIONS:
+        raise ExperimentError(
+            f"unsupported spec_version {version!r}; this build reads versions "
+            f"{', '.join(str(v) for v in SUPPORTED_SPEC_VERSIONS)} "
+            "(absent means 1)"
+        )
+    schema = payload.pop("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"unsupported spec schema {schema!r}; this build speaks schema {SCHEMA_VERSION}"
+        )
+    kind = payload.pop("kind", None)
+    cls = _SPEC_KINDS.get(kind)
+    if cls is None:
+        raise ExperimentError(
+            f"unknown scenario kind {kind!r}; expected one of {sorted(_SPEC_KINDS)}"
+        )
+    fields = {field.name for field in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - fields)
+    if unknown:
+        raise ExperimentError(
+            f"{kind} spec carries unknown fields: {', '.join(unknown)}"
+        )
+    values = {name: _tuplify(name, value) for name, value in payload.items()}
+    if cls is ComparisonScenario and "cases" in values:
+        values["cases"] = tuple(_case_from_dict(case) for case in values["cases"])
+    if cls is CaseStudyScenario and isinstance(values.get("attacked_sensor"), float):
+        # JSON has one number type; an integral sensor index survives the trip.
+        if values["attacked_sensor"].is_integer():
+            values["attacked_sensor"] = int(values["attacked_sensor"])
+    return cls(**values)
 
 
 def spec_key(spec: ScenarioSpec) -> str:

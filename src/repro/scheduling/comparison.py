@@ -18,7 +18,8 @@ Two estimators are provided:
   10⁵+ trials) or ``engine="scalar"``, with the attacker chosen by spec
   (``attack="stretch"`` or the exact ``attack="expectation"`` of problem
   (2), vectorized in :mod:`repro.batch.expectation`); the legacy
-  ``method="batch"`` spelling still works but is deprecated.
+  ``method="batch"`` spelling still forwards but is deprecated and will be
+  removed in repro 2.0.
 
 :func:`compare_schedules` runs several schedules on the same configuration
 and returns a :class:`ScheduleComparison` with one row per schedule, which the
@@ -252,8 +253,8 @@ def compare_schedules(
     method:
         ``"exhaustive"`` (paper's method, the default) or ``"monte_carlo"``
         — the scalar estimator variants.  The legacy spelling
-        ``method="batch"`` is deprecated and forwards to
-        ``engine="batch"``.
+        ``method="batch"`` forwards to ``engine="batch"`` with a
+        ``DeprecationWarning`` and will be removed in repro 2.0.
     engine:
         Select a simulation backend by name (``"scalar"``/``"batch"``, or
         any :class:`~repro.engine.base.Engine` instance) and run the
@@ -272,8 +273,9 @@ def compare_schedules(
     """
     if method == "batch":
         warnings.warn(
-            "compare_schedules(method='batch') is deprecated; use engine='batch' "
-            "(the call is forwarded through the repro.engine registry)",
+            "compare_schedules(method='batch') is deprecated and will be removed in "
+            "repro 2.0; use engine='batch' (the call is forwarded through the "
+            "repro.engine registry)",
             DeprecationWarning,
             stacklevel=2,
         )

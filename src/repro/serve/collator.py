@@ -1,0 +1,192 @@
+"""Dynamic micro-batching of comparison work onto shared engine passes.
+
+The serving layer's throughput comes from one observation: the packed
+:meth:`repro.engine.base.Engine.run_many` seam makes ``k`` same-plan
+requests cost roughly one engine invocation, and the bit-identity contract
+of that seam means coalescing is *invisible* in the payloads.  The
+:class:`BatchCollator` is the piece that finds the ``k``: every comparison
+shard submitted to the service lands here keyed by its *plan* — engine
+backend, comparison configuration, attack spec, fault model and schedule,
+everything except the per-request ``(samples, rng)`` pair — and submissions
+sharing a plan key within a ``max_wait_ms`` window (or until ``max_batch``
+of them pile up) fuse into a single ``run_many`` call on a worker thread.
+
+The waiting window is the classic dynamic-batching trade: a few
+milliseconds of added latency on the first request of a burst buys
+near-linear throughput scaling when many clients ask for the same physics
+(the common case for a fusion service sitting behind a dashboard or a
+parameter sweep).  ``benchmarks/bench_serve.py`` gates the win at ≥3x for
+64 concurrent same-plan clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ExperimentError
+from repro.engine import get_engine
+from repro.scenarios.spec import ComparisonCase, schedule_from_spec
+
+__all__ = ["BatchCollator", "plan_key"]
+
+
+def plan_key(engine: str, case: ComparisonCase, schedule: str) -> tuple:
+    """The coalescing key: everything about a shard except ``(samples, rng)``.
+
+    Two submissions with equal plan keys describe the same physics — same
+    backend, sensor lengths, attacker counts, attack spec, fault model and
+    schedule — and may therefore share one packed ``run_many`` pass.  The
+    case ``label`` is deliberately excluded: it names a grid point in
+    reports and has no effect on simulation.
+    """
+    return (
+        engine,
+        tuple(case.lengths),
+        case.fa,
+        case.f,
+        case.attacked_indices,
+        case.attack,
+        case.fault_probability,
+        case.fault_min_offset_widths,
+        case.fault_max_offset_widths,
+        schedule,
+    )
+
+
+@dataclass
+class _PendingBatch:
+    """Submissions accumulated for one plan key, awaiting a flush."""
+
+    engine: str
+    case: ComparisonCase
+    schedule: str
+    budgets: list[int] = field(default_factory=list)
+    rngs: list[np.random.Generator] = field(default_factory=list)
+    futures: list[asyncio.Future] = field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+class BatchCollator:
+    """Coalesce same-plan comparison shards into packed engine passes.
+
+    Single-threaded asyncio discipline: ``submit``/flush bookkeeping runs on
+    the event loop (no locks), only the engine work leaves the loop via
+    :func:`asyncio.to_thread`.  A batch flushes when either ``max_batch``
+    submissions have accumulated or ``max_wait_ms`` has passed since its
+    first submission, whichever comes first; ``max_batch=1`` degenerates to
+    pass-through (no coalescing, no added latency) which is the baseline leg
+    of the serving benchmark.
+    """
+
+    def __init__(
+        self,
+        max_wait_ms: float = 2.0,
+        max_batch: int = 64,
+        executor=None,
+    ) -> None:
+        if max_wait_ms < 0:
+            raise ExperimentError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        if max_batch < 1:
+            raise ExperimentError(f"max_batch must be at least 1, got {max_batch}")
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_batch = int(max_batch)
+        #: Where the blocking engine passes run.  ``None`` uses the loop's
+        #: default executor; the service installs a dedicated pool so engine
+        #: work can never be starved by (or starve) other ``to_thread``
+        #: users sharing the loop.
+        self.executor = executor
+        self._pending: dict[tuple, _PendingBatch] = {}
+        #: Submissions accepted (one per shard×schedule awaited on us).
+        self.requests = 0
+        #: Packed engine passes dispatched; ``requests - batches`` is the
+        #: number of engine invocations coalescing saved.
+        self.batches = 0
+        #: Largest batch dispatched so far.
+        self.max_batch_observed = 0
+
+    async def submit(
+        self,
+        engine: str,
+        case: ComparisonCase,
+        schedule: str,
+        samples: int,
+        rng: np.random.Generator,
+    ):
+        """Queue one ``(samples, rng)`` unit of ``plan_key(engine, case,
+        schedule)`` work; resolves to its :class:`~repro.engine.base.RoundsResult`.
+
+        The result is bit-identical to
+        ``get_engine(engine).run_rounds(case..., samples, rng)`` no matter
+        how many other submissions share the pass (the ``run_many``
+        contract).
+        """
+        loop = asyncio.get_running_loop()
+        key = plan_key(engine, case, schedule)
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = _PendingBatch(engine=engine, case=case, schedule=schedule)
+            self._pending[key] = pending
+            if self.max_batch > 1 and self.max_wait_ms > 0:
+                pending.timer = loop.call_later(
+                    self.max_wait_ms / 1000.0, self._flush, key
+                )
+        future: asyncio.Future = loop.create_future()
+        pending.budgets.append(int(samples))
+        pending.rngs.append(rng)
+        pending.futures.append(future)
+        self.requests += 1
+        if len(pending.budgets) >= self.max_batch or pending.timer is None:
+            self._flush(key)
+        return await future
+
+    def _flush(self, key: tuple) -> None:
+        """Detach the pending batch for ``key`` and dispatch it."""
+        pending = self._pending.pop(key, None)
+        if pending is None:  # raced with a max_batch flush; timer fired late
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.batches += 1
+        self.max_batch_observed = max(self.max_batch_observed, len(pending.budgets))
+        asyncio.get_running_loop().create_task(self._run_batch(pending))
+
+    async def _run_batch(self, pending: _PendingBatch) -> None:
+        try:
+            results = await asyncio.get_running_loop().run_in_executor(
+                self.executor, self._simulate, pending
+            )
+        except BaseException as error:  # noqa: BLE001 — every waiter must learn of it
+            for future in pending.futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(pending.futures, results):
+            if not future.done():  # a waiter may have been cancelled meanwhile
+                future.set_result(result)
+
+    @staticmethod
+    def _simulate(pending: _PendingBatch):
+        """The blocking engine pass (runs on a worker thread)."""
+        engine = get_engine(pending.engine)
+        return engine.run_many(
+            pending.case.comparison_config(),
+            schedule_from_spec(pending.schedule),
+            pending.case.attack,
+            pending.case.faults(),
+            budgets=pending.budgets,
+            rngs=pending.rngs,
+        )
+
+    def stats(self) -> dict:
+        """Counters for ``/v1/metrics`` and the coalescing assertions in tests."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced": self.requests - self.batches,
+            "max_batch_observed": self.max_batch_observed,
+            "max_wait_ms": self.max_wait_ms,
+            "max_batch": self.max_batch,
+        }

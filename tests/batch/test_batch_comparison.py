@@ -38,7 +38,8 @@ def test_rows_are_schedule_comparison_compatible():
 
 
 def test_compare_schedules_method_batch_dispatches_with_deprecation():
-    with pytest.warns(DeprecationWarning, match="engine='batch'"):
+    # The warning must name both the replacement and the removal version.
+    with pytest.warns(DeprecationWarning, match=r"removed in repro 2\.0.*engine='batch'"):
         comparison = compare_schedules(
             CONFIG, [AscendingSchedule(), DescendingSchedule()], method="batch", samples=2_000
         )

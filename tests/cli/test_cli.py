@@ -187,3 +187,70 @@ class TestSubprocessSmoke:
         assert third["cached"] is True
         assert third["payload"] == first["payload"]
         assert (tmp_path / f"{first['key']}.json").exists()
+
+
+class TestStoreCommand:
+    """`python -m repro store ls|gc` — artifact-store housekeeping."""
+
+    def populate(self, tmp_path, capsys):
+        """Two keys for table1-smoke (batch + scalar engines) in one store."""
+        store = str(tmp_path / "store")
+        run_cli("run", "table1-smoke", "--store", store, "--json", capsys=capsys)
+        run_cli(
+            "run", "table1-smoke", "--engine", "scalar", "--store", store,
+            "--json", capsys=capsys,
+        )
+        return store
+
+    def test_ls_reports_latest_per_name(self, capsys, tmp_path):
+        store = self.populate(tmp_path, capsys)
+        code, out, _ = run_cli("store", "ls", "--store", store, "--json", capsys=capsys)
+        assert code == 0
+        listing = json.loads(out)
+        assert listing["artifacts"] == 2
+        (entry,) = listing["latest"]
+        assert entry["name"] == "table1-smoke"
+        assert entry["size_bytes"] > 0
+
+    def test_ls_table_output(self, capsys, tmp_path):
+        store = self.populate(tmp_path, capsys)
+        code, out, _ = run_cli("store", "ls", "--store", store, capsys=capsys)
+        assert code == 0
+        assert "table1-smoke" in out
+        assert "2 artifact(s), 1 scenario name(s)" in out
+
+    def test_gc_removes_superseded_keys(self, capsys, tmp_path):
+        store = self.populate(tmp_path, capsys)
+        code, out, _ = run_cli("store", "gc", "--store", store, "--json", capsys=capsys)
+        assert code == 0
+        report = json.loads(out)
+        assert len(report["deleted"]) == 1
+        assert report["reclaimed_bytes"] > 0
+        # The surviving artifact still answers; the collected one is gone.
+        code, out, _ = run_cli("store", "ls", "--store", store, "--json", capsys=capsys)
+        assert json.loads(out)["artifacts"] == 1
+
+    def test_gc_keep_latest_validation(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            "store", "gc", "--store", str(tmp_path), "--keep-latest", "0", capsys=capsys
+        )
+        assert code == 1
+        assert "--keep-latest" in err
+
+    def test_gc_empty_store_reports_nothing_to_do(self, capsys, tmp_path):
+        code, out, _ = run_cli("store", "gc", "--store", str(tmp_path), capsys=capsys)
+        assert code == 0
+        assert "removed 0 artifact(s)" in out
+
+
+class TestServeParser:
+    def test_serve_flags_parse_with_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8014)
+        assert (args.max_wait_ms, args.max_batch) == (2.0, 64)
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-wait-ms", "5", "--max-batch", "8"]
+        )
+        assert (args.port, args.max_wait_ms, args.max_batch) == (0, 5.0, 8)

@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -130,9 +131,68 @@ class TestEntriesAndDefaults:
         names = {entry["name"] for entry in store.entries()}
         assert names == {"store-test", "store-test-2"}
 
+    def test_entries_carry_filesystem_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.save(spec(), {"kind": "comparison"})
+        (entry,) = store.entries()
+        assert entry["size_bytes"] == path.stat().st_size > 0
+        assert entry["modified"] == path.stat().st_mtime
+        assert entry["path"] == str(path)
+
     def test_default_store_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env-store"))
         assert default_store().root == tmp_path / "env-store"
         assert default_store(tmp_path / "explicit").root == tmp_path / "explicit"
         monkeypatch.delenv(STORE_ENV_VAR)
         assert str(default_store().root).endswith("results/store")
+
+
+class TestHousekeeping:
+    """latest_index and gc: the ``python -m repro store`` primitives."""
+
+    def populate(self, tmp_path):
+        """Three keys for 'store-test' (increasing mtimes) plus one other name."""
+        store = ArtifactStore(tmp_path)
+        paths = [
+            store.save(spec(samples=samples), {"kind": "comparison"})
+            for samples in (10, 20, 30)
+        ]
+        other = store.save(spec(name="store-test-2"), {"kind": "comparison"})
+        # Deterministic mtime ordering regardless of filesystem resolution.
+        for age, path in enumerate([other, *paths]):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        return store, paths, other
+
+    def test_latest_index_picks_newest_per_name(self, tmp_path):
+        store, paths, other = self.populate(tmp_path)
+        index = store.latest_index()
+        assert set(index) == {"store-test", "store-test-2"}
+        assert index["store-test"]["key"] == spec_key(spec(samples=30))
+        assert index["store-test"]["path"] == str(paths[-1])
+        assert index["store-test-2"]["path"] == str(other)
+
+    def test_gc_keeps_newest_and_returns_deleted(self, tmp_path):
+        store, paths, other = self.populate(tmp_path)
+        deleted = store.gc(keep_latest=1)
+        assert {entry["key"] for entry in deleted} == {
+            spec_key(spec(samples=10)),
+            spec_key(spec(samples=20)),
+        }
+        assert [path.exists() for path in paths] == [False, False, True]
+        assert other.exists()  # sole key of its name: always kept
+        # gc never invalidates the surviving result.
+        assert store.load(spec(samples=30)) is not None
+        assert store.gc(keep_latest=1) == []  # idempotent
+
+    def test_gc_keep_latest_two(self, tmp_path):
+        store, paths, _ = self.populate(tmp_path)
+        deleted = store.gc(keep_latest=2)
+        assert [entry["key"] for entry in deleted] == [spec_key(spec(samples=10))]
+        assert [path.exists() for path in paths] == [False, True, True]
+
+    def test_gc_rejects_keeping_nothing(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path).gc(keep_latest=0)
+
+    def test_gc_on_missing_root_is_a_no_op(self, tmp_path):
+        assert ArtifactStore(tmp_path / "never-created").gc() == []

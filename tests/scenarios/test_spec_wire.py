@@ -1,0 +1,121 @@
+"""The versioned spec wire format: spec_dict ⇄ spec_from_dict.
+
+``spec_dict`` doubles as the artifact store's canonical form *and* the
+serving layer's wire format, so these tests pin two properties at once:
+the JSON round trip reconstructs every registered scenario exactly (same
+dataclass, same content hash), and versioning is tolerant in precisely the
+documented way — absent ``spec_version`` means 1, v1 documents never carry
+the field (store hashes stay valid), unsupported versions fail loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ExperimentError
+from repro.scenarios import available_scenarios, get_scenario
+from repro.scenarios.spec import (
+    SCHEMA_VERSION,
+    SPEC_VERSION,
+    SUPPORTED_SPEC_VERSIONS,
+    CaseStudyScenario,
+    ComparisonScenario,
+    spec_dict,
+    spec_from_dict,
+    spec_key,
+)
+
+
+def wire(spec):
+    """The payload exactly as it arrives over HTTP: through JSON bytes."""
+    return json.loads(json.dumps(spec_dict(spec)))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    def test_every_registered_scenario_round_trips(self, name):
+        spec = get_scenario(name)
+        rebuilt = spec_from_dict(wire(spec))
+        assert rebuilt == spec
+        assert type(rebuilt) is type(spec)
+        assert spec_key(rebuilt) == spec_key(spec)
+
+    def test_tuple_fields_come_back_as_tuples(self):
+        rebuilt = spec_from_dict(wire(get_scenario("table1-smoke")))
+        assert isinstance(rebuilt, ComparisonScenario)
+        assert isinstance(rebuilt.tags, tuple)
+        assert isinstance(rebuilt.cases, tuple)
+        assert isinstance(rebuilt.cases[0].lengths, tuple)
+        assert isinstance(rebuilt.cases[0].schedules, tuple)
+
+    def test_integral_attacked_sensor_survives_json(self):
+        spec = get_scenario("table2-proxy")
+        payload = wire(spec)
+        if isinstance(payload.get("attacked_sensor"), (int, float)):
+            payload["attacked_sensor"] = float(payload["attacked_sensor"])
+            rebuilt = spec_from_dict(payload)
+            assert isinstance(rebuilt, CaseStudyScenario)
+            assert rebuilt.attacked_sensor == spec.attacked_sensor
+
+
+class TestVersioning:
+    def test_v1_documents_omit_spec_version(self):
+        # The store-hash compatibility guarantee: while SPEC_VERSION == 1,
+        # serialised specs are byte-for-byte what they were before the wire
+        # format was versioned at all.
+        assert SPEC_VERSION == 1
+        payload = spec_dict(get_scenario("table1-smoke"))
+        assert "spec_version" not in payload
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_absent_spec_version_implies_one(self):
+        spec = get_scenario("table1-smoke")
+        assert spec_from_dict(wire(spec)) == spec
+
+    def test_explicit_version_one_is_tolerated(self):
+        spec = get_scenario("table1-smoke")
+        assert spec_from_dict({**wire(spec), "spec_version": 1}) == spec
+
+    @pytest.mark.parametrize("version", [0, 2, "one", None])
+    def test_unsupported_versions_rejected_with_supported_list(self, version):
+        payload = {**wire(get_scenario("table1-smoke")), "spec_version": version}
+        with pytest.raises(ExperimentError, match="unsupported spec_version"):
+            spec_from_dict(payload)
+        assert 1 in SUPPORTED_SPEC_VERSIONS
+
+    def test_wrong_schema_rejected(self):
+        payload = {**wire(get_scenario("table1-smoke")), "schema": 999}
+        with pytest.raises(ExperimentError, match="schema"):
+            spec_from_dict(payload)
+
+
+class TestRejection:
+    def test_non_object_payload(self):
+        with pytest.raises(ExperimentError, match="JSON object"):
+            spec_from_dict(["not", "a", "spec"])
+
+    def test_unknown_kind(self):
+        with pytest.raises(ExperimentError, match="unknown scenario kind"):
+            spec_from_dict({"kind": "mystery", "name": "x"})
+
+    def test_unknown_fields_named_in_the_error(self):
+        payload = {**wire(get_scenario("table1-smoke")), "bogus_knob": 3}
+        with pytest.raises(ExperimentError, match="bogus_knob"):
+            spec_from_dict(payload)
+
+    def test_unknown_case_fields_named_in_the_error(self):
+        payload = wire(get_scenario("table1-smoke"))
+        payload["cases"][0]["bogus_case_knob"] = 3
+        with pytest.raises(ExperimentError, match="bogus_case_knob"):
+            spec_from_dict(payload)
+
+    def test_malformed_case_shape(self):
+        payload = wire(get_scenario("table1-smoke"))
+        payload["cases"] = ["not-an-object"]
+        with pytest.raises(ExperimentError, match="comparison case"):
+            spec_from_dict(payload)
+
+    def test_dataclass_validation_still_runs(self):
+        payload = {**wire(get_scenario("table1-smoke")), "samples": -5}
+        with pytest.raises(ExperimentError, match="samples"):
+            spec_from_dict(payload)

@@ -1,0 +1,197 @@
+"""End-to-end serving: a live in-process HTTP server vs the CLI's artifacts.
+
+The serving tentpole's acceptance test: start the real asyncio server on a
+free port, fire concurrent identical *and* distinct spec requests at it from
+client threads, and assert
+
+* every served payload is **bit-identical** to the artifact that
+  ``python -m repro run`` (the in-process CLI ``main``) writes for the same
+  spec,
+* identical concurrent requests share one engine execution (the service
+  dedup counter) and same-plan work coalesces (the collator counter),
+* the introspection routes and error mapping behave.
+"""
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.runner import ArtifactStore
+from repro.scenarios import register_scenario
+from repro.scenarios.registry import _SCENARIOS
+from repro.scenarios.spec import ComparisonCase, ComparisonScenario, spec_dict
+from repro.serve import FusionServer, FusionService
+
+CASES = (ComparisonCase(label="case", lengths=(2.0, 3.0, 4.0), fa=1),)
+
+SPEC_A = ComparisonScenario(
+    name="serve-e2e-a", cases=CASES, samples=120, shard_samples=40, engine="batch"
+)
+SPEC_B = ComparisonScenario(
+    name="serve-e2e-b", cases=CASES, samples=90, shard_samples=30, engine="batch", seed=7
+)
+
+
+class ServerThread:
+    """Run a FusionServer on its own event loop in a daemon thread."""
+
+    def __init__(self, service: FusionService) -> None:
+        self.service = service
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.server: FusionServer | None = None
+
+    async def _start(self) -> FusionServer:
+        server = FusionServer(self.service, port=0)
+        await server.start()
+        return server
+
+    def __enter__(self) -> "ServerThread":
+        self.thread.start()
+        self.server = asyncio.run_coroutine_threadsafe(self._start(), self.loop).result(10)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.aclose(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+        self.service.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def request(self, method: str, path: str, body: dict | None = None):
+        conn = HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            payload = None if body is None else json.dumps(body)
+            conn.request(method, path, payload, {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+
+@pytest.fixture
+def registered_specs():
+    for spec in (SPEC_A, SPEC_B):
+        register_scenario(spec, replace=True)
+    try:
+        yield
+    finally:
+        for spec in (SPEC_A, SPEC_B):
+            _SCENARIOS.pop(spec.name, None)
+
+
+def cli_artifact_payload(spec, store_dir):
+    """What ``python -m repro run NAME`` stores for ``spec`` (the reference)."""
+    code = cli_main(["run", spec.name, "--store", str(store_dir), "--json"])
+    assert code == 0
+    store = ArtifactStore(root=store_dir)
+    document = store.load(spec)
+    assert document is not None
+    return document["payload"]
+
+
+def test_served_payloads_bit_identical_to_cli_artifacts(
+    tmp_path, registered_specs, capsys
+):
+    cli_store = tmp_path / "cli-store"
+    reference_a = cli_artifact_payload(SPEC_A, cli_store)
+    reference_b = cli_artifact_payload(SPEC_B, cli_store)
+    capsys.readouterr()  # swallow the CLI's table output
+
+    service = FusionService(
+        store=ArtifactStore(root=tmp_path / "serve-store"), max_wait_ms=25.0, max_batch=32
+    )
+    with ServerThread(service) as server:
+        requests = (
+            [("POST", "/v1/run", {"spec": spec_dict(SPEC_A)})] * 6
+            + [("POST", "/v1/run", {"scenario": SPEC_B.name})] * 3
+        )
+        with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+            outcomes = list(pool.map(lambda req: server.request(*req), requests))
+
+        statuses = [status for status, _ in outcomes]
+        assert statuses == [200] * len(requests)
+        bodies = [body for _, body in outcomes]
+        for body in bodies[:6]:
+            assert json.dumps(body["payload"], sort_keys=True) == json.dumps(
+                reference_a, sort_keys=True
+            )
+        for body in bodies[6:]:
+            assert json.dumps(body["payload"], sort_keys=True) == json.dumps(
+                reference_b, sort_keys=True
+            )
+
+        # Identical concurrent requests shared one engine execution each:
+        # at most 2 computations happened (one per distinct spec); everyone
+        # else deduplicated or hit the artifact the first writer stored.
+        _, metrics = server.request("GET", "/v1/metrics")
+        computed = metrics["served"] - metrics["cache_hits"] - metrics["deduplicated"]
+        assert computed == 2
+        assert metrics["deduplicated"] + metrics["cache_hits"] == len(requests) - 2
+        # ... and the engine passes themselves coalesced across shards:
+        # 2 computed specs never cost more batches than submissions.
+        assert metrics["collator"]["requests"] == 3 * 2 + 3 * 2
+        assert metrics["collator"]["batches"] < metrics["collator"]["requests"]
+
+        # Served results were persisted: a rerun of the CLI against the
+        # *serve* store is a cache hit with the same bytes.
+        serve_store = ArtifactStore(root=tmp_path / "serve-store")
+        document = serve_store.load(SPEC_A)
+        assert document is not None
+        assert json.dumps(document["payload"], sort_keys=True) == json.dumps(
+            reference_a, sort_keys=True
+        )
+
+
+def test_introspection_and_error_mapping(tmp_path, registered_specs):
+    service = FusionService(store=None)
+    with ServerThread(service) as server:
+        status, health = server.request("GET", "/v1/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert set(health["engines"]) >= {"scalar", "batch", "fused"}
+
+        status, catalogue = server.request("GET", "/v1/scenarios")
+        assert status == 200
+        assert SPEC_A.name in {entry["name"] for entry in catalogue["scenarios"]}
+
+        status, body = server.request("POST", "/v1/run", {"scenario": "no-such"})
+        assert status == 400 and "unknown scenario" in body["error"]
+
+        status, body = server.request("POST", "/v1/run", {"spec": {"kind": "nope"}})
+        assert status == 400 and "kind" in body["error"]
+
+        status, _ = server.request("GET", "/v1/run")
+        assert status == 405
+        status, _ = server.request("GET", "/v1/missing")
+        assert status == 404
+
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/run", "{not json", {"Content-Type": "application/json"})
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+
+def test_keep_alive_serves_sequential_requests_on_one_connection(registered_specs):
+    service = FusionService(store=None)
+    with ServerThread(service) as server:
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/v1/health")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
