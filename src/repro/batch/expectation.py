@@ -146,6 +146,34 @@ def _raw_candidate_bounds(
     return lows, highs
 
 
+def _dedup_candidate_bounds(
+    context: AttackContext, grid_positions: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The deduplicated candidate grid of one context, as bound arrays.
+
+    First-occurrence dedup at 9 decimals, like ``candidates._dedupe``.  The
+    exact-key pre-pass removes the (frequent) bitwise duplicates before
+    paying for Python's decimal rounding; survivors that still collide
+    after rounding are dropped exactly like the scalar dedup.
+    """
+    lows, highs = _raw_candidate_bounds(context, grid_positions)
+    exact_seen: set[tuple[float, float]] = set()
+    seen: set[tuple[float, float]] = set()
+    dedup_lo: list[float] = []
+    dedup_hi: list[float] = []
+    for lo_value, hi_value in zip(lows, highs):
+        exact_key = (lo_value, hi_value)
+        if exact_key in exact_seen:
+            continue
+        exact_seen.add(exact_key)
+        key = (round(lo_value, _DEDUP_PRECISION), round(hi_value, _DEDUP_PRECISION))
+        if key not in seen:
+            seen.add(key)
+            dedup_lo.append(lo_value)
+            dedup_hi.append(hi_value)
+    return np.asarray(dedup_lo), np.asarray(dedup_hi)
+
+
 def _support_value(
     profile, candidate_lo: float, candidate_hi: float, required: int
 ) -> float | None:
@@ -284,6 +312,68 @@ class _PreparedCandidates:
         return Interval(float(self.lo[index]), float(self.hi[index]))
 
 
+def _evaluate_admissibility_group(
+    staged: list[tuple[AttackContext, np.ndarray, np.ndarray, _AdmissibilityTable]],
+    members: list[int],
+    count: int,
+    admissible_out: list[np.ndarray | None],
+    passive_out: list[np.ndarray | None],
+) -> None:
+    """One :meth:`_AdmissibilityTable.evaluate` sweep for many contexts.
+
+    ``members`` index into ``staged`` and share a transmitted-prefix length
+    ``count``, so their candidate grids concatenate into one flat bound
+    array and the per-context scalars (Δ bounds, required support, active
+    availability) broadcast per candidate.  Every comparison runs on the
+    same float values as the per-context calls — element-wise, in the same
+    expressions — so the masks written back are bit-identical to looping
+    ``table.evaluate(lo, hi)`` per context.
+    """
+    tables = [staged[i][3] for i in members]
+    counts = np.asarray([staged[i][1].shape[0] for i in members])
+    lo = np.concatenate([staged[i][1] for i in members])
+    hi = np.concatenate([staged[i][2] for i in members])
+    ctx_idx = np.repeat(np.arange(len(members)), counts)
+    delta_lo = np.asarray([t.delta_lo for t in tables])[ctx_idx]
+    delta_hi = np.asarray([t.delta_hi for t in tables])[ctx_idx]
+    covers_protected = np.ones(lo.shape, dtype=bool)
+    max_protected = max(len(t.protected) for t in tables)
+    if max_protected:
+        protected = np.zeros((len(tables), max_protected))
+        real = np.zeros((len(tables), max_protected), dtype=bool)
+        for row, t in enumerate(tables):
+            protected[row, : len(t.protected)] = t.protected
+            real[row, : len(t.protected)] = True
+        spread = protected[ctx_idx]
+        inside = (lo[:, None] <= spread) & (spread <= hi[:, None])
+        covers_protected = (inside | ~real[ctx_idx]).all(axis=1)
+    passive = (lo <= delta_lo) & (delta_hi <= hi) & covers_protected
+    available = np.asarray([t.available for t in tables], dtype=bool)[ctx_idx]
+    required = np.asarray([t.required for t in tables], dtype=np.int64)[ctx_idx]
+    if count == 0:
+        has_support = required <= 0
+    else:
+        t_lo = np.stack([t.transmitted_lo for t in tables])[ctx_idx]
+        t_hi = np.stack([t.transmitted_hi for t in tables])[ctx_idx]
+        lo_col = lo[:, None]
+        hi_col = hi[:, None]
+        points = np.empty((lo.shape[0], 2 * count + 1))
+        points[:, 0] = lo
+        points[:, 1 : count + 1] = np.minimum(np.maximum(t_lo, lo_col), hi_col)
+        points[:, count + 1 :] = np.minimum(np.maximum(t_hi, lo_col), hi_col)
+        coverage = np.zeros(points.shape, dtype=np.int64)
+        for j in range(count):
+            coverage += (t_lo[:, j : j + 1] <= points) & (points <= t_hi[:, j : j + 1])
+        has_support = (required <= 0) | (coverage >= required[:, None]).any(axis=1)
+    active = available & covers_protected & has_support
+    admissible = passive | active
+    offset = 0
+    for i, rows in zip(members, counts):
+        admissible_out[i] = admissible[offset : offset + rows]
+        passive_out[i] = passive[offset : offset + rows]
+        offset += rows
+
+
 @dataclass
 class VectorizedExpectationPolicy(ExpectationPolicy):
     """Expectation policy with tensor-op candidate scoring (same decisions).
@@ -314,29 +404,67 @@ class VectorizedExpectationPolicy(ExpectationPolicy):
     # ------------------------------------------------------------------
     def _prepare_candidates(self, context: AttackContext) -> _PreparedCandidates:
         """Admissible candidates as arrays; same values/order as the scalar path."""
-        lows, highs = _raw_candidate_bounds(context, self.grid_positions)
-        # First-occurrence dedup at 9 decimals, like candidates._dedupe.  The
-        # exact-key pre-pass removes the (frequent) bitwise duplicates before
-        # paying for Python's decimal rounding; survivors that still collide
-        # after rounding are dropped exactly like the scalar dedup.
-        exact_seen: set[tuple[float, float]] = set()
-        seen: set[tuple[float, float]] = set()
-        dedup_lo: list[float] = []
-        dedup_hi: list[float] = []
-        for lo_value, hi_value in zip(lows, highs):
-            exact_key = (lo_value, hi_value)
-            if exact_key in exact_seen:
-                continue
-            exact_seen.add(exact_key)
-            key = (round(lo_value, _DEDUP_PRECISION), round(hi_value, _DEDUP_PRECISION))
-            if key not in seen:
-                seen.add(key)
-                dedup_lo.append(lo_value)
-                dedup_hi.append(hi_value)
-        lo = np.asarray(dedup_lo)
-        hi = np.asarray(dedup_hi)
+        lo, hi = _dedup_candidate_bounds(context, self.grid_positions)
         table = _AdmissibilityTable(context)
         admissible, passive = table.evaluate(lo, hi)
+        return self._finalize_candidates(context, lo, hi, table, admissible, passive)
+
+    def _prepare_candidates_many(
+        self, contexts: list[AttackContext]
+    ) -> list[_PreparedCandidates]:
+        """Per-context candidate grids with one admissibility sweep per prefix length.
+
+        Candidate enumeration and dedup stay per context (their Python
+        iteration order is bit-significant), but the admissibility masks —
+        the dominant cost of ``fa >= 2`` slots, where every row misses the
+        memo — are evaluated for all contexts sharing a transmitted-prefix
+        length at once (:func:`_evaluate_admissibility_group`).  Returns
+        exactly ``[self._prepare_candidates(ctx) for ctx in contexts]``,
+        grids and masks bit for bit.
+        """
+        if len(contexts) <= 1:
+            return [self._prepare_candidates(ctx) for ctx in contexts]
+        staged = []
+        for ctx in contexts:
+            lo, hi = _dedup_candidate_bounds(ctx, self.grid_positions)
+            staged.append((ctx, lo, hi, _AdmissibilityTable(ctx)))
+        admissible: list[np.ndarray | None] = [None] * len(staged)
+        passive: list[np.ndarray | None] = [None] * len(staged)
+        groups: dict[int, list[int]] = {}
+        for i, (_ctx, _lo, _hi, table) in enumerate(staged):
+            groups.setdefault(int(table.transmitted_lo.shape[0]), []).append(i)
+        for count, members in groups.items():
+            # Chunk each group so the flat candidate matrices stay bounded
+            # (same cap as the fusion sweeps; per-chunk results are the
+            # same element-wise comparisons, so chunking changes nothing).
+            start = 0
+            while start < len(members):
+                stop = start
+                rows = 0
+                while stop < len(members) and (
+                    stop == start or rows + staged[members[stop]][1].shape[0] <= _FUSE_CHUNK_ROWS
+                ):
+                    rows += staged[members[stop]][1].shape[0]
+                    stop += 1
+                _evaluate_admissibility_group(
+                    staged, members[start:stop], count, admissible, passive
+                )
+                start = stop
+        return [
+            self._finalize_candidates(ctx, lo, hi, table, admissible[i], passive[i])
+            for i, (ctx, lo, hi, table) in enumerate(staged)
+        ]
+
+    def _finalize_candidates(
+        self,
+        context: AttackContext,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        table: _AdmissibilityTable,
+        admissible: np.ndarray,
+        passive: np.ndarray,
+    ) -> _PreparedCandidates:
+        """Fallback ladder + conservative gate over evaluated masks."""
         if not bool(admissible.any()):
             # Same fallback ladder as candidate_intervals: a Δ-centred
             # placement if admissible, else the truthful reading.
@@ -786,6 +914,7 @@ def _decide_batch(
     recursive: list[tuple[int, tuple, _PreparedCandidates, AttackContext]] = []
     pending_keys: set[tuple] = set()
     deferred: list[tuple[int, tuple]] = []
+    staged: list[tuple[int, tuple, AttackContext]] = []
     for index, ctx in enumerate(contexts):
         key = policy._memo_key(ctx)
         cached = policy._cache.get(key)
@@ -807,17 +936,23 @@ def _decide_batch(
             policy._mode_memo[key] = (AttackerMode.PASSIVE, None)
             decisions[index] = decision
             continue
-        prepared = policy._prepare_candidates(ctx)
+        staged.append((index, key, ctx))
+        pending_keys.add(key)
+
+    # Every memo-missing context gets its candidate grid from one batched
+    # admissibility sweep — the per-row preparation used to dominate the
+    # fa >= 2 slots, where each row's context is distinct.  Single-candidate
+    # grids resolve on the spot; same-key followers land in ``deferred`` and
+    # read the stored decision at the end, exactly as a cache hit would.
+    prepared_grids = policy._prepare_candidates_many([ctx for _index, _key, ctx in staged])
+    for (index, key, ctx), prepared in zip(staged, prepared_grids):
         if len(prepared) == 1:
             policy.cache_misses += 1
             decisions[index] = _store_decision(policy, key, prepared, 0)
-            continue
-        if any(ctx.remaining_compromised):
+        elif any(ctx.remaining_compromised):
             recursive.append((index, key, prepared, ctx))
-            pending_keys.add(key)
-            continue
-        pending.append((index, key, prepared, ctx))
-        pending_keys.add(key)
+        else:
+            pending.append((index, key, prepared, ctx))
 
     if recursive:
         # Lockstep the recursive contexts together, one group per

@@ -1,0 +1,34 @@
+"""The njit/prange shim: real numba when present, identity otherwise.
+
+Every kernel module imports ``njit`` and ``prange`` from here instead of
+from numba directly.  When numba is importable (and ``REPRO_NUMBA_PUREPY``
+does not force the fallback) they are the real thing; otherwise ``njit``
+returns its function unchanged and ``prange`` is ``range``, so the exact
+same kernel source runs as ordinary Python — bit-identical, just slow.
+``NUMBA_COMPILED`` records which mode this process got, for skip markers
+and benchmark gates that only make sense under real JIT compilation.
+"""
+
+from __future__ import annotations
+
+from repro.batch.kernels import numba_importable, purepy_forced
+
+__all__ = ["NUMBA_COMPILED", "njit", "prange"]
+
+if numba_importable() and not purepy_forced():
+    from numba import njit, prange
+
+    NUMBA_COMPILED = True
+else:
+    NUMBA_COMPILED = False
+    prange = range
+
+    def njit(*args, **kwargs):
+        """Identity stand-in for ``numba.njit`` (bare and parametrised forms)."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(function):
+            return function
+
+        return decorate

@@ -10,9 +10,11 @@ thin shell over the :mod:`repro.api` facade:
   runner; results land in the content-addressed artifact store, so an
   unchanged spec is a cache hit and reruns are free;
 * ``python -m repro report NAME [...]`` — render a scenario's (cached or
-  freshly computed) payload as tables, plus derived cross-scenario reports
-  such as ``table2-exact-vs-proxy`` (the exact problem (2) attacker versus
-  the vectorized proxy on the Table II case study);
+  freshly computed) payload as tables, plus derived cross-scenario reports:
+  ``table2-exact-vs-proxy`` (the exact problem (2) attacker versus the
+  vectorized proxy on the Table II case study) and ``experiments`` (the
+  whole evaluation backbone from stored artifacts — the source of
+  ``EXPERIMENTS.md``);
 * ``python -m repro serve [--host H] [--port P] [--max-wait-ms W]
   [--max-batch B] [--store DIR]`` — fusion-as-a-service: the asyncio HTTP
   server with dynamic request batching (``docs/SERVING.md``);
@@ -35,6 +37,7 @@ import time
 from typing import Sequence
 
 from repro import api
+from repro.analysis.experiments import TABLE1_CONFIGURATIONS, table1_row_name
 from repro.analysis.report import format_table
 from repro.core.exceptions import ExperimentError
 from repro.runner import ArtifactStore, ScenarioRun, default_store
@@ -46,7 +49,7 @@ from repro.scenarios import (
     spec_key,
 )
 
-__all__ = ["main", "report_table2_exact_vs_proxy"]
+__all__ = ["main", "report_experiments", "report_table2_exact_vs_proxy"]
 
 
 def _render_comparison(payload: dict) -> str:
@@ -255,8 +258,110 @@ def _render_exact_vs_proxy(payload: dict) -> str:
     )
 
 
+#: The backbone of ``EXPERIMENTS.md``: every Table I row under the greedy
+#: stretch attacker, the exact-attacker rerun, and the three Table II legs.
+#: (Figure scenarios are deterministic constructions, not measurements, so
+#: the experiments document leaves them out.)
+EXPERIMENTS_BACKBONE = (
+    *(table1_row_name(index) for index in range(len(TABLE1_CONFIGURATIONS))),
+    "table1-expectation",
+    "table2-proxy",
+    "table2-exact",
+    "table2-scalar",
+)
+
+
+def report_experiments(store: ArtifactStore, workers: int = 1, force: bool = False) -> dict:
+    """The source of ``EXPERIMENTS.md``: every backbone scenario's current artifact.
+
+    For each name in :data:`EXPERIMENTS_BACKBONE` the *newest stored
+    artifact* is used as is, whichever engine produced it — so a
+    ``python -m repro run NAME --engine numba`` (or ``fused``) refresh
+    flows into the regenerated document under its own key with the same
+    payload bytes.  Only scenarios absent from the store are computed, at
+    their registered spec; ``force=True`` recomputes everything.
+    """
+    from pathlib import Path
+
+    latest = {} if force else store.latest_index()
+    sections = []
+    for name in EXPERIMENTS_BACKBONE:
+        document = None
+        entry = latest.get(name)
+        if entry is not None:
+            try:
+                document = json.loads(Path(entry["path"]).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                document = None
+        if document is not None and "payload" in document:
+            meta = document.get("meta", {})
+            sections.append(
+                {
+                    "name": name,
+                    "key": document.get("key"),
+                    "cached": True,
+                    "engine": (document.get("spec") or {}).get("engine") or "default",
+                    "created_at": meta.get("created_at"),
+                    "payload": document["payload"],
+                }
+            )
+        else:
+            run = api.run(get_scenario(name), workers=workers, store=store, force=force)
+            sections.append(
+                {
+                    "name": name,
+                    "key": run.key,
+                    "cached": run.cached,
+                    "engine": run.spec.engine or "default",
+                    "created_at": None,
+                    "payload": run.payload,
+                }
+            )
+    return {"kind": "report", "report": "experiments", "sections": sections}
+
+
+def _render_experiments(payload: dict) -> str:
+    lines = [
+        "# Experiments",
+        "",
+        "Measured results for the paper's evaluation backbone, regenerated",
+        "from the content-addressed artifact store with:",
+        "",
+        "```bash",
+        "python -m repro report experiments > EXPERIMENTS.md",
+        "```",
+        "",
+        "Each section renders the scenario name's *current* stored artifact —",
+        "whichever engine produced it, so `python -m repro run NAME --engine",
+        "fused` (or `numba`, when installed) refreshes a section under a new",
+        "key with bit-identical numbers.  Scenarios missing from the store are",
+        "computed on the spot at their registered spec.  Paper reference",
+        "numbers are quoted in the scenario descriptions (`python -m repro",
+        "list`); `repro.analysis.experiments` is their source of truth.",
+        "",
+        "| scenario | engine | artifact key | computed at |",
+        "|---|---|---|---|",
+    ]
+    for section in payload["sections"]:
+        lines.append(
+            f"| {section['name']} | {section['engine']} | "
+            f"`{(section['key'] or '?')[:12]}` | {section['created_at'] or 'this run'} |"
+        )
+    for section in payload["sections"]:
+        lines += [
+            "",
+            f"## {section['name']}",
+            "",
+            "```",
+            render_payload(section["payload"]).rstrip(),
+            "```",
+        ]
+    return "\n".join(lines)
+
+
 #: Derived cross-scenario reports: name -> (builder, renderer).
 _REPORTS = {
+    "experiments": (report_experiments, _render_experiments),
     "table2-exact-vs-proxy": (report_table2_exact_vs_proxy, _render_exact_vs_proxy),
 }
 

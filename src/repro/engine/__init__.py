@@ -21,6 +21,7 @@ everywhere; the conformance suite in ``tests/engine/`` covers it the
 moment it registers (parametrised over :func:`list_engines`).
 """
 
+from repro.batch.kernels import kernels_available
 from repro.engine.base import (
     DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
@@ -44,6 +45,23 @@ from repro.engine.scalar import ScalarEngine
 register_engine(ScalarEngine.name, ScalarEngine, replace=True)
 register_engine(BatchEngine.name, BatchEngine, replace=True)
 register_engine(FusedEngine.name, FusedEngine, replace=True)
+
+
+def _numba_engine_factory():
+    # Deferred so that merely listing engines never imports numba (JIT
+    # initialisation is expensive); the import happens on first
+    # ``get_engine("numba")``.
+    from repro.engine.numba_engine import NumbaEngine
+
+    return NumbaEngine()
+
+
+# The optional JIT backend registers only when its dependency is importable
+# (or the pure-Python kernel fallback is forced), keeping the engine list
+# honest on stdlib+numpy installs; requesting it anyway raises
+# EngineUnavailableError with an install hint (see repro.engine.base).
+if kernels_available():
+    register_engine("numba", _numba_engine_factory, replace=True)
 
 __all__ = [
     "ENGINE_ENV_VAR",

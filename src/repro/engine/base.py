@@ -44,7 +44,7 @@ from typing import Callable, ClassVar, Sequence, Union
 
 import numpy as np
 
-from repro.core.exceptions import ExperimentError
+from repro.core.exceptions import EngineUnavailableError, ExperimentError
 from repro.scheduling.comparison import (
     ScheduleComparison,
     ScheduleComparisonConfig,
@@ -64,6 +64,7 @@ __all__ = [
     "resolve_attack",
     "RoundsResult",
     "Engine",
+    "OPTIONAL_ENGINE_REQUIREMENTS",
     "register_engine",
     "available_engines",
     "list_engines",
@@ -354,6 +355,40 @@ class Engine(abc.ABC):
 
 _REGISTRY: dict[str, Callable[[], Engine]] = {}
 
+#: Engines the codebase knows about but whose registration is conditional on
+#: an optional dependency.  Requesting one that is not registered raises
+#: :class:`~repro.core.exceptions.EngineUnavailableError` with an install
+#: hint instead of the generic unknown-engine error, so ``--engine numba``
+#: without numba installed fails with a diagnosis, not a typo suggestion.
+OPTIONAL_ENGINE_REQUIREMENTS: dict[str, str] = {"numba": "numba"}
+
+
+def _unknown_engine_error(name: str, env: bool = False) -> ExperimentError:
+    """One consistent error for an engine name the registry cannot resolve.
+
+    Shared by :func:`get_engine` and :func:`default_engine_name` (and thereby
+    the CLI, ``repro.api`` and the scenario runner), so every entry point
+    reports a missing backend the same way: known-but-unavailable optional
+    engines get an install hint, anything else an *unknown engine* message
+    with the registered names and a did-you-mean suggestion.
+    """
+    import difflib
+
+    available = ", ".join(available_engines())
+    prefix = f"{ENGINE_ENV_VAR}={name!r} does not name a registered engine" if env else ""
+    requirement = OPTIONAL_ENGINE_REQUIREMENTS.get(name)
+    if requirement is not None:
+        message = prefix or f"engine {name!r} is not available in this environment"
+        return EngineUnavailableError(
+            f"{message}: it requires the optional dependency {requirement!r} "
+            f"(pip install {requirement}); available engines: {available}"
+        )
+    candidates = set(available_engines()) | set(OPTIONAL_ENGINE_REQUIREMENTS)
+    matches = difflib.get_close_matches(name, sorted(candidates), n=3, cutoff=0.5)
+    hint = f" — did you mean {', '.join(repr(match) for match in matches)}?" if matches else ""
+    message = prefix or f"unknown engine {name!r}"
+    return ExperimentError(f"{message}; available engines: {available}{hint}")
+
 
 def register_engine(name: str, factory: Callable[[], Engine], replace: bool = False) -> None:
     """Register an engine factory under ``name`` (e.g. at import time).
@@ -389,10 +424,7 @@ def default_engine_name() -> str:
     if not name:
         return DEFAULT_ENGINE
     if name not in _REGISTRY:
-        raise ExperimentError(
-            f"{ENGINE_ENV_VAR}={name!r} does not name a registered engine; "
-            f"available: {', '.join(available_engines())}"
-        )
+        raise _unknown_engine_error(name, env=True)
     return name
 
 
@@ -409,7 +441,5 @@ def get_engine(engine: str | Engine | None = None) -> Engine:
         return engine
     factory = _REGISTRY.get(engine)
     if factory is None:
-        raise ExperimentError(
-            f"unknown engine {engine!r}; available: {', '.join(available_engines())}"
-        )
+        raise _unknown_engine_error(engine)
     return factory()

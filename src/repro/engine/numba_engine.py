@@ -1,0 +1,33 @@
+"""The JIT-compiled ``"numba"`` engine: the fused program on numba kernels.
+
+:class:`NumbaEngine` is the batch engine with both drivers swapped for the
+JIT round body in :mod:`repro.batch.kernels` — the same
+:func:`repro.batch.rounds.prepare_rounds` prologue and
+:func:`repro.batch.fused.plan_for` plan resolution as the fused engine, so
+RNG streams, artifact keys aside, and payloads stay bit-identical across
+``"batch"``, ``"fused"`` and ``"numba"`` (the registry-driven conformance
+suite asserts it).
+
+This module imports (and with it, numba when present) only when the engine
+is actually requested: :mod:`repro.engine` registers a factory that defers
+the import, and registers it at all only when
+:func:`repro.batch.kernels.kernels_available` is true.  Importing it by
+hand on a machine without numba still works — the kernels fall back to
+pure Python (bit-identical, just slow).
+"""
+
+from __future__ import annotations
+
+from repro.batch.kernels.rounds import numba_monte_carlo_rounds, numba_rounds_prepared
+from repro.engine.batch import BatchEngine
+
+__all__ = ["NumbaEngine"]
+
+
+class NumbaEngine(BatchEngine):
+    """The vectorized engine driven by the JIT-compiled round kernels."""
+
+    name = "numba"
+
+    _driver = staticmethod(numba_monte_carlo_rounds)
+    _prepared_driver = staticmethod(numba_rounds_prepared)

@@ -266,6 +266,34 @@ def test_vectorized_policy_runs_in_scalar_round():
     assert results[0].fusion == results[1].fusion
 
 
+@given(
+    st.lists(st.floats(min_value=0.2, max_value=9.0), min_size=3, max_size=5),
+    st.booleans(),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_prepare_candidates_many_matches_single(lengths, conservative, seed):
+    """The batched admissibility sweep equals per-context preparation bit for bit."""
+    lengths = tuple(lengths)
+    contexts = [
+        _context_from(lengths, transmitted_count, fa_remaining, seed + offset)
+        for offset, (transmitted_count, fa_remaining) in enumerate(
+            [(0, 0), (1, 1), (2, 0), (1, 0), (2, 1), (0, 1)]
+        )
+        if transmitted_count < len(lengths)
+    ]
+    policy = VectorizedExpectationPolicy(
+        conservative=conservative, tie_break="first", **COARSE
+    )
+    batched = policy._prepare_candidates_many(contexts)
+    for ctx, many in zip(contexts, batched):
+        single = policy._prepare_candidates(ctx)
+        np.testing.assert_array_equal(single.lo, many.lo)
+        np.testing.assert_array_equal(single.hi, many.hi)
+        np.testing.assert_array_equal(single.passive, many.passive)
+        np.testing.assert_array_equal(single.blocked, many.blocked)
+
+
 def test_candidate_parity_check_rejects_mismatch():
     """The parity hook itself notices a divergent enumeration."""
     context = _context_from((5.0, 11.0, 17.0), 1, 0, seed=1)

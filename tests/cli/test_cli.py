@@ -150,6 +150,47 @@ class TestReportCommand:
         assert render_payload({"kind": "mystery", "x": 1}).startswith("{")
 
 
+class TestExperimentsReport:
+    """`python -m repro report experiments` — the EXPERIMENTS.md source."""
+
+    def test_report_computes_missing_then_serves_from_store(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "EXPERIMENTS_BACKBONE", ("table1-smoke",))
+        store = str(tmp_path / "store")
+        code, out, _ = run_cli("report", "experiments", "--store", store, capsys=capsys)
+        assert code == 0
+        assert out.startswith("# Experiments")
+        assert "table1-smoke" in out and "python -m repro report experiments" in out
+        code, out, _ = run_cli("report", "experiments", "--store", store, "--json", capsys=capsys)
+        assert code == 0
+        (section,) = json.loads(out)["sections"]
+        assert section["name"] == "table1-smoke"
+        assert section["cached"] is True  # second pass reads the stored artifact
+
+    def test_engine_refresh_flows_into_the_document(self, capsys, tmp_path, monkeypatch):
+        # A fused-engine (or numba-engine) rerun writes a new key for the
+        # same name; the experiments report must pick up that newest
+        # artifact — same payload bytes, new provenance.
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "EXPERIMENTS_BACKBONE", ("table1-smoke",))
+        store = str(tmp_path / "store")
+        code, out, _ = run_cli("run", "table1-smoke", "--json", "--store", store, capsys=capsys)
+        (batch_run,) = json.loads(out)["results"]
+        code, out, _ = run_cli(
+            "run", "table1-smoke", "--engine", "fused", "--json", "--store", store, capsys=capsys
+        )
+        (fused_run,) = json.loads(out)["results"]
+        assert fused_run["key"] != batch_run["key"]
+        code, out, _ = run_cli("report", "experiments", "--store", store, "--json", capsys=capsys)
+        assert code == 0
+        (section,) = json.loads(out)["sections"]
+        assert section["key"] == fused_run["key"]
+        assert section["engine"] == "fused"
+        assert section["payload"] == batch_run["payload"]
+
+
 class TestSubprocessSmoke:
     def test_python_m_repro_end_to_end(self, tmp_path):
         """The acceptance-criterion flow through a real `python -m repro`."""

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.batch.comparison import compare_schedules_batch
+from repro.batch.kernels import kernels_available
 from repro.core import ExperimentError
+from repro.core.exceptions import EngineUnavailableError
 from repro.engine import (
     BatchEngine,
     Engine,
@@ -31,7 +33,13 @@ CONFIG = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1)
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert available_engines() == ("batch", "fused", "scalar")
+        # The optional "numba" engine registers only when numba is importable
+        # (or REPRO_NUMBA_PUREPY forces the pure-Python kernels); the three
+        # stdlib+numpy backends are always there.
+        names = available_engines()
+        assert {"batch", "fused", "scalar"} <= set(names)
+        assert set(names) <= {"batch", "fused", "numba", "scalar"}
+        assert ("numba" in names) == kernels_available()
 
     def test_list_engines_alias(self):
         from repro.engine import list_engines
@@ -45,6 +53,13 @@ class TestRegistry:
         assert isinstance(get_engine("batch"), BatchEngine)
         assert isinstance(get_engine("fused"), FusedEngine)
 
+    def test_numba_engine_resolves_when_available(self):
+        if not kernels_available():
+            pytest.skip("numba kernels unavailable (no numba, no REPRO_NUMBA_PUREPY)")
+        from repro.engine.numba_engine import NumbaEngine
+
+        assert isinstance(get_engine("numba"), NumbaEngine)
+
     def test_get_engine_passthrough_instance(self):
         engine = BatchEngine()
         assert get_engine(engine) is engine
@@ -52,6 +67,23 @@ class TestRegistry:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ExperimentError, match="unknown engine"):
             get_engine("warp")
+
+    def test_unknown_engine_lists_available_with_did_you_mean(self):
+        # A near-miss typo gets the available list plus a suggestion.
+        with pytest.raises(ExperimentError, match="did you mean 'fused'") as excinfo:
+            get_engine("fussed")
+        assert "available engines: " + ", ".join(available_engines()) in str(excinfo.value)
+
+    def test_unavailable_optional_engine_gets_install_hint(self, monkeypatch):
+        # With numba uninstalled, --engine numba must diagnose the missing
+        # optional dependency (EngineUnavailableError), never an ImportError
+        # traceback and never a did-you-mean typo hint.
+        monkeypatch.delitem(_REGISTRY, "numba", raising=False)
+        with pytest.raises(EngineUnavailableError, match="pip install numba"):
+            get_engine("numba")
+        monkeypatch.setenv(ENGINE_ENV_VAR, "numba")
+        with pytest.raises(EngineUnavailableError, match=ENGINE_ENV_VAR):
+            default_engine_name()
 
     def test_default_is_scalar(self, monkeypatch):
         monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
