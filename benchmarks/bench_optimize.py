@@ -1,0 +1,197 @@
+"""Schedule-search throughput: packed `run_many` evaluation vs the reference loop.
+
+The optimization subsystem's performance claim is that
+:class:`~repro.optimize.ScheduleEvaluator` measures candidates through
+**one** :meth:`~repro.engine.base.Engine.run_many` call per candidate —
+all shards packed into a single engine pass — instead of one
+:meth:`~repro.engine.base.Engine.run_rounds` call per shard.  This
+benchmark measures the profit and gates it:
+
+* **workload** — a 16-sensor configuration with heavy width ties, each
+  candidate measured at 400 rounds split into 80 five-round shards: the
+  many-small-passes regime the anneal/bandit rungs live in, where
+  per-invocation overhead dominates per-round work;
+* **baseline** — the identical measurement (same candidates, same derived
+  streams, bit-identical rows) through the per-shard ``run_rounds``
+  reference loop every backend's ``run_many`` must match;
+* **gate** — packed candidate-evaluations/sec must be at least
+  ``REPRO_BENCH_OPTIMIZE_FLOOR`` (default 5x) the loop's.  Both legs take
+  the best of three repetitions, so a single scheduler hiccup cannot fail
+  the gate on its own.
+
+Besides the human-readable table, the run writes
+``benchmarks/results/bench_optimize.json`` (throughput, speedup, evaluator
+counters per leg) which CI uploads as a workflow artifact.
+"""
+
+import itertools
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.engine import get_engine
+from repro.optimize import EVAL_STREAM, ScheduleEvaluator
+from repro.scenarios.spec import ComparisonCase, OptimizationScenario
+from repro.scheduling import enumerate_schedules
+from repro.scheduling.schedule import FixedSchedule
+from repro.utils.seeding import jumped_rngs
+
+#: Six width-5 and four width-8 sensors collapse most of 16! — the tied
+#: widths are what makes a space this size searchable at all, and the wide
+#: rows make each engine pass expensive relative to its per-shard prologue.
+BENCH_CASE = ComparisonCase(
+    label="bench-n16",
+    lengths=(5.0,) * 6 + (8.0,) * 4 + (11.0, 11.0, 14.0, 17.0, 20.0, 23.0),
+    fa=5,
+    attacked_indices=(0, 6, 10, 12, 15),
+)
+
+SAMPLES = 400
+SHARD_SAMPLES = 5
+REPETITIONS = 3
+
+
+def bench_spec() -> OptimizationScenario:
+    # strategy="anneal" because the space is far above the exhaustive cap;
+    # the strategies share the evaluator, so the choice is cosmetic here.
+    return OptimizationScenario(
+        name="bench-optimize",
+        case=BENCH_CASE,
+        strategy="anneal",
+        engine="batch",
+        samples=SAMPLES,
+        shard_samples=SHARD_SAMPLES,
+    )
+
+
+def candidate_pool(spec: OptimizationScenario, count: int) -> list[tuple[int, ...]]:
+    return list(
+        itertools.islice(
+            enumerate_schedules(spec.case.lengths, spec.case.comparison_config().resolved_attacked),
+            count,
+        )
+    )
+
+
+def run_packed(spec, candidates) -> tuple[float, list[dict], dict]:
+    """One packed leg: a fresh evaluator, one run_many call per candidate."""
+    evaluator = ScheduleEvaluator(spec)
+    start = time.perf_counter()
+    rows = [dict(evaluator.evaluate(candidate, SAMPLES)) for candidate in candidates]
+    return time.perf_counter() - start, rows, evaluator.counters()
+
+
+def run_reference_loop(spec, candidates) -> tuple[float, list[dict]]:
+    """The per-shard run_rounds loop the run_many contract is defined against."""
+    engine = get_engine(spec.engine)
+    config = spec.case.comparison_config()
+    shards = SAMPLES // SHARD_SAMPLES
+    rows = []
+    start = time.perf_counter()
+    for candidate in candidates:
+        schedule = FixedSchedule(candidate)
+        streams = jumped_rngs(spec.seed, shards, EVAL_STREAM, *candidate)
+        width_sum = 0.0
+        valid = 0
+        detected = 0
+        for shard in range(shards):
+            result = engine.run_rounds(
+                config,
+                schedule,
+                spec.case.attack,
+                None,
+                SHARD_SAMPLES,
+                streams[shard],
+            )
+            width_sum += float(result.widths[result.valid].sum())
+            valid += int(np.count_nonzero(result.valid))
+            detected += int(np.count_nonzero(result.attacker_detected))
+        rows.append(
+            {
+                "permutation": list(candidate),
+                "valid": valid,
+                "expected_width": width_sum / valid if valid else float("nan"),
+                "detected_fraction": detected / SAMPLES,
+            }
+        )
+    return time.perf_counter() - start, rows
+
+
+def test_packed_evaluation_speedup(
+    report_writer, json_report_writer, optimize_candidates, optimize_packing_floor
+):
+    """Packed run_many evaluation must clear the candidate-throughput floor."""
+    spec = bench_spec()
+    candidates = candidate_pool(spec, optimize_candidates)
+    shards = SAMPLES // SHARD_SAMPLES
+
+    # Warm both paths once (imports, attack resolution), then race them.
+    run_packed(spec, candidates[:2])
+    run_reference_loop(spec, candidates[:2])
+
+    packed_rows = None
+    counters = None
+    packed_elapsed = float("inf")
+    loop_elapsed = float("inf")
+    for _ in range(REPETITIONS):
+        elapsed, rows, run_counters = run_packed(spec, candidates)
+        if elapsed < packed_elapsed:
+            packed_elapsed, packed_rows, counters = elapsed, rows, run_counters
+        elapsed, loop_rows = run_reference_loop(spec, candidates)
+        loop_elapsed = min(loop_elapsed, elapsed)
+
+    packed_rate = len(candidates) / packed_elapsed
+    loop_rate = len(candidates) / loop_elapsed
+    speedup = packed_rate / loop_rate
+
+    rows = [
+        ["packed run_many", f"{packed_rate:,.1f}", str(len(candidates)), f"{packed_elapsed:.3f}s"],
+        ["per-shard run_rounds", f"{loop_rate:,.1f}", str(len(candidates) * shards), f"{loop_elapsed:.3f}s"],
+    ]
+    report_writer(
+        "bench_optimize",
+        format_table(
+            ["evaluation path", "candidates/s", "engine calls", "best-of-3"],
+            rows,
+            title=(
+                f"Schedule-search evaluation — n=16, {len(candidates)} candidates x "
+                f"{shards} shards of {SHARD_SAMPLES} rounds, speedup {speedup:.2f}x "
+                f"(floor {optimize_packing_floor:g}x)"
+            ),
+        ),
+    )
+    json_report_writer(
+        "bench_optimize",
+        {
+            "case": {"lengths": list(BENCH_CASE.lengths), "fa": BENCH_CASE.fa},
+            "candidates": len(candidates),
+            "samples_per_candidate": SAMPLES,
+            "shard_samples": SHARD_SAMPLES,
+            "floor": optimize_packing_floor,
+            "speedup": speedup,
+            "packed": {
+                "seconds": packed_elapsed,
+                "candidates_per_second": packed_rate,
+                "counters": counters,
+            },
+            "reference_loop": {
+                "seconds": loop_elapsed,
+                "candidates_per_second": loop_rate,
+                "engine_calls": len(candidates) * shards,
+            },
+        },
+    )
+
+    # Assertions come *after* the reports, so a failing run still leaves
+    # the table and the JSON behind for CI to upload and diagnose.
+    for packed_row, loop_row in zip(packed_rows, loop_rows):
+        for field in ("permutation", "valid", "expected_width", "detected_fraction"):
+            assert packed_row[field] == loop_row[field], (
+                "packed evaluation diverged from the per-shard reference loop"
+            )
+    assert counters["engine_passes"] == len(candidates)
+    assert speedup >= optimize_packing_floor, (
+        f"packed evaluation delivers only {speedup:.2f}x the per-shard loop "
+        f"(floor: {optimize_packing_floor}x)"
+    )

@@ -188,6 +188,35 @@ def serve_samples() -> int:
 
 
 @pytest.fixture(scope="session")
+def optimize_packing_floor() -> float:
+    """Required packed-vs-loop candidate-evaluation throughput ratio (default 5x).
+
+    ``REPRO_BENCH_OPTIMIZE_FLOOR`` loosens the gate on noisy shared runners
+    (the CI optimize job does); the reference machine clears 5x on the
+    n=16 tied-width configuration at 80 small shards per candidate.
+    """
+    value = os.environ.get("REPRO_BENCH_OPTIMIZE_FLOOR", "")
+    try:
+        return float(value) if value else 5.0
+    except ValueError:
+        return 5.0
+
+
+@pytest.fixture(scope="session")
+def optimize_candidates() -> int:
+    """Distinct candidate schedules per benchmark leg (default 12, floor 4).
+
+    ``REPRO_BENCH_OPTIMIZE_CANDIDATES`` scales the workload; more candidates
+    stabilise the throughput estimate at the cost of runtime.
+    """
+    value = os.environ.get("REPRO_BENCH_OPTIMIZE_CANDIDATES", "")
+    try:
+        return max(4, int(value)) if value else 12
+    except ValueError:
+        return 12
+
+
+@pytest.fixture(scope="session")
 def report_writer():
     """Write a named report to ``benchmarks/results`` and echo it to stdout."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -12,6 +12,10 @@ callers cannot drift apart:
   sharded runner with content-addressed caching; the workhorse.
 * :func:`compare` — a Table I style schedule comparison on one
   configuration, without declaring a scenario first; the quick look.
+* :func:`optimize` — *search* the schedule space of a configuration
+  (:mod:`repro.optimize`): resolve a scenario name to an
+  :class:`~repro.scenarios.spec.OptimizationScenario`, optionally swap the
+  strategy, and run it through the same cached runner.
 * :func:`case_study` — the Table II closed-loop platoon case study.
 * :func:`serve` — fusion-as-a-service: an asyncio HTTP server with dynamic
   request batching (:mod:`repro.serve`), plus :func:`create_service` /
@@ -36,7 +40,15 @@ from repro.core.exceptions import ExperimentError
 from repro.engine import get_engine
 from repro.engine.base import AttackSpec
 from repro.runner import ArtifactStore, ScenarioRun, default_store, run_scenario
+from repro.scenarios.registry import (
+    available_scenarios,
+    get_scenario,
+    list_scenarios,
+    near_misses,
+)
 from repro.scenarios.spec import (
+    ComparisonScenario,
+    OptimizationScenario,
     ScenarioSpec,
     schedule_from_spec,
 )
@@ -49,6 +61,8 @@ from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
 __all__ = [
     "run",
     "compare",
+    "optimize",
+    "resolve_optimization_scenario",
     "case_study",
     "serve",
     "create_service",
@@ -141,6 +155,104 @@ def compare(
         attack=attack,
         faults=faults,
     )
+
+
+def resolve_optimization_scenario(
+    scenario: str | ScenarioSpec,
+) -> OptimizationScenario:
+    """Resolve what ``optimize`` was asked to search.
+
+    Accepts, in order of preference:
+
+    * an :class:`~repro.scenarios.spec.OptimizationScenario` (name or spec)
+      — used as is;
+    * a name whose ``optimize-`` twin is registered (``"table1-row4"`` →
+      ``"optimize-table1-row4"``), so the paper rows optimize without extra
+      spelling;
+    * a registered *single-case* comparison scenario — an
+      :class:`OptimizationScenario` is derived from its case at the search
+      subsystem's default budgets (the derived spec has its own name and
+      content hash; the comparison artifact is untouched).
+
+    Anything else raises with did-you-mean hints over the names that would
+    have worked.
+    """
+    if isinstance(scenario, OptimizationScenario):
+        return scenario
+    if isinstance(scenario, ScenarioSpec):
+        raise ExperimentError(
+            f"cannot optimize a {scenario.kind!r} spec directly; pass an "
+            "OptimizationScenario (or a registered scenario name)"
+        )
+    name = scenario
+    names = available_scenarios()
+    if name in names and isinstance(get_scenario(name), OptimizationScenario):
+        return get_scenario(name)
+    twin = f"optimize-{name}"
+    if twin in names and isinstance(get_scenario(twin), OptimizationScenario):
+        return get_scenario(twin)
+    if name in names:
+        spec = get_scenario(name)
+        if isinstance(spec, ComparisonScenario) and len(spec.cases) == 1:
+            return OptimizationScenario(
+                name=f"optimize-{spec.name}",
+                description=f"Schedule search derived from scenario {spec.name!r}",
+                engine=spec.engine or "batch",
+                seed=spec.seed,
+                tags=("optimize", "derived"),
+                case=spec.cases[0],
+            )
+        raise ExperimentError(
+            f"scenario {name!r} is kind {spec.kind!r}"
+            + (
+                f" with {len(spec.cases)} cases"
+                if isinstance(spec, ComparisonScenario)
+                else ""
+            )
+            + "; optimize needs an optimization scenario or a single-case "
+            "comparison scenario to derive one from"
+        )
+    searchable = sorted(
+        {spec.name for spec in list_scenarios(kind=OptimizationScenario.kind)}
+        | {
+            spec.name
+            for spec in list_scenarios(kind=ComparisonScenario.kind)
+            if len(spec.cases) == 1
+        }
+    )
+    close = near_misses(name, searchable)
+    hint = f"; did you mean: {', '.join(close)}?" if close else ""
+    raise ExperimentError(
+        f"unknown scenario {name!r}{hint} (searchable scenarios: "
+        "`python -m repro list --kind optimization`, or any single-case "
+        "comparison scenario)"
+    )
+
+
+def optimize(
+    scenario: str | ScenarioSpec,
+    *,
+    strategy: str | None = None,
+    workers: int = 1,
+    store: ArtifactStore | str | Path | None = "default",
+    force: bool = False,
+) -> ScenarioRun:
+    """Search a configuration's schedule space (``python -m repro optimize``).
+
+    Resolves ``scenario`` via :func:`resolve_optimization_scenario`, swaps
+    in ``strategy`` if given (a *new* spec and content hash — strategy is
+    part of a result's identity, exactly like ``--engine`` on :func:`run`),
+    and executes through the cached sharded runner.  The payload reports
+    the best-found schedule against the case's baseline orderings; see
+    ``docs/OPTIMIZATION.md`` for strategy and budget semantics.
+    """
+    import dataclasses
+
+    spec = resolve_optimization_scenario(scenario)
+    if strategy is not None and strategy != spec.strategy:
+        # Validates the strategy name eagerly (did-you-mean on typos).
+        spec = dataclasses.replace(spec, strategy=strategy)
+    return run_scenario(spec, workers=workers, store=resolve_store(store), force=force)
 
 
 def case_study(

@@ -1,6 +1,6 @@
 """``python -m repro`` — the single entry point reproducing the paper.
 
-Five subcommands over the scenario subsystem (``docs/SCENARIOS.md``), each a
+Six subcommands over the scenario subsystem (``docs/SCENARIOS.md``), each a
 thin shell over the :mod:`repro.api` facade:
 
 * ``python -m repro list [--tag TAG] [--kind KIND] [--json]`` — the
@@ -9,6 +9,11 @@ thin shell over the :mod:`repro.api` facade:
   [--store DIR] [--json]`` — run scenarios through the sharded parallel
   runner; results land in the content-addressed artifact store, so an
   unchanged spec is a cache hit and reruns are free;
+* ``python -m repro optimize NAME [--strategy S] [...]`` — schedule search
+  (``docs/OPTIMIZATION.md``): resolve NAME to an optimization scenario
+  (``table1-row4`` finds ``optimize-table1-row4``; single-case comparison
+  scenarios derive one) and report the best-found transmission order
+  against the paper's fixed baselines;
 * ``python -m repro report NAME [...]`` — render a scenario's (cached or
   freshly computed) payload as tables, plus derived cross-scenario reports:
   ``table2-exact-vs-proxy`` (the exact problem (2) attacker versus the
@@ -46,6 +51,7 @@ from repro.scenarios import (
     get_scenario,
     list_scenarios,
     near_misses,
+    spec_dict,
     spec_key,
 )
 
@@ -108,10 +114,64 @@ def _render_figure(payload: dict) -> str:
     return "\n\n".join(blocks) if blocks else json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _render_optimization(payload: dict) -> str:
+    case = payload["case"]
+    title = (
+        f"Schedule search ({payload['strategy']}) — {case['label']}: "
+        f"L={tuple(case['lengths'])}, fa={case['fa']}, f={case['f']}, "
+        f"attack={case['attack']}"
+    )
+    baseline_rows = [
+        [
+            row["schedule_spec"],
+            row["schedule"],
+            f"{row['expected_width']:.4f}",
+            f"{row['detected_fraction']:.4f}",
+        ]
+        for row in payload["baselines"]
+    ]
+    top_rows = [
+        [
+            str(rank + 1),
+            row["schedule"],
+            f"{row['expected_width']:.4f}",
+            f"{row['detected_fraction']:.4f}",
+            str(row["samples"]),
+        ]
+        for rank, row in enumerate(payload["rows"][:10])
+    ]
+    improvement = payload["improvement"]
+    summary = (
+        f"best {payload['best']['schedule']} at width "
+        f"{payload['best']['expected_width']:.4f} — "
+        f"{improvement['width_reduction']:.4f} ({improvement['percent']:.2f}%) below the "
+        f"best baseline {improvement['best_baseline_spec']!r} "
+        f"[{payload['evaluated_candidates']}/{payload['distinct_schedules']} distinct "
+        f"schedules measured at {payload['samples_per_candidate']} samples each]"
+    )
+    return "\n\n".join(
+        [
+            format_table(
+                ["baseline", "canonical", "expected width", "detected"],
+                baseline_rows,
+                title=title,
+            ),
+            format_table(
+                ["rank", "schedule", "expected width", "detected", "samples"],
+                top_rows,
+                title="best candidates"
+                + (" (truncated)" if payload["rows_truncated"] or len(payload["rows"]) > 10 else ""),
+            ),
+            summary,
+        ]
+    )
+
+
 _RENDERERS = {
     "comparison": _render_comparison,
     "case-study": _render_case_study,
     "figure": _render_figure,
+    "optimization": _render_optimization,
 }
 
 
@@ -192,6 +252,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print()
     if args.json:
         print(json.dumps({"results": [_run_dict(run) for run in runs]}, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    store = default_store(args.store)
+    spec = api.resolve_optimization_scenario(args.name)
+    if args.engine is not None:
+        # Like `repro run --engine`: a new spec (and content hash), never an
+        # in-place mutation of the registered one.
+        spec = dataclasses.replace(spec, engine=args.engine)
+    run = api.optimize(
+        spec,
+        strategy=args.strategy,
+        workers=args.workers,
+        store=store,
+        force=args.force,
+    )
+    if args.json:
+        # The full machine-readable round trip: the embedded spec dict feeds
+        # spec_from_dict back to an identical spec (and content key).
+        document = _run_dict(run)
+        document["spec"] = spec_dict(run.spec)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    if run.cached:
+        source = "store (cache hit)"
+    else:
+        source = f"{run.shards} shard(s) on {run.workers} worker(s) in {run.elapsed_seconds:.2f}s"
+    print(f"== {run.spec.name} [{run.key[:12]}] — {source}")
+    print(render_payload(run.payload))
     return 0
 
 
@@ -521,6 +611,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("names", nargs="+", metavar="NAME", help="scenario name(s)")
     add_run_options(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
+
+    optimize_parser = subparsers.add_parser(
+        "optimize",
+        help="search a configuration's schedule space (docs/OPTIMIZATION.md)",
+    )
+    optimize_parser.add_argument(
+        "name",
+        metavar="NAME",
+        help=(
+            "optimization scenario, its short name (table1-row4 finds "
+            "optimize-table1-row4), or a single-case comparison scenario to derive from"
+        ),
+    )
+    optimize_parser.add_argument(
+        "--strategy",
+        help="override the search strategy (exhaustive, anneal, bandit)",
+    )
+    add_run_options(optimize_parser)
+    optimize_parser.set_defaults(handler=_cmd_optimize)
 
     report_parser = subparsers.add_parser(
         "report", help="render a scenario payload or a derived report"

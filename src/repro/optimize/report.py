@@ -1,0 +1,95 @@
+"""Assemble the optimization payload from plan-ordered shard outcomes.
+
+The merge half of the runner's ``optimization`` trio, factored here so the
+runner stays a thin dispatcher.  Everything is plain-JSON arithmetic over
+rows the strategies already measured — a merge never simulates — and the
+result is worker-count invariant because the rows are.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.core.exceptions import ExperimentError
+from repro.optimize.base import best_row, get_optimizer, sort_key
+from repro.optimize.evaluator import baseline_permutations
+from repro.scheduling.enumeration import count_distinct_schedules
+
+if TYPE_CHECKING:
+    from repro.scenarios.spec import OptimizationScenario
+
+__all__ = ["MAX_REPORTED_ROWS", "assemble_payload"]
+
+#: Full-budget rows kept in the payload (sorted best-first).  Exhaustive
+#: sweeps over 8-sensor spaces measure tens of thousands of candidates;
+#: artifacts keep the head of the ranking plus the exact candidate count.
+MAX_REPORTED_ROWS = 50
+
+
+def _sum_counters(outcomes: list[dict]) -> dict:
+    totals: dict[str, int] = {}
+    for outcome in outcomes:
+        for name, value in outcome.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return totals
+
+
+def assemble_payload(spec: "OptimizationScenario", outcomes: list[dict]) -> dict:
+    """The scenario payload: best-found schedule versus the paper baselines."""
+    config = spec.case.comparison_config()
+    merged = get_optimizer(spec.strategy).merge(spec, outcomes)
+    full_rows = [row for row in merged["rows"] if row["samples"] == spec.samples]
+    by_permutation = {tuple(row["permutation"]): row for row in full_rows}
+
+    baselines = []
+    for text, permutation in baseline_permutations(spec):
+        row = by_permutation.get(permutation)
+        if row is None:
+            raise ExperimentError(
+                f"strategy {spec.strategy!r} returned no full-budget row for baseline "
+                f"{text!r} (permutation {list(permutation)}); every strategy must "
+                "measure the baseline orderings at the full budget"
+            )
+        baselines.append({"schedule_spec": text, **row})
+
+    best = best_row(full_rows)
+    best_baseline = best_row(baselines)
+    reduction = best_baseline["expected_width"] - best["expected_width"]
+    if not math.isfinite(reduction):
+        reduction = 0.0
+    ranked = sorted(full_rows, key=sort_key)
+    return {
+        "kind": spec.kind,
+        "strategy": spec.strategy,
+        "engine": spec.engine,
+        "case": {
+            "label": spec.case.label,
+            "lengths": list(spec.case.lengths),
+            "fa": spec.case.fa,
+            "f": config.resolved_f,
+            "attacked_indices": list(config.resolved_attacked),
+            "attack": spec.case.attack,
+            "fault_probability": spec.case.fault_probability,
+        },
+        "distinct_schedules": count_distinct_schedules(config.lengths, config.resolved_attacked),
+        "samples_per_candidate": spec.samples,
+        "evaluated_candidates": len(full_rows),
+        "best": dict(best),
+        "baselines": baselines,
+        "improvement": {
+            "best_baseline_spec": best_baseline["schedule_spec"],
+            "best_baseline_width": best_baseline["expected_width"],
+            "width_reduction": reduction,
+            "percent": (
+                100.0 * reduction / best_baseline["expected_width"]
+                if best_baseline["expected_width"]
+                and math.isfinite(best_baseline["expected_width"])
+                else 0.0
+            ),
+        },
+        "rows": ranked[:MAX_REPORTED_ROWS],
+        "rows_truncated": len(ranked) > MAX_REPORTED_ROWS,
+        "counters": _sum_counters(outcomes),
+        "history": merged["history"],
+    }

@@ -43,6 +43,7 @@ from repro.scenarios.spec import (
     CaseStudyScenario,
     ComparisonScenario,
     FigureScenario,
+    OptimizationScenario,
     ScenarioSpec,
     schedule_from_spec,
     spec_key,
@@ -331,24 +332,57 @@ def _merge_figure(spec: FigureScenario, outcomes: list[dict]) -> dict:
 
 
 # --------------------------------------------------------------------------
+# optimization scenarios (strategy logic lives in repro.optimize; the trio
+# here only adapts it to the ShardTask protocol)
+
+
+def _plan_optimization(spec: OptimizationScenario) -> list[ShardTask]:
+    from repro.optimize import get_optimizer
+
+    return [
+        ShardTask(spec=spec, index=index, params=params)
+        for index, params in enumerate(get_optimizer(spec.strategy).plan(spec))
+    ]
+
+
+def _execute_optimization(task: ShardTask) -> dict:
+    from repro.optimize import ScheduleEvaluator, get_optimizer
+
+    spec: OptimizationScenario = task.spec
+    evaluator = ScheduleEvaluator(spec)
+    outcome = get_optimizer(spec.strategy).execute(spec, evaluator, task.params)
+    outcome["counters"] = evaluator.counters()
+    return outcome
+
+
+def _merge_optimization(spec: OptimizationScenario, outcomes: list[dict]) -> dict:
+    from repro.optimize import assemble_payload
+
+    return assemble_payload(spec, outcomes)
+
+
+# --------------------------------------------------------------------------
 # dispatch + entry point
 
 _PLANNERS = {
     ComparisonScenario.kind: _plan_comparison,
     CaseStudyScenario.kind: _plan_case_study,
     FigureScenario.kind: _plan_figure,
+    OptimizationScenario.kind: _plan_optimization,
 }
 
 _EXECUTORS = {
     ComparisonScenario.kind: _execute_comparison,
     CaseStudyScenario.kind: _execute_case_study,
     FigureScenario.kind: _execute_figure,
+    OptimizationScenario.kind: _execute_optimization,
 }
 
 _MERGERS = {
     ComparisonScenario.kind: _merge_comparison,
     CaseStudyScenario.kind: _merge_case_study,
     FigureScenario.kind: _merge_figure,
+    OptimizationScenario.kind: _merge_optimization,
 }
 
 
@@ -381,14 +415,17 @@ def merge_outcomes(spec: ScenarioSpec, outcomes: list) -> dict:
 
 
 def resolve_spec_engine(spec: ScenarioSpec) -> ScenarioSpec:
-    """Pin the env-resolved default backend into a comparison spec.
+    """Pin the env-resolved default backend into a comparison/optimization spec.
 
     Applied *before* hashing: otherwise two ``REPRO_ENGINE`` sessions would
     share one store entry and a future non-bit-parity backend could serve
-    another backend's numbers.  Non-comparison specs (whose engines are
+    another backend's numbers.  Case-study specs (whose engines are
     validated fields) and explicitly pinned specs pass through unchanged.
     """
-    if spec.kind == ComparisonScenario.kind and spec.engine is None:
+    if spec.engine is None and spec.kind in (
+        ComparisonScenario.kind,
+        OptimizationScenario.kind,
+    ):
         return dataclasses.replace(spec, engine=default_engine_name())
     return spec
 

@@ -25,6 +25,7 @@ from repro.scenarios.spec import (
     ComparisonCase,
     ComparisonScenario,
     FigureScenario,
+    OptimizationScenario,
     ScenarioSpec,
     schedule_from_spec,
     spec_dict,
@@ -37,6 +38,7 @@ __all__ = [
     "ComparisonScenario",
     "CaseStudyScenario",
     "FigureScenario",
+    "OptimizationScenario",
     "schedule_from_spec",
     "spec_dict",
     "spec_key",

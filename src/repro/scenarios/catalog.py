@@ -14,6 +14,9 @@ Registered on import of :mod:`repro.scenarios`:
   artifacts (:mod:`repro.scenarios.figures`);
 * ``ablation-*`` — the five ablation sweeps that previously lived only in
   ``benchmarks/bench_ablation_*.py``, re-expressed over the engine seam;
+* ``optimize-*`` — schedule-search workloads over the :mod:`repro.optimize`
+  strategies: exhaustive sweeps of every Table I row plus annealing/bandit
+  demos on a larger seven-sensor space (``docs/OPTIMIZATION.md``);
 * ``sweep-*`` — new workloads beyond the paper: multi-fault ``fa`` grids,
   transient sensor dropout, and heterogeneous-noise length grids.
 
@@ -31,6 +34,7 @@ from repro.scenarios.spec import (
     ComparisonCase,
     ComparisonScenario,
     FigureScenario,
+    OptimizationScenario,
 )
 
 __all__ = ["register_builtin_scenarios"]
@@ -270,6 +274,67 @@ def _ablation_scenarios() -> list:
     ]
 
 
+def _optimize_scenarios() -> list[OptimizationScenario]:
+    """Schedule-search workloads (:mod:`repro.optimize`, ``docs/OPTIMIZATION.md``).
+
+    ``optimize-table1-rowN`` sweeps row N's schedule space exhaustively and
+    reports the optimum against the paper's ascending/descending orderings;
+    the ``optimize-anneal-7`` / ``optimize-bandit-7`` pair demonstrates the
+    budgeted strategies on a larger seven-sensor space where exhaustive
+    enumeration is still available as ground truth.
+    """
+    scenarios = []
+    for index, entry in enumerate(TABLE1_CONFIGURATIONS):
+        scenarios.append(
+            OptimizationScenario(
+                name=f"optimize-{table1_row_name(index)}",
+                description=(
+                    f"Exhaustive schedule search over Table I row {index + 1} "
+                    f"(n={entry.n}, fa={entry.fa}, L={entry.lengths}) vs the paper's "
+                    f"ascending/descending orderings"
+                ),
+                tags=("optimize", "table1"),
+                strategy="exhaustive",
+                case=ComparisonCase(
+                    label=f"n{entry.n}-fa{entry.fa}",
+                    lengths=entry.lengths,
+                    fa=entry.fa,
+                ),
+            )
+        )
+    seven = ComparisonCase(
+        label="n7-fa1",
+        lengths=(5.0, 5.0, 5.0, 8.0, 11.0, 14.0, 17.0),
+        fa=1,
+    )
+    scenarios.append(
+        OptimizationScenario(
+            name="optimize-anneal-7",
+            description=(
+                "Simulated annealing on a seven-sensor space (840 distinct "
+                "schedules) — the budgeted strategy demo; exhaustive ground "
+                "truth stays feasible for cross-checks"
+            ),
+            tags=("optimize", "demo"),
+            strategy="anneal",
+            case=seven,
+        )
+    )
+    scenarios.append(
+        OptimizationScenario(
+            name="optimize-bandit-7",
+            description=(
+                "Successive-halving bandit on the same seven-sensor space: "
+                "16 seeded arms, 4 rungs of doubling budgets"
+            ),
+            tags=("optimize", "demo"),
+            strategy="bandit",
+            case=seven,
+        )
+    )
+    return scenarios
+
+
 def _sweep_scenarios() -> list[ComparisonScenario]:
     return [
         ComparisonScenario(
@@ -338,6 +403,7 @@ def register_builtin_scenarios() -> None:
         *_table2_scenarios(),
         *_figure_scenarios(),
         *_ablation_scenarios(),
+        *_optimize_scenarios(),
         *_sweep_scenarios(),
     ):
         register_scenario(spec, replace=True)

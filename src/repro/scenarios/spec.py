@@ -22,7 +22,13 @@ Three scenario kinds cover the paper and the extension workloads:
   ``"expectation-grid"`` oracle);
 * :class:`FigureScenario` — deterministic paper artifacts (Figures 1–5 and
   the baseline-fusion ablation) computed by a registered figure function
-  (:mod:`repro.scenarios.figures`).
+  (:mod:`repro.scenarios.figures`);
+* :class:`OptimizationScenario` — a schedule *search* over one
+  configuration case: a strategy from the :mod:`repro.optimize` registry
+  (``exhaustive`` / ``anneal`` / ``bandit``) proposes candidate
+  transmission orders and evaluates them through the engine seam, and the
+  payload reports the best-found schedule against the paper's fixed
+  orderings (``docs/OPTIMIZATION.md``).
 
 The registry of named scenarios lives in :mod:`repro.scenarios.registry`,
 the pre-populated catalogue in :mod:`repro.scenarios.catalog`, and the whole
@@ -57,6 +63,7 @@ __all__ = [
     "ComparisonScenario",
     "CaseStudyScenario",
     "FigureScenario",
+    "OptimizationScenario",
     "schedule_from_spec",
     "spec_dict",
     "spec_from_dict",
@@ -329,6 +336,82 @@ class FigureScenario(ScenarioSpec):
             )
 
 
+@dataclass(frozen=True)
+class OptimizationScenario(ScenarioSpec):
+    """A schedule search over one configuration case (:mod:`repro.optimize`).
+
+    ``case`` fixes the physics — lengths, attacked set, attack spec, fault
+    model — and its ``schedules`` field names the *baseline* orderings the
+    best-found schedule is reported against (the paper's fixed orderings;
+    they must be deterministic, so ``"random"`` is rejected).  ``strategy``
+    selects the optimizer from the :mod:`repro.optimize` registry and the
+    ``anneal_*`` / ``bandit_*`` fields parameterise it; irrelevant fields
+    are inert but stay part of the content hash like every other field.
+
+    Budget semantics: every candidate measurement is ``samples``
+    Monte-Carlo rounds (bandit rungs use halved budgets until the final
+    rung), sharded into ``shard_samples`` chunks whose RNG streams derive
+    statelessly from ``(seed, canonical permutation, shard)`` — so a
+    candidate's measured width is a pure function of the spec and the
+    candidate, identical across strategies, engines, worker counts and
+    shard packing (`Engine.run_many` bit-identity).
+    """
+
+    engine: str | None = "batch"
+    strategy: str = "exhaustive"
+    case: ComparisonCase | None = None
+    samples: int = 20_000
+    shard_samples: int = 5_000
+    shard_candidates: int = 64
+    max_candidates: int = 40_320
+    anneal_steps: int = 150
+    anneal_initial_temperature: float = 0.5
+    anneal_cooling: float = 0.97
+    bandit_population: int = 16
+    bandit_rounds: int = 4
+
+    kind: ClassVar[str] = "optimization"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.case is None:
+            raise ExperimentError(f"optimization scenario {self.name!r} needs a case")
+        for field_name in ("samples", "shard_samples", "shard_candidates", "max_candidates"):
+            if getattr(self, field_name) <= 0:
+                raise ExperimentError(
+                    f"{field_name} must be positive, got {getattr(self, field_name)}"
+                )
+        for field_name in ("anneal_steps", "bandit_population", "bandit_rounds"):
+            if getattr(self, field_name) < 1:
+                raise ExperimentError(
+                    f"{field_name} must be at least 1, got {getattr(self, field_name)}"
+                )
+        if self.anneal_initial_temperature <= 0:
+            raise ExperimentError(
+                f"anneal_initial_temperature must be positive, got {self.anneal_initial_temperature}"
+            )
+        if not 0 < self.anneal_cooling <= 1:
+            raise ExperimentError(
+                f"anneal_cooling must be in (0, 1], got {self.anneal_cooling}"
+            )
+        # Baselines must name deterministic orderings: each is reduced to a
+        # fixed permutation and evaluated exactly like a search candidate.
+        for text in self.case.schedules:
+            kind, _, _ = text.partition(":")
+            if kind.strip().lower() == "random":
+                raise ExperimentError(
+                    f"optimization scenario {self.name!r}: baseline schedules must be "
+                    "deterministic orderings (ascending/descending/fixed/trust-aware); "
+                    "'random' is not a fixed permutation to optimize against"
+                )
+        # The optimizer registry validates the strategy (with did-you-mean
+        # hints), and the exhaustive strategy guards its candidate count —
+        # both eagerly, at registration time, like every other spec field.
+        from repro.optimize import get_optimizer
+
+        get_optimizer(self.strategy).validate(self)
+
+
 def spec_dict(spec: ScenarioSpec) -> dict:
     """Serialise a spec to plain JSON types (the store's canonical form).
 
@@ -352,6 +435,7 @@ _SPEC_KINDS: dict[str, type[ScenarioSpec]] = {
     ComparisonScenario.kind: ComparisonScenario,
     CaseStudyScenario.kind: CaseStudyScenario,
     FigureScenario.kind: FigureScenario,
+    OptimizationScenario.kind: OptimizationScenario,
 }
 
 #: Tuple-valued fields that JSON round-trips as lists.
@@ -429,6 +513,8 @@ def spec_from_dict(payload: dict) -> ScenarioSpec:
     values = {name: _tuplify(name, value) for name, value in payload.items()}
     if cls is ComparisonScenario and "cases" in values:
         values["cases"] = tuple(_case_from_dict(case) for case in values["cases"])
+    if cls is OptimizationScenario and values.get("case") is not None:
+        values["case"] = _case_from_dict(values["case"])
     if cls is CaseStudyScenario and isinstance(values.get("attacked_sensor"), float):
         # JSON has one number type; an integral sensor index survives the trip.
         if values["attacked_sensor"].is_integer():

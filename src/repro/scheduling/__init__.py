@@ -10,9 +10,13 @@ from repro.scheduling.comparison import (
     expected_fusion_width_monte_carlo,
 )
 from repro.scheduling.enumeration import (
+    canonical_schedule,
     correct_placement_grid,
     count_combinations,
+    count_distinct_schedules,
     enumerate_combinations,
+    enumerate_schedules,
+    schedule_equivalence_classes,
 )
 from repro.scheduling.round import RoundConfig, RoundResult, run_round
 from repro.scheduling.schedule import (
@@ -39,6 +43,10 @@ __all__ = [
     "correct_placement_grid",
     "enumerate_combinations",
     "count_combinations",
+    "schedule_equivalence_classes",
+    "canonical_schedule",
+    "enumerate_schedules",
+    "count_distinct_schedules",
     "ScheduleComparisonConfig",
     "ScheduleRow",
     "ScheduleComparison",

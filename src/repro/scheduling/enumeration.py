@@ -12,17 +12,40 @@ spaced values in ``[t - w, t]`` where ``t`` is the true value.  Compromised
 sensors are enumerated too — the attacker observes her sensors' correct
 readings, so they are part of the probability space even though what she
 broadcasts may differ.
+
+The second half of the module enumerates the *schedule* space for the
+search subsystem (:mod:`repro.optimize`).  A transmission schedule is a
+permutation of sensor indices, but many permutations are statistically
+indistinguishable: the expected fusion width only depends on which
+interval *width* and which *attacked status* occupies each slot, so two
+sensors with equal width and equal attacked status can swap positions
+without changing the experiment.  :func:`canonical_schedule` maps every
+permutation to the unique representative of its equivalence class,
+:func:`enumerate_schedules` yields exactly one representative per class
+(feasible up to ``n = 8``: at most ``8! = 40320`` candidates, fewer with
+repeated widths), and :func:`count_distinct_schedules` gives the class
+count without enumerating.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+from collections import Counter
 from typing import Iterator, Sequence
 
 from repro.core.exceptions import ExperimentError
 from repro.core.interval import Interval
 
-__all__ = ["correct_placement_grid", "enumerate_combinations", "count_combinations"]
+__all__ = [
+    "correct_placement_grid",
+    "enumerate_combinations",
+    "count_combinations",
+    "schedule_equivalence_classes",
+    "canonical_schedule",
+    "enumerate_schedules",
+    "count_distinct_schedules",
+]
 
 
 def correct_placement_grid(width: float, true_value: float, positions: int) -> list[Interval]:
@@ -63,3 +86,123 @@ def count_combinations(widths: Sequence[float], positions: int) -> int:
     if positions < 1:
         raise ExperimentError(f"need at least one grid position, got {positions}")
     return positions ** len(widths)
+
+
+# --------------------------------------------------------------------------
+# schedule-space enumeration (the search half of the module)
+
+
+def _check_schedule_inputs(
+    widths: Sequence[float], attacked_indices: Sequence[int]
+) -> tuple[tuple[float, ...], frozenset[int]]:
+    widths = tuple(float(width) for width in widths)
+    if not widths:
+        raise ExperimentError("cannot enumerate schedules for an empty sensor set")
+    if any(width <= 0 for width in widths):
+        raise ExperimentError(f"interval widths must be positive, got {widths}")
+    attacked = frozenset(int(index) for index in attacked_indices)
+    if attacked and not attacked <= set(range(len(widths))):
+        raise ExperimentError(
+            f"attacked indices {tuple(sorted(attacked))} out of range for {len(widths)} sensors"
+        )
+    return widths, attacked
+
+
+def schedule_equivalence_classes(
+    widths: Sequence[float], attacked_indices: Sequence[int] = ()
+) -> tuple[int, ...]:
+    """Per-sensor equivalence-class ids for schedule canonicalization.
+
+    Two sensors are interchangeable in a schedule exactly when they have
+    the same interval width *and* the same attacked status — every engine
+    draws correct intervals i.i.d. per sensor given the width, and the
+    attacker's policy sees widths and attacked slots, never raw indices.
+    Class ids are assigned by ``(width, attacked)`` rank, so they are a
+    pure function of the configuration (stable across calls and processes).
+    """
+    widths, attacked = _check_schedule_inputs(widths, attacked_indices)
+    keys = [(width, index in attacked) for index, width in enumerate(widths)]
+    ranked = {key: rank for rank, key in enumerate(sorted(set(keys)))}
+    return tuple(ranked[key] for key in keys)
+
+
+def canonical_schedule(
+    permutation: Sequence[int],
+    widths: Sequence[float],
+    attacked_indices: Sequence[int] = (),
+) -> tuple[int, ...]:
+    """The canonical representative of ``permutation``'s equivalence class.
+
+    Within each equivalence class (equal width, equal attacked status) the
+    sensor indices are reassigned in ascending order along the slots, so a
+    permutation is canonical iff every class's indices appear in increasing
+    slot order.  Two permutations share a canonical form exactly when one
+    can be obtained from the other by swapping interchangeable sensors —
+    the symmetry :func:`enumerate_schedules` dedupes.
+    """
+    classes = schedule_equivalence_classes(widths, attacked_indices)
+    permutation = tuple(int(index) for index in permutation)
+    if sorted(permutation) != list(range(len(widths))):
+        raise ExperimentError(
+            f"schedule must be a permutation of 0..{len(widths) - 1}, got {permutation}"
+        )
+    members: dict[int, list[int]] = {}
+    for index, class_id in enumerate(classes):
+        members.setdefault(class_id, []).append(index)
+    # Ascending member lists consumed in slot order: the unique member of
+    # the class orbit whose indices are increasing along the schedule.
+    cursors = {class_id: iter(indices) for class_id, indices in members.items()}
+    return tuple(next(cursors[classes[index]]) for index in permutation)
+
+
+def count_distinct_schedules(
+    widths: Sequence[float], attacked_indices: Sequence[int] = ()
+) -> int:
+    """Number of schedules :func:`enumerate_schedules` will yield.
+
+    The multinomial ``n! / prod(m_c!)`` over the class sizes ``m_c`` — the
+    number of distinct class sequences a permutation can induce.
+    """
+    classes = schedule_equivalence_classes(widths, attacked_indices)
+    count = math.factorial(len(classes))
+    for size in Counter(classes).values():
+        count //= math.factorial(size)
+    return count
+
+
+def enumerate_schedules(
+    widths: Sequence[float], attacked_indices: Sequence[int] = ()
+) -> Iterator[tuple[int, ...]]:
+    """Yield one canonical representative per schedule equivalence class.
+
+    Candidates appear in lexicographic order of their class sequence and
+    are pairwise distinct; the total equals
+    :func:`count_distinct_schedules`.  The walk recurses over class
+    multisets rather than filtering all ``n!`` permutations, so heavily
+    tied width grids (the common case in the paper's Table I) enumerate in
+    time proportional to the *distinct* count.
+    """
+    classes = schedule_equivalence_classes(widths, attacked_indices)
+    members: dict[int, list[int]] = {}
+    for index, class_id in enumerate(classes):
+        members.setdefault(class_id, []).append(index)
+    remaining = Counter(classes)
+    cursors = {class_id: 0 for class_id in members}
+    slots: list[int] = []
+
+    def walk() -> Iterator[tuple[int, ...]]:
+        if len(slots) == len(classes):
+            yield tuple(slots)
+            return
+        for class_id in sorted(remaining):
+            if remaining[class_id] == 0:
+                continue
+            slots.append(members[class_id][cursors[class_id]])
+            remaining[class_id] -= 1
+            cursors[class_id] += 1
+            yield from walk()
+            cursors[class_id] -= 1
+            remaining[class_id] += 1
+            slots.pop()
+
+    return walk()

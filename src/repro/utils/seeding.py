@@ -32,6 +32,7 @@ __all__ = [
     "child_seed_sequence",
     "derive_rng",
     "ensure_rng",
+    "jumped_rngs",
     "shard_seed_sequences",
     "shard_rngs",
 ]
@@ -65,6 +66,25 @@ def ensure_rng(rng: np.random.Generator | None, seed: int = 0) -> np.random.Gene
     bit-identical across call sites.
     """
     return rng if rng is not None else np.random.default_rng(seed)
+
+
+def jumped_rngs(seed: int, count: int, *key: int) -> list[np.random.Generator]:
+    """``count`` independent generators on child ``key``, via ``PCG64.jumped``.
+
+    Stream ``i`` is ``Generator(PCG64(child_seed_sequence(seed, *key)).jumped(i))``
+    — a pure function of ``(seed, key, i)``, independent of ``count``, so a
+    prefix of the streams is always the same streams (callers can shard a
+    budget from the front and re-use earlier draws at smaller budgets).
+    Each jump advances PCG64 by :math:`2^{127}` states, so the streams
+    cannot overlap in practice.
+
+    Compared to one :func:`derive_rng` per stream this hashes the entropy
+    pool *once* per key instead of once per stream — the spelling for hot
+    loops that need many short-lived shard streams per key (the schedule
+    evaluator in :mod:`repro.optimize` derives one family per candidate).
+    """
+    bit_generator = np.random.PCG64(child_seed_sequence(seed, *key))
+    return [np.random.Generator(bit_generator.jumped(index)) for index in range(count)]
 
 
 def shard_seed_sequences(seed: int, count: int) -> list[np.random.SeedSequence]:

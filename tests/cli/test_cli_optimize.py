@@ -1,0 +1,109 @@
+"""`python -m repro optimize` surface: error paths and --json schema.
+
+The happy-path numerics live in ``tests/optimize``; these tests pin the
+command-line contract — non-zero exits with did-you-mean hints, resolution
+of plain names to their ``optimize-`` twins, and a ``--json`` document
+whose embedded spec round-trips through the wire format to the exact
+content hash the run was stored under.
+"""
+
+import json
+
+from repro.cli import main
+from repro.scenarios.spec import OptimizationScenario, spec_from_dict, spec_key
+
+
+def run_cli(*argv, capsys):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestOptimizeErrorPaths:
+    def test_unknown_strategy_gets_did_you_mean(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            "optimize", "table1-row1", "--strategy", "aneal", "--store", str(tmp_path), capsys=capsys
+        )
+        assert code == 1
+        assert "unknown optimizer strategy 'aneal'" in err
+        assert "did you mean 'anneal'" in err
+        assert "available strategies: anneal, bandit, exhaustive" in err
+
+    def test_unknown_scenario_exits_nonzero_with_catalogue_pointer(self, capsys):
+        code, _, err = run_cli("optimize", "zzz-no-such-thing", capsys=capsys)
+        assert code == 1
+        assert "unknown scenario 'zzz-no-such-thing'" in err
+        assert "repro list --kind optimization" in err
+
+    def test_near_miss_names_are_suggested(self, capsys):
+        code, _, err = run_cli("optimize", "optimize-table1-row", capsys=capsys)
+        assert code == 1
+        assert "did you mean" in err
+        assert "optimize-table1-row" in err.split("did you mean", 1)[1]
+
+    def test_multi_case_comparison_scenario_is_rejected(self, capsys):
+        code, _, err = run_cli("optimize", "ablation-attacked-sensor", capsys=capsys)
+        assert code == 1
+        assert "kind 'comparison' with 3 cases" in err
+        assert "single-case comparison scenario" in err
+
+    def test_unknown_engine_is_rejected_before_running(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            "optimize", "table1-row1", "--engine", "no-such-engine", "--store", str(tmp_path), capsys=capsys
+        )
+        assert code == 1
+        assert "no-such-engine" in err
+
+
+class TestOptimizeJson:
+    def test_json_document_round_trips_the_spec(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            "optimize", "table1-row1", "--json", "--store", str(tmp_path), capsys=capsys
+        )
+        assert code == 0
+        document = json.loads(out)
+        spec = spec_from_dict(document["spec"])
+        assert isinstance(spec, OptimizationScenario)
+        assert spec.name == "optimize-table1-row1"
+        assert document["key"] == spec_key(spec)
+        # Wire format is a fixed point: dict -> spec -> dict.
+        assert document["spec"] == json.loads(json.dumps(document["spec"]))
+
+        payload = document["payload"]
+        assert payload["kind"] == "optimization"
+        assert payload["strategy"] == spec.strategy
+        assert {"best", "baselines", "improvement", "rows", "counters"} <= set(payload)
+        assert payload["best"]["schedule"].startswith("fixed:")
+
+    def test_strategy_override_changes_the_content_hash(self, capsys, tmp_path):
+        _, out_a, _ = run_cli(
+            "optimize", "table1-row1", "--json", "--store", str(tmp_path), capsys=capsys
+        )
+        code, out_b, _ = run_cli(
+            "optimize", "table1-row1", "--strategy", "anneal", "--json",
+            "--store", str(tmp_path), capsys=capsys,
+        )
+        assert code == 0
+        exhaustive, anneal = json.loads(out_a), json.loads(out_b)
+        assert anneal["key"] != exhaustive["key"]
+        assert json.loads(out_b)["payload"]["strategy"] == "anneal"
+        # Both strategies agree on the optimum of this 3-sensor row.
+        assert anneal["payload"]["best"] == exhaustive["payload"]["best"]
+
+    def test_rerun_is_served_from_the_store(self, capsys, tmp_path):
+        first_code, _, _ = run_cli(
+            "optimize", "table1-row1", "--store", str(tmp_path), capsys=capsys
+        )
+        code, out, _ = run_cli(
+            "optimize", "table1-row1", "--json", "--store", str(tmp_path), capsys=capsys
+        )
+        assert first_code == code == 0
+        assert json.loads(out)["cached"] is True
+
+    def test_human_rendering_reports_best_against_baselines(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            "optimize", "table1-row1", "--store", str(tmp_path), capsys=capsys
+        )
+        assert code == 0
+        assert "ascending" in out and "descending" in out
+        assert "best" in out.lower()

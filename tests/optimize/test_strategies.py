@@ -1,0 +1,241 @@
+"""Strategy behaviour: evaluator purity, exhaustive ground truth, anneal
+resumability, bandit halving — all on small spaces so the suite stays fast."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ExperimentError
+from repro.optimize import (
+    ScheduleEvaluator,
+    advance_chain,
+    baseline_permutations,
+    best_row,
+    chain_state,
+    get_optimizer,
+    run_chain,
+    seed_population,
+    sort_key,
+)
+from repro.scenarios.spec import ComparisonCase, OptimizationScenario
+from repro.scheduling import count_distinct_schedules
+
+CASE = ComparisonCase(label="tiny", lengths=(2.0, 3.0, 4.0), fa=1)
+
+
+def make_spec(**overrides) -> OptimizationScenario:
+    values = {
+        "name": "optimize-test",
+        "case": CASE,
+        "samples": 400,
+        "shard_samples": 100,
+        "anneal_steps": 25,
+        "bandit_population": 4,
+        "bandit_rounds": 3,
+    }
+    values.update(overrides)
+    return OptimizationScenario(**values)
+
+
+class TestEvaluator:
+    def test_measurement_is_memoized(self):
+        evaluator = ScheduleEvaluator(make_spec())
+        first = evaluator.evaluate((0, 1, 2), 400)
+        second = evaluator.evaluate((0, 1, 2), 400)
+        assert first is second
+        assert evaluator.evaluations == 2
+        assert evaluator.unique_evaluations == 1
+        assert evaluator.engine_passes == 1
+        assert evaluator.rounds_simulated == 400
+
+    def test_symmetric_candidates_share_a_measurement(self):
+        # Sensors 0 and 1 tie in width; attacking sensor 2 keeps them both
+        # unattacked, so they are interchangeable and the swapped candidate
+        # is the same equivalence class — one engine pass, one memo entry.
+        case = ComparisonCase(label="tied", lengths=(3.0, 3.0, 4.0), fa=1, attacked_indices=(2,))
+        evaluator = ScheduleEvaluator(make_spec(case=case))
+        first = evaluator.evaluate((0, 1, 2), 400)
+        second = evaluator.evaluate((1, 0, 2), 400)
+        assert first is second
+        assert evaluator.engine_passes == 1
+
+    def test_row_is_pure_across_evaluators(self):
+        spec = make_spec()
+        row_a = ScheduleEvaluator(spec).evaluate((2, 0, 1), 400)
+        row_b = ScheduleEvaluator(spec).evaluate((2, 0, 1), 400)
+        assert row_a == row_b
+
+    def test_packing_matches_per_shard_run_rounds(self):
+        # The run_many packing must be bit-identical to one run_rounds call
+        # per shard with the same derived streams.
+        import numpy as np
+
+        from repro.engine import get_engine
+        from repro.optimize import EVAL_STREAM
+        from repro.scheduling.schedule import FixedSchedule
+        from repro.utils.seeding import jumped_rngs
+
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        row = evaluator.evaluate((1, 2, 0), 400)
+        engine = get_engine(spec.engine)
+        config = spec.case.comparison_config()
+        streams = jumped_rngs(spec.seed, 4, EVAL_STREAM, 1, 2, 0)
+        widths_sum = 0.0
+        valid = 0
+        for shard in range(4):
+            result = engine.run_rounds(
+                config,
+                FixedSchedule((1, 2, 0)),
+                spec.case.attack,
+                None,
+                100,
+                streams[shard],
+            )
+            widths_sum += float(result.widths[result.valid].sum())
+            valid += int(np.count_nonzero(result.valid))
+        assert row["expected_width"] == widths_sum / valid
+
+    def test_baselines_are_deterministic_canonicals(self):
+        spec = make_spec()
+        pairs = baseline_permutations(spec)
+        assert [text for text, _ in pairs] == ["ascending", "descending"]
+        assert pairs[0][1] == (0, 1, 2)
+        assert pairs[1][1] == (2, 1, 0)
+
+
+class TestSortKey:
+    def test_orders_by_width_then_permutation(self):
+        narrow = {"permutation": [1, 0], "expected_width": 1.0, "valid": 10}
+        wide = {"permutation": [0, 1], "expected_width": 2.0, "valid": 10}
+        tie = {"permutation": [0, 1], "expected_width": 1.0, "valid": 10}
+        assert sorted([wide, narrow, tie], key=sort_key) == [tie, narrow, wide]
+
+    def test_degenerate_rows_sort_last(self):
+        dead = {"permutation": [0, 1], "expected_width": float("nan"), "valid": 0}
+        alive = {"permutation": [1, 0], "expected_width": 99.0, "valid": 1}
+        assert best_row([dead, alive]) is alive
+
+    def test_best_row_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            best_row([])
+
+
+class TestExhaustive:
+    def test_finds_the_true_optimum(self):
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        optimizer = get_optimizer("exhaustive")
+        rows = []
+        for params in optimizer.plan(spec):
+            rows.extend(optimizer.execute(spec, evaluator, params)["rows"])
+        assert len(rows) == count_distinct_schedules(CASE.lengths, (0,)) == 6
+        best = best_row(rows)
+        assert all(sort_key(best) <= sort_key(row) for row in rows)
+
+    def test_plan_chunks_cover_the_space_exactly(self):
+        spec = make_spec(shard_candidates=2)
+        plan = get_optimizer("exhaustive").plan(spec)
+        assert [params[1] for params in plan] == [0, 2, 4]
+        assert sum(params[2] for params in plan) == 6
+
+    def test_validate_rejects_oversized_spaces(self):
+        big = ComparisonCase(label="big", lengths=tuple(float(i + 2) for i in range(7)), fa=1)
+        with pytest.raises(ExperimentError, match="max_candidates"):
+            make_spec(case=big, max_candidates=100)
+
+
+class TestAnneal:
+    def test_chain_starts_from_best_baseline(self):
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        state = chain_state(spec, evaluator)
+        baseline_rows = [
+            evaluator.evaluate(permutation, spec.samples)
+            for _, permutation in baseline_permutations(spec)
+        ]
+        assert state["current"] == best_row(baseline_rows)["permutation"]
+
+    def test_best_never_worse_than_baselines(self):
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        state = run_chain(spec, evaluator)
+        best = evaluator.evaluate(state["best"], spec.samples)
+        for _, permutation in baseline_permutations(spec):
+            row = evaluator.evaluate(permutation, spec.samples)
+            assert sort_key(best) <= sort_key(row)
+
+    def test_split_chain_equals_straight_run(self):
+        # Resumability: [0, 10) then [10, 25) from serialised state equals
+        # [0, 25) in one go — even with a brand-new evaluator for the tail.
+        import json
+
+        spec = make_spec()
+        straight = run_chain(spec, ScheduleEvaluator(spec))
+        head = run_chain(spec, ScheduleEvaluator(spec), until_step=10)
+        revived = json.loads(json.dumps(head))  # a JSON round-trip, as stored
+        tail = run_chain(spec, ScheduleEvaluator(spec), state=revived)
+        assert tail == straight
+
+    def test_rewinding_raises(self):
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        state = run_chain(spec, evaluator, until_step=5)
+        with pytest.raises(ExperimentError, match="rewind"):
+            run_chain(spec, evaluator, state=state, until_step=3)
+
+    def test_matches_exhaustive_optimum_on_tiny_space(self):
+        spec = make_spec(anneal_steps=60)
+        exhaustive_eval = ScheduleEvaluator(spec)
+        optimizer = get_optimizer("exhaustive")
+        rows = []
+        for params in optimizer.plan(spec):
+            rows.extend(optimizer.execute(spec, exhaustive_eval, params)["rows"])
+        truth = best_row(rows)
+        state = run_chain(spec, ScheduleEvaluator(spec))
+        anneal_best = ScheduleEvaluator(spec).evaluate(state["best"], spec.samples)
+        assert anneal_best == truth
+
+    def test_advance_is_functional(self):
+        import copy
+
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        state = chain_state(spec, evaluator)
+        frozen = copy.deepcopy(state)
+        advance_chain(spec, evaluator, state)
+        assert state == frozen  # input state unchanged
+
+
+class TestBandit:
+    def test_population_is_distinct_and_seeded(self):
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        field = seed_population(spec, evaluator)
+        assert len(set(field)) == len(field)
+        assert field[:2] == [(0, 1, 2), (2, 1, 0)]  # baselines first
+        assert field == seed_population(spec, ScheduleEvaluator(spec))
+
+    def test_population_capped_by_space_size(self):
+        spec = make_spec(bandit_population=50)
+        field = seed_population(spec, ScheduleEvaluator(spec))
+        assert len(field) <= count_distinct_schedules(CASE.lengths, (0,))
+
+    def test_final_rows_include_all_baselines_at_full_budget(self):
+        spec = make_spec()
+        evaluator = ScheduleEvaluator(spec)
+        optimizer = get_optimizer("bandit")
+        (params,) = optimizer.plan(spec)
+        outcome = optimizer.execute(spec, evaluator, params)
+        permutations = {tuple(row["permutation"]) for row in outcome["rows"]}
+        for _, permutation in baseline_permutations(spec):
+            assert permutation in permutations
+        assert all(row["samples"] == spec.samples for row in outcome["rows"])
+
+    def test_rung_budgets_double_to_full(self):
+        spec = make_spec()
+        optimizer = get_optimizer("bandit")
+        (params,) = optimizer.plan(spec)
+        outcome = optimizer.execute(spec, ScheduleEvaluator(spec), params)
+        budgets = [rung["budget"] for rung in outcome["history"]["bandit"]["rungs"]]
+        assert budgets == [100, 200, 400]

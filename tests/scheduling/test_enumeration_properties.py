@@ -1,0 +1,159 @@
+"""Property-based tests for schedule-space canonicalization (hypothesis).
+
+The search subsystem (:mod:`repro.optimize`) rests on three properties of
+the enumeration half of :mod:`repro.scheduling.enumeration`:
+
+* canonical forms are *permutation invariant within a class orbit*:
+  swapping interchangeable sensors (equal width, equal attacked status)
+  never changes the canonical form, and swapping non-interchangeable ones
+  always does;
+* :func:`enumerate_schedules` yields pairwise-distinct canonical fixed
+  points whose count matches :func:`count_distinct_schedules` exactly;
+* the combination-space counter :func:`count_combinations` matches its
+  enumerator (the original Table I half of the module).
+"""
+
+import math
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    canonical_schedule,
+    count_combinations,
+    count_distinct_schedules,
+    enumerate_combinations,
+    enumerate_schedules,
+    schedule_equivalence_classes,
+)
+
+#: Width grids drawn from a small pool so repeated widths (the interesting
+#: case — non-trivial equivalence classes) occur constantly.
+width_pool = st.sampled_from([1.0, 2.0, 2.0, 5.0, 5.0, 8.0])
+
+
+@st.composite
+def configuration(draw, max_sensors=6):
+    """A width grid plus a (possibly empty) attacked subset."""
+    n = draw(st.integers(min_value=1, max_value=max_sensors))
+    widths = tuple(draw(width_pool) for _ in range(n))
+    attacked = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), unique=True, max_size=min(2, n))
+    )
+    return widths, tuple(attacked)
+
+
+@st.composite
+def configuration_with_permutation(draw):
+    widths, attacked = draw(configuration())
+    permutation = draw(st.permutations(range(len(widths))))
+    return widths, attacked, tuple(permutation)
+
+
+class TestCanonicalInvariance:
+    @given(configuration_with_permutation())
+    @settings(max_examples=200, deadline=None)
+    def test_canonical_is_idempotent(self, config):
+        widths, attacked, permutation = config
+        once = canonical_schedule(permutation, widths, attacked)
+        assert canonical_schedule(once, widths, attacked) == once
+
+    @given(configuration_with_permutation())
+    @settings(max_examples=200, deadline=None)
+    def test_canonical_preserves_class_sequence(self, config):
+        # The canonical form is in the same orbit as the input: slot by
+        # slot, the equivalence class occupying the slot is unchanged.
+        widths, attacked, permutation = config
+        classes = schedule_equivalence_classes(widths, attacked)
+        canonical = canonical_schedule(permutation, widths, attacked)
+        assert [classes[i] for i in canonical] == [classes[i] for i in permutation]
+
+    @given(configuration_with_permutation(), st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_swapping_interchangeable_sensors_is_invisible(self, config, random):
+        widths, attacked, permutation = config
+        classes = schedule_equivalence_classes(widths, attacked)
+        members: dict[int, list[int]] = {}
+        for index, class_id in enumerate(classes):
+            members.setdefault(class_id, []).append(index)
+        pools = [indices for indices in members.values() if len(indices) >= 2]
+        if not pools:
+            return
+        first, second = random.sample(random.choice(pools), 2)
+        swapped = [
+            first if index == second else second if index == first else index
+            for index in permutation
+        ]
+        assert canonical_schedule(swapped, widths, attacked) == canonical_schedule(
+            permutation, widths, attacked
+        )
+
+    @given(configuration_with_permutation())
+    @settings(max_examples=200, deadline=None)
+    def test_different_class_sequences_never_collide(self, config):
+        widths, attacked, permutation = config
+        classes = schedule_equivalence_classes(widths, attacked)
+        canonical = canonical_schedule(permutation, widths, attacked)
+        # Injectivity on class sequences: the canonical form determines the
+        # class sequence, so equal canonicals imply equal sequences.
+        assert tuple(classes[i] for i in canonical) == tuple(classes[i] for i in permutation)
+
+
+class TestEnumerateSchedules:
+    @given(configuration())
+    @settings(max_examples=100, deadline=None)
+    def test_count_matches_enumeration(self, config):
+        widths, attacked = config
+        schedules = list(enumerate_schedules(widths, attacked))
+        assert len(schedules) == count_distinct_schedules(widths, attacked)
+
+    @given(configuration())
+    @settings(max_examples=100, deadline=None)
+    def test_no_duplicate_canonical_schedules(self, config):
+        widths, attacked = config
+        schedules = list(enumerate_schedules(widths, attacked))
+        assert len(set(schedules)) == len(schedules)
+
+    @given(configuration())
+    @settings(max_examples=100, deadline=None)
+    def test_every_yield_is_a_canonical_fixed_point(self, config):
+        widths, attacked = config
+        for schedule in enumerate_schedules(widths, attacked):
+            assert canonical_schedule(schedule, widths, attacked) == schedule
+            assert sorted(schedule) == list(range(len(widths)))
+
+    @given(configuration())
+    @settings(max_examples=100, deadline=None)
+    def test_count_is_the_multinomial(self, config):
+        widths, attacked = config
+        classes = schedule_equivalence_classes(widths, attacked)
+        expected = math.factorial(len(classes))
+        for size in Counter(classes).values():
+            expected //= math.factorial(size)
+        assert count_distinct_schedules(widths, attacked) == expected
+
+    def test_exhaustive_cross_check_small_space(self):
+        # Brute force for n=4 with ties: canonicalising all 4! permutations
+        # yields exactly the enumerated set.
+        import itertools
+
+        widths = (5.0, 8.0, 8.0, 11.0)
+        enumerated = set(enumerate_schedules(widths))
+        brute = {
+            canonical_schedule(permutation, widths)
+            for permutation in itertools.permutations(range(4))
+        }
+        assert enumerated == brute
+        assert len(enumerated) == 12  # 4! / 2!
+
+
+class TestCombinationCount:
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=8.0), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_enumeration_count_matches_count_combinations(self, widths, positions):
+        combos = list(enumerate_combinations(widths, true_value=0.0, positions=positions))
+        assert len(combos) == count_combinations(widths, positions)
