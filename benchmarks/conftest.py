@@ -217,6 +217,21 @@ def optimize_candidates() -> int:
 
 
 @pytest.fixture(scope="session")
+def obs_overhead_floor() -> float:
+    """Maximum tolerated traced-vs-untraced slowdown fraction (default 0.05).
+
+    ``REPRO_BENCH_OBS_OVERHEAD`` loosens the telemetry overhead gate on
+    noisy shared runners (CI uses a looser value); 0.05 means a traced run
+    may cost at most 5% more wall-clock than an untraced one.
+    """
+    value = os.environ.get("REPRO_BENCH_OBS_OVERHEAD", "")
+    try:
+        return float(value) if value else 0.05
+    except ValueError:
+        return 0.05
+
+
+@pytest.fixture(scope="session")
 def report_writer():
     """Write a named report to ``benchmarks/results`` and echo it to stdout."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

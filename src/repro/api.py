@@ -31,6 +31,7 @@ caching.
 from __future__ import annotations
 
 import asyncio
+import sys
 from pathlib import Path
 from typing import Sequence
 
@@ -308,6 +309,23 @@ def create_server(
     return FusionServer(service, host=host, port=port)
 
 
+async def _metrics_reporter(service: FusionService, interval: float) -> None:
+    """Print a one-line counter summary to stderr every ``interval`` seconds."""
+    while True:
+        await asyncio.sleep(interval)
+        metrics = service.metrics()
+        latency = metrics.get("latency") or {}
+        collator = metrics.get("collator") or {}
+        line = (
+            f"metrics: served={metrics['served']} cache_hits={metrics['cache_hits']} "
+            f"deduplicated={metrics['deduplicated']} "
+            f"batches={collator.get('batches', 0)}/{collator.get('requests', 0)}"
+        )
+        if latency.get("count"):
+            line += f" p50={latency['p50_ms']:.1f}ms p95={latency['p95_ms']:.1f}ms"
+        print(line, file=sys.stderr, flush=True)
+
+
 def serve(
     *,
     host: str = "127.0.0.1",
@@ -315,6 +333,7 @@ def serve(
     store: ArtifactStore | str | Path | None = "default",
     max_wait_ms: float = 2.0,
     max_batch: int = 64,
+    metrics_interval: float | None = None,
 ) -> None:
     """Run fusion-as-a-service until interrupted (the ``repro serve`` CLI).
 
@@ -323,6 +342,10 @@ def serve(
     ``max_batch`` of them) share a single packed engine pass — and, per the
     :meth:`~repro.engine.base.Engine.run_many` contract, still receive
     payloads bit-identical to solo runs.  See ``docs/SERVING.md``.
+
+    ``metrics_interval`` (the ``--metrics`` flag) additionally prints a
+    one-line counter summary to stderr at that cadence; the full exposition
+    is always scrapeable at ``/v1/metrics`` regardless.
     """
 
     async def _serve() -> None:
@@ -335,7 +358,21 @@ def serve(
                 f"(max_wait_ms={max_wait_ms:g}, max_batch={max_batch})",
                 flush=True,
             )
-            await server.serve_forever()
+            reporter = None
+            if metrics_interval:
+                print(
+                    f"metrics: http://{server.host}:{server.port}/v1/metrics "
+                    f"(summary to stderr every {metrics_interval:g}s)",
+                    flush=True,
+                )
+                reporter = asyncio.create_task(
+                    _metrics_reporter(server.service, metrics_interval)
+                )
+            try:
+                await server.serve_forever()
+            finally:
+                if reporter is not None:
+                    reporter.cancel()
 
     try:
         asyncio.run(_serve())

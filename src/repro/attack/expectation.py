@@ -100,8 +100,8 @@ class ExpectationPolicy(AttackPolicy):
     grid_positions: int = 9
     conservative: bool = False
     tie_break: str = "random"
-    cache_hits: int = field(default=0, repr=False, compare=False)
-    cache_misses: int = field(default=0, repr=False, compare=False)
+    _hits: int = field(default=0, repr=False, compare=False)
+    _misses: int = field(default=0, repr=False, compare=False)
     _cache: dict[tuple, Interval] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -113,7 +113,28 @@ class ExpectationPolicy(AttackPolicy):
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Decisions are deterministic given the context, so the cache can
-        safely persist across rounds; ``reset`` is a no-op kept for symmetry."""
+        safely persist across rounds; ``reset`` is a no-op kept for symmetry.
+
+        The hit/miss tallies persist too: they count the memo's lifetime
+        behaviour, and the engines construct a **fresh policy per run**, so
+        each ``compare()`` leg starts from zero without ``reset`` having to
+        clear anything (``tests/attack/test_expectation.py`` pins both)."""
+
+    # ------------------------------------------------------------------
+    # Memo accounting (read-only outside; the batch attacker records via
+    # the methods below so the hot loop stays plain-int cheap)
+    # ------------------------------------------------------------------
+    def record_hit(self) -> None:
+        """Count one memo hit (used by the batch attacker's shared memo)."""
+        self._hits += 1
+
+    def record_miss(self) -> None:
+        """Count one memo miss (used by the batch attacker's shared memo)."""
+        self._misses += 1
+
+    def stats(self) -> dict:
+        """Read-only memo statistics: hits, misses, resident entries."""
+        return {"hits": self._hits, "misses": self._misses, "entries": len(self._cache)}
 
     def choose_interval(self, context: AttackContext, rng: np.random.Generator) -> Interval:
         return self._cached_decide(context, rng)
@@ -134,9 +155,9 @@ class ExpectationPolicy(AttackPolicy):
         key = self._memo_key(context)
         cached = self._cache.get(key)
         if cached is not None:
-            self.cache_hits += 1
+            self._hits += 1
             return cached
-        self.cache_misses += 1
+        self._misses += 1
         decision = self._decide(context, rng)
         self._cache[key] = decision
         return decision

@@ -919,18 +919,18 @@ def _decide_batch(
         key = policy._memo_key(ctx)
         cached = policy._cache.get(key)
         if cached is not None:
-            policy.cache_hits += 1
+            policy.record_hit()
             decisions[index] = cached
             continue
         if key in pending_keys:
             # A same-key context earlier in this batch is already being
             # computed; reuse its (forthcoming) decision like the scalar
             # loop would reuse its cache entry.
-            policy.cache_hits += 1
+            policy.record_hit()
             deferred.append((index, key))
             continue
         if _trivially_truthful(ctx):
-            policy.cache_misses += 1
+            policy.record_miss()
             decision = ctx.own_reading
             policy._cache[key] = decision
             policy._mode_memo[key] = (AttackerMode.PASSIVE, None)
@@ -947,7 +947,7 @@ def _decide_batch(
     prepared_grids = policy._prepare_candidates_many([ctx for _index, _key, ctx in staged])
     for (index, key, ctx), prepared in zip(staged, prepared_grids):
         if len(prepared) == 1:
-            policy.cache_misses += 1
+            policy.record_miss()
             decisions[index] = _store_decision(policy, key, prepared, 0)
         elif any(ctx.remaining_compromised):
             recursive.append((index, key, prepared, ctx))
@@ -974,7 +974,7 @@ def _decide_batch(
                 policy, [(prepared, ctx) for _index, _key, prepared, ctx in group]
             )
             for (index, key, prepared, _ctx), scores in zip(group, score_lists):
-                policy.cache_misses += 1
+                policy.record_miss()
                 decisions[index] = _store_decision(
                     policy, key, prepared, _selected_index(scores)
                 )
@@ -1002,7 +1002,7 @@ def _decide_batch(
                 valid = all_valid[offset : offset + rows].reshape(len(prepared), scenarios)
                 offset += rows
                 scores = policy._scores_from_widths(prepared, widths, valid)
-                policy.cache_misses += 1
+                policy.record_miss()
                 decisions[index] = _store_decision(
                     policy, key, prepared, _selected_index(scores)
                 )

@@ -66,9 +66,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.attack.candidates import PASSIVE_WIDTH_TOL
 from repro.batch.fuse import BatchFusion, _validate_bounds, batch_detect
 from repro.batch.rounds import (
@@ -400,6 +402,11 @@ def fused_rounds_prepared(
     broadcast_lo = prepared.sent_lo.copy()
     broadcast_hi = prepared.sent_hi.copy()
 
+    # The forging phase below is one long straight-line block; time it with
+    # an after-the-fact leaf span instead of a context manager so the code
+    # keeps its flat shape (obs.event is a no-op when tracing is off).
+    attack_started = perf_counter() if obs.enabled() else None
+
     if prepared.attacked:
         fa_rows = np.full(batch, len(prepared.attacked), dtype=np.int64)
         fa_max = len(prepared.attacked)
@@ -512,21 +519,26 @@ def fused_rounds_prepared(
         # the broadcast matrix.  Nothing to forge.
         pass
 
-    fusion = fused_fusion(broadcast_lo, broadcast_hi, f, scratch=buffers["sweep"])
-    flagged = batch_detect(broadcast_lo, broadcast_hi, fusion)
+    if attack_started is not None:
+        obs.event("engine.attack", perf_counter() - attack_started, kernel="fused", samples=batch)
 
-    return BatchRoundResult(
-        orders=orders,
-        correct_lo=prepared.correct_lo,
-        correct_hi=prepared.correct_hi,
-        broadcast_lo=broadcast_lo,
-        broadcast_hi=broadcast_hi,
-        fusion=fusion,
-        flagged=flagged,
-        attacked_indices=prepared.attacked,
-        fault_mask=prepared.fault_mask,
-        attacked_mask=prepared.attacked_mask,
-    )
+    with obs.span("engine.fuse", kernel="fused", samples=batch):
+        fusion = fused_fusion(broadcast_lo, broadcast_hi, f, scratch=buffers["sweep"])
+        flagged = batch_detect(broadcast_lo, broadcast_hi, fusion)
+
+    with obs.span("engine.merge", kernel="fused", samples=batch):
+        return BatchRoundResult(
+            orders=orders,
+            correct_lo=prepared.correct_lo,
+            correct_hi=prepared.correct_hi,
+            broadcast_lo=broadcast_lo,
+            broadcast_hi=broadcast_hi,
+            fusion=fusion,
+            flagged=flagged,
+            attacked_indices=prepared.attacked,
+            fault_mask=prepared.fault_mask,
+            attacked_mask=prepared.attacked_mask,
+        )
 
 
 def fused_monte_carlo_rounds(

@@ -46,6 +46,7 @@ from repro.attack.candidates import PASSIVE_WIDTH_TOL, batch_side_preference
 from repro.batch.fuse import BatchFusion, batch_detect, batch_fuse, coverage_extremes
 from repro.core.exceptions import EmptyIntersectionError, ScheduleError, SensorError
 from repro.core.marzullo import max_safe_fault_bound
+from repro import obs
 from repro.scheduling.schedule import (
     AscendingSchedule,
     DescendingSchedule,
@@ -515,6 +516,16 @@ def prepare_rounds(
     rng: np.random.Generator,
 ) -> PreparedRounds:
     """Validate a batch of rounds and draw its schedule orders and faults."""
+    with obs.span("engine.prepare", kernel="batch"):
+        return _prepare_rounds(correct_lo, correct_hi, config, rng)
+
+
+def _prepare_rounds(
+    correct_lo: np.ndarray,
+    correct_hi: np.ndarray,
+    config: BatchRoundConfig,
+    rng: np.random.Generator,
+) -> PreparedRounds:
     correct_lo = np.asarray(correct_lo, dtype=np.float64)
     correct_hi = np.asarray(correct_hi, dtype=np.float64)
     if correct_lo.ndim != 2 or correct_hi.shape != correct_lo.shape:
@@ -704,46 +715,49 @@ def batch_rounds_prepared(
     widths_by_slot = widths[rows2, orders]
     attacked_by_slot = attacked_mask[rows2, orders]
 
-    for slot in range(n):
-        sensor = orders[:, slot]
-        slot_lo = sent_lo[row_index, sensor]
-        slot_hi = sent_hi[row_index, sensor]
-        rows = attacked_mask[row_index, sensor]
-        if bool(rows.any()):
-            context = BatchSlotContext(
-                n=n,
-                f=f,
-                slot=slot,
-                rows=rows,
-                sensor=sensor,
-                width=widths[row_index, sensor],
-                own_lo=correct_lo[row_index, sensor],
-                own_hi=correct_hi[row_index, sensor],
-                delta_lo=delta_lo,
-                delta_hi=delta_hi,
-                transmitted_lo=transmitted_lo[:, :slot],
-                transmitted_hi=transmitted_hi[:, :slot],
-                far=fa_rows - sent_compromised,
-                transmitted_compromised=attacked_by_slot[:, :slot],
-                remaining_widths=widths_by_slot[:, slot + 1 :],
-                remaining_compromised=attacked_by_slot[:, slot + 1 :],
-            )
-            forged_lo, forged_hi = config.attacker.forge(context, rng)
-            slot_lo = np.where(rows, forged_lo, slot_lo)
-            slot_hi = np.where(rows, forged_hi, slot_hi)
-            sent_compromised = sent_compromised + rows
-        transmitted_lo[:, slot] = slot_lo
-        transmitted_hi[:, slot] = slot_hi
+    with obs.span("engine.attack", kernel="batch", samples=batch):
+        for slot in range(n):
+            sensor = orders[:, slot]
+            slot_lo = sent_lo[row_index, sensor]
+            slot_hi = sent_hi[row_index, sensor]
+            rows = attacked_mask[row_index, sensor]
+            if bool(rows.any()):
+                context = BatchSlotContext(
+                    n=n,
+                    f=f,
+                    slot=slot,
+                    rows=rows,
+                    sensor=sensor,
+                    width=widths[row_index, sensor],
+                    own_lo=correct_lo[row_index, sensor],
+                    own_hi=correct_hi[row_index, sensor],
+                    delta_lo=delta_lo,
+                    delta_hi=delta_hi,
+                    transmitted_lo=transmitted_lo[:, :slot],
+                    transmitted_hi=transmitted_hi[:, :slot],
+                    far=fa_rows - sent_compromised,
+                    transmitted_compromised=attacked_by_slot[:, :slot],
+                    remaining_widths=widths_by_slot[:, slot + 1 :],
+                    remaining_compromised=attacked_by_slot[:, slot + 1 :],
+                )
+                forged_lo, forged_hi = config.attacker.forge(context, rng)
+                slot_lo = np.where(rows, forged_lo, slot_lo)
+                slot_hi = np.where(rows, forged_hi, slot_hi)
+                sent_compromised = sent_compromised + rows
+            transmitted_lo[:, slot] = slot_lo
+            transmitted_hi[:, slot] = slot_hi
 
-    fusion = batch_fuse(transmitted_lo, transmitted_hi, f)
-    flagged_by_slot = batch_detect(transmitted_lo, transmitted_hi, fusion)
+    with obs.span("engine.fuse", kernel="batch", samples=batch):
+        fusion = batch_fuse(transmitted_lo, transmitted_hi, f)
+        flagged_by_slot = batch_detect(transmitted_lo, transmitted_hi, fusion)
 
-    broadcast_lo = np.empty((batch, n))
-    broadcast_hi = np.empty((batch, n))
-    flagged = np.empty((batch, n), dtype=bool)
-    broadcast_lo[rows2, orders] = transmitted_lo
-    broadcast_hi[rows2, orders] = transmitted_hi
-    flagged[rows2, orders] = flagged_by_slot
+    with obs.span("engine.merge", kernel="batch", samples=batch):
+        broadcast_lo = np.empty((batch, n))
+        broadcast_hi = np.empty((batch, n))
+        flagged = np.empty((batch, n), dtype=bool)
+        broadcast_lo[rows2, orders] = transmitted_lo
+        broadcast_hi[rows2, orders] = transmitted_hi
+        flagged[rows2, orders] = flagged_by_slot
 
     return BatchRoundResult(
         orders=orders,

@@ -37,11 +37,13 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
+from contextlib import contextmanager
 from typing import Sequence
 
-from repro import api
+from repro import api, obs
 from repro.analysis.experiments import TABLE1_CONFIGURATIONS, table1_row_name
 from repro.analysis.report import format_table
 from repro.core.exceptions import ExperimentError
@@ -196,6 +198,24 @@ def _run_dict(run: ScenarioRun) -> dict:
     }
 
 
+@contextmanager
+def _trace_scope(args: argparse.Namespace, *names: str):
+    """Record telemetry for the wrapped command when ``--trace`` is set.
+
+    A no-op without a path; with one, the command body runs inside an
+    ``obs.collect()`` scope and the trace artifact is written on success
+    (``python -m repro report perf PATH`` reads it back).
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    with obs.collect() as session:
+        yield
+        session.write_jsonl(path, meta={"command": args.command, "names": list(names)})
+    print(f"trace written to {path}", file=sys.stderr)
+
+
 def _resolve_spec(name: str, engine: str | None):
     spec = get_scenario(name)
     if engine is not None:
@@ -238,18 +258,19 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     store = default_store(args.store)
     runs = []
-    for name in args.names:
-        spec = _resolve_spec(name, args.engine)
-        run = api.run(spec, workers=args.workers, store=store, force=args.force)
-        runs.append(run)
-        if not args.json:
-            if run.cached:
-                source = "store (cache hit)"
-            else:
-                source = f"{run.shards} shard(s) on {run.workers} worker(s) in {run.elapsed_seconds:.2f}s"
-            print(f"== {run.spec.name} [{run.key[:12]}] — {source}")
-            print(render_payload(run.payload))
-            print()
+    with _trace_scope(args, *args.names):
+        for name in args.names:
+            spec = _resolve_spec(name, args.engine)
+            run = api.run(spec, workers=args.workers, store=store, force=args.force)
+            runs.append(run)
+            if not args.json:
+                if run.cached:
+                    source = "store (cache hit)"
+                else:
+                    source = f"{run.shards} shard(s) on {run.workers} worker(s) in {run.elapsed_seconds:.2f}s"
+                print(f"== {run.spec.name} [{run.key[:12]}] — {source}")
+                print(render_payload(run.payload))
+                print()
     if args.json:
         print(json.dumps({"results": [_run_dict(run) for run in runs]}, indent=2, sort_keys=True))
     return 0
@@ -262,13 +283,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         # Like `repro run --engine`: a new spec (and content hash), never an
         # in-place mutation of the registered one.
         spec = dataclasses.replace(spec, engine=args.engine)
-    run = api.optimize(
-        spec,
-        strategy=args.strategy,
-        workers=args.workers,
-        store=store,
-        force=args.force,
-    )
+    with _trace_scope(args, spec.name):
+        run = api.optimize(
+            spec,
+            strategy=args.strategy,
+            workers=args.workers,
+            store=store,
+            force=args.force,
+        )
     if args.json:
         # The full machine-readable round trip: the embedded spec dict feeds
         # spec_from_dict back to an identical spec (and content key).
@@ -458,6 +480,15 @@ _REPORTS = {
 
 def _cmd_report(args: argparse.Namespace) -> int:
     store = default_store(args.store)
+    if args.name == "perf":
+        # `report perf` *reads* the --trace artifact recorded by an earlier
+        # `run --trace PATH`, so it is resolved before the scenario/report
+        # namespaces (and --trace here is an input, not a recording path).
+        from repro.obs.report import build_perf_report, render_perf_report
+
+        payload = build_perf_report(args.trace)
+        print(json.dumps(payload, indent=2, sort_keys=True) if args.json else render_perf_report(payload))
+        return 0
     if args.name in _REPORTS:
         if args.engine is not None:
             raise ExperimentError(
@@ -471,15 +502,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.name not in available_scenarios():
         # One message covering both namespaces the command accepts, with
         # did-you-mean hints drawn from reports *and* scenarios.
-        close = near_misses(args.name, [*_REPORTS, *available_scenarios()])
+        close = near_misses(args.name, [*_REPORTS, "perf", *available_scenarios()])
         hint = f"; did you mean: {', '.join(close)}?" if close else ""
         raise ExperimentError(
             f"unknown scenario or derived report {args.name!r}{hint} "
-            f"(derived reports: {', '.join(sorted(_REPORTS))}; run "
+            f"(derived reports: {', '.join(sorted([*_REPORTS, 'perf']))}; run "
             "`python -m repro list` for the scenario catalogue)"
         )
     spec = _resolve_spec(args.name, args.engine)
-    run = api.run(spec, workers=args.workers, store=store, force=args.force)
+    with _trace_scope(args, spec.name):
+        run = api.run(spec, workers=args.workers, store=store, force=args.force)
     print(json.dumps(_run_dict(run), indent=2, sort_keys=True) if args.json else render_payload(run.payload))
     return 0
 
@@ -491,6 +523,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=args.store if args.store else "default",
         max_wait_ms=args.max_wait_ms,
         max_batch=args.max_batch,
+        metrics_interval=10.0 if args.metrics else None,
     )
     return 0
 
@@ -606,6 +639,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--force", action="store_true", help="recompute even on a cache hit")
         sub.add_argument("--store", help="artifact store directory (default results/store)")
         sub.add_argument("--json", action="store_true", help="machine-readable output")
+        sub.add_argument(
+            "--trace",
+            default=os.environ.get("REPRO_TRACE") or None,
+            metavar="PATH",
+            help=(
+                "record a JSONL telemetry trace of this command to PATH "
+                "(render it with `python -m repro report perf --trace PATH`; "
+                "default from $REPRO_TRACE)"
+            ),
+        )
 
     run_parser = subparsers.add_parser("run", help="run scenarios through the sharded runner")
     run_parser.add_argument("names", nargs="+", metavar="NAME", help="scenario name(s)")
@@ -637,7 +680,10 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "name",
         metavar="NAME",
-        help=f"scenario name or derived report ({', '.join(sorted(_REPORTS))})",
+        help=(
+            "scenario name or derived report "
+            f"({', '.join(sorted([*_REPORTS, 'perf']))}; perf reads a --trace artifact)"
+        ),
     )
     add_run_options(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
@@ -660,6 +706,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush a batch at this many coalesced requests (1 disables coalescing)",
     )
     serve_parser.add_argument("--store", help="artifact store directory (default results/store)")
+    serve_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a one-line counter summary to stderr every 10s "
+        "(the /v1/metrics exposition is always on)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
     store_parser = subparsers.add_parser("store", help="artifact-store housekeeping")

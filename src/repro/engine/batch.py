@@ -32,6 +32,7 @@ from repro.batch.rounds import (
     sample_correct_bounds,
 )
 from repro.core.exceptions import ExperimentError
+from repro import obs
 from repro.engine.base import (
     AttackSpec,
     Engine,
@@ -75,6 +76,19 @@ class BatchEngine(Engine):
             )
         return ActiveStretchBatchAttacker(side=attack.side)
 
+    @staticmethod
+    def _flush_attacker_stats(attacker: BatchAttacker) -> None:
+        # Fold the expectation memo's per-run hit/miss tallies into the live
+        # telemetry scope (no-op when tracing is off); the policy itself
+        # keeps plain ints so the per-decision hot path stays lock-free.
+        if not obs.enabled() or not isinstance(attacker, ExactExpectationBatchAttacker):
+            return
+        stats = attacker.policy.stats()
+        if stats["hits"]:
+            obs.add("repro_expectation_memo_total", stats["hits"], outcome="hit")
+        if stats["misses"]:
+            obs.add("repro_expectation_memo_total", stats["misses"], outcome="miss")
+
     def run_rounds(
         self,
         config: ScheduleComparisonConfig,
@@ -94,9 +108,12 @@ class BatchEngine(Engine):
             f=config.resolved_f,
             faults=faults,
         )
-        result = self._driver(
-            config.lengths, round_config, samples, true_value=config.true_value, rng=rng
-        )
+        with obs.span("engine.run", engine=self.name, schedule=schedule.name, samples=samples):
+            result = self._driver(
+                config.lengths, round_config, samples, true_value=config.true_value, rng=rng
+            )
+        obs.add("repro_engine_samples_total", samples, engine=self.name)
+        self._flush_attacker_stats(round_config.attacker)
         return self._rounds_result(schedule, result)
 
     @staticmethod
@@ -159,15 +176,20 @@ class BatchEngine(Engine):
             f=config.resolved_f,
             faults=faults,
         )
-        items = [
-            prepare_rounds(
-                *sample_correct_bounds(config.lengths, config.true_value, samples, rng),
-                round_config,
-                rng,
-            )
-            for samples, rng in zip(budgets, streams)
-        ]
-        packed = self._prepared_driver(concat_prepared(items), round_config, streams[0])
+        with obs.span(
+            "engine.run", engine=self.name, schedule=schedule.name, samples=sum(budgets), items=len(budgets)
+        ):
+            items = [
+                prepare_rounds(
+                    *sample_correct_bounds(config.lengths, config.true_value, samples, rng),
+                    round_config,
+                    rng,
+                )
+                for samples, rng in zip(budgets, streams)
+            ]
+            packed = self._prepared_driver(concat_prepared(items), round_config, streams[0])
+        obs.add("repro_engine_samples_total", sum(budgets), engine=self.name)
+        self._flush_attacker_stats(round_config.attacker)
         full = self._rounds_result(schedule, packed)
         results = []
         start = 0

@@ -27,6 +27,7 @@ from repro.attack.stretch import ActiveStretchPolicy
 from repro.batch.rounds import BatchTransientFaults, batch_orders, sample_correct_bounds
 from repro.core.exceptions import EmptyFusionError, ExperimentError
 from repro.core.interval import Interval
+from repro import obs
 from repro.engine.base import (
     AttackSpec,
     Engine,
@@ -77,27 +78,40 @@ class ScalarEngine(Engine):
         samples: int = 10_000,
         rng: np.random.Generator | None = None,
     ) -> RoundsResult:
+        with obs.span("engine.run", engine=self.name, schedule=schedule.name, samples=samples):
+            return self._run_rounds(config, schedule, attack, faults, samples, rng)
+
+    def _run_rounds(
+        self,
+        config: ScheduleComparisonConfig,
+        schedule: Schedule,
+        attack: AttackSpec,
+        faults: BatchTransientFaults | None,
+        samples: int,
+        rng: np.random.Generator | None,
+    ) -> RoundsResult:
         check_samples(samples)
         spec = resolve_attack(attack)
         rng = ensure_rng(rng)
         n = config.n
         attacked = config.resolved_attacked
 
-        lowers, uppers = sample_correct_bounds(config.lengths, config.true_value, samples, rng)
-        # Schedules order sensors by their *correct* widths (widths are the
-        # public a-priori information, and transient faults only displace an
-        # interval).  Precomputing the orders with the same vectorized call
-        # as the batch engine keeps the two RNG streams — and, down to
-        # floating-point tie-breaking on faulted rounds, the simulated
-        # rounds — bit-identical across engines.
-        orders = batch_orders(schedule, uppers - lowers, rng)
-        if faults is not None:
-            # Same fault model, mask semantics and RNG consumption as the
-            # batch engine: honest sensors only, drawn for the whole batch.
-            eligible = np.ones((samples, n), dtype=bool)
-            if attacked:
-                eligible[:, list(attacked)] = False
-            lowers, uppers, _fault_mask = faults.apply(lowers, uppers, eligible, rng)
+        with obs.span("engine.prepare", engine=self.name):
+            lowers, uppers = sample_correct_bounds(config.lengths, config.true_value, samples, rng)
+            # Schedules order sensors by their *correct* widths (widths are the
+            # public a-priori information, and transient faults only displace an
+            # interval).  Precomputing the orders with the same vectorized call
+            # as the batch engine keeps the two RNG streams — and, down to
+            # floating-point tie-breaking on faulted rounds, the simulated
+            # rounds — bit-identical across engines.
+            orders = batch_orders(schedule, uppers - lowers, rng)
+            if faults is not None:
+                # Same fault model, mask semantics and RNG consumption as the
+                # batch engine: honest sensors only, drawn for the whole batch.
+                eligible = np.ones((samples, n), dtype=bool)
+                if attacked:
+                    eligible[:, list(attacked)] = False
+                lowers, uppers, _fault_mask = faults.apply(lowers, uppers, eligible, rng)
 
         policy = self._policy(spec)
         fusion_lo = np.full(samples, np.nan)
@@ -107,33 +121,41 @@ class ScalarEngine(Engine):
         broadcast_lo = np.full((samples, n), np.nan)
         broadcast_hi = np.full((samples, n), np.nan)
         flagged = np.zeros((samples, n), dtype=bool)
-        for index in range(samples):
-            intervals = [Interval(lowers[index, i], uppers[index, i]) for i in range(n)]
-            round_config = RoundConfig(
-                schedule=FixedSchedule(tuple(int(i) for i in orders[index])),
-                attacked_indices=attacked,
-                policy=policy,
-                f=config.resolved_f,
-            )
-            try:
-                result = run_round(intervals, round_config, rng)
-            except EmptyFusionError:
-                # The batch engine reports these rounds through its `valid`
-                # mask; mirror that instead of aborting the sweep.  The
-                # per-sensor arrays keep their NaN / all-False convention for
-                # these rows on both backends.
-                continue
-            fusion_lo[index] = result.fusion.lo
-            fusion_hi[index] = result.fusion.hi
-            valid[index] = True
-            detected[index] = result.attacker_detected
-            for sensor, interval in enumerate(result.broadcast):
-                broadcast_lo[index, sensor] = interval.lo
-                broadcast_hi[index, sensor] = interval.hi
-            # Detection reports flags in slot order; re-index by sensor like
-            # the batch engine's flagged array.
-            for slot, sensor in enumerate(result.order):
-                flagged[index, sensor] = result.detection.is_flagged(slot)
+        with obs.span("engine.rounds", engine=self.name, samples=samples):
+            for index in range(samples):
+                intervals = [Interval(lowers[index, i], uppers[index, i]) for i in range(n)]
+                round_config = RoundConfig(
+                    schedule=FixedSchedule(tuple(int(i) for i in orders[index])),
+                    attacked_indices=attacked,
+                    policy=policy,
+                    f=config.resolved_f,
+                )
+                try:
+                    result = run_round(intervals, round_config, rng)
+                except EmptyFusionError:
+                    # The batch engine reports these rounds through its `valid`
+                    # mask; mirror that instead of aborting the sweep.  The
+                    # per-sensor arrays keep their NaN / all-False convention for
+                    # these rows on both backends.
+                    continue
+                fusion_lo[index] = result.fusion.lo
+                fusion_hi[index] = result.fusion.hi
+                valid[index] = True
+                detected[index] = result.attacker_detected
+                for sensor, interval in enumerate(result.broadcast):
+                    broadcast_lo[index, sensor] = interval.lo
+                    broadcast_hi[index, sensor] = interval.hi
+                # Detection reports flags in slot order; re-index by sensor like
+                # the batch engine's flagged array.
+                for slot, sensor in enumerate(result.order):
+                    flagged[index, sensor] = result.detection.is_flagged(slot)
+        obs.add("repro_engine_samples_total", samples, engine=self.name)
+        if obs.enabled() and isinstance(policy, ExpectationPolicy):
+            stats = policy.stats()
+            if stats["hits"]:
+                obs.add("repro_expectation_memo_total", stats["hits"], outcome="hit")
+            if stats["misses"]:
+                obs.add("repro_expectation_memo_total", stats["misses"], outcome="miss")
         return RoundsResult(
             schedule_name=schedule.name,
             fusion_lo=fusion_lo,

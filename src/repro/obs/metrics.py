@@ -1,0 +1,282 @@
+"""Process-local metric primitives: counters, gauges, histograms, registry.
+
+The metric model is deliberately tiny and dependency-free:
+
+- a :class:`Counter` is a monotonically increasing float;
+- a :class:`Gauge` is a last-write-wins float with a ``set_max`` helper for
+  high-water marks;
+- a :class:`Histogram` buckets observations into **fixed, log-spaced bucket
+  bounds** (:data:`DEFAULT_BUCKETS`, three buckets per decade from 10 µs to
+  100 s).  Fixed bounds are the load-bearing choice: two histograms of the
+  same metric always share bounds, so merging snapshots is exact bucket-wise
+  integer addition — shard telemetry merged by the runner is bit-identical
+  no matter how many workers produced it.
+
+A :class:`Registry` owns a set of metrics keyed by ``(name, labels)``.
+Registries are process-local and cheap; the serve layer creates one per
+:class:`~repro.serve.service.FusionService` so concurrent services (and
+tests) never share counters, while traced runs create one per
+:func:`repro.obs.trace.collect` scope.  ``snapshot()`` produces a plain
+picklable/JSON-able dict and ``merge()`` folds such a snapshot back in —
+the pair is the transport used to ship worker telemetry across the
+process pool.
+
+:func:`render_prometheus` renders one or more registries in the Prometheus
+text exposition format (``text/plain; version=0.0.4``): counters as
+``*_total`` samples, histograms as cumulative ``_bucket{le="..."}`` series
+plus ``_sum``/``_count``.  No client library is involved; the format is
+simple enough to emit directly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "render_prometheus",
+]
+
+#: Fixed log-spaced histogram bounds: three per decade, 1e-5 s .. 1e2 s.
+#: Every histogram in the repo uses these bounds unless a caller overrides
+#: them, which is what makes cross-shard merges exact (bucket-wise sums of
+#: identically-bounded histograms lose nothing).
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 3.0), 10) for exponent in range(-15, 7)
+)
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*sorted((str(k), str(v)) for k, v in labels.items()), *extra]
+    if not items:
+        return ""
+    escaped = (
+        f'{key}="' + value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n") + '"'
+        for key, value in items
+    )
+    return "{" + ",".join(escaped) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing count (render suffix convention: ``_total``)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc({amount}))")
+        with self._lock:
+            self._value += amount
+
+
+class Gauge:
+    """A last-write-wins value; merges keep the maximum (high-water mark)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+
+class Histogram:
+    """Fixed-bound bucketed observations with exact merges.
+
+    ``counts[i]`` holds observations ``<= bounds[i]`` (non-cumulative);
+    ``counts[-1]`` is the overflow bucket.  Quantiles are estimated as the
+    upper bound of the bucket containing the requested rank — coarse (three
+    buckets per decade) but merge-stable: the estimate is a pure function
+    of the bucket counts, so it is identical however the observations were
+    sharded.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "total", "count", "_lock")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        bounds: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds = tuple(float(bound) for bound in bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name!r} bounds must be sorted")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.total += float(value)
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound at rank ``q`` (0 < q <= 1); ``nan`` when empty."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = math.ceil(q * self.count)
+        cumulative = 0
+        for index, bucket in enumerate(self.counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                return self.bounds[index] if index < len(self.bounds) else math.inf
+        return math.inf  # pragma: no cover - rank <= count by construction
+
+
+class Registry:
+    """A process-local collection of metrics keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels: Mapping[str, str], **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, labels, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}, "
+                    f"requested {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, /, buckets: Iterable[float] = DEFAULT_BUCKETS, **labels: str
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, bounds=buckets)
+
+    def metrics(self) -> list:
+        """All registered metrics in deterministic (name, labels) order."""
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self) -> dict:
+        """A plain picklable/JSON-able dump, the merge/transport format."""
+        counters, gauges, histograms = [], [], []
+        for metric in self.metrics():
+            if isinstance(metric, Counter):
+                counters.append({"name": metric.name, "labels": metric.labels, "value": metric.value})
+            elif isinstance(metric, Gauge):
+                gauges.append({"name": metric.name, "labels": metric.labels, "value": metric.value})
+            else:
+                histograms.append(
+                    {
+                        "name": metric.name,
+                        "labels": metric.labels,
+                        "bounds": list(metric.bounds),
+                        "counts": list(metric.counts),
+                        "sum": metric.total,
+                        "count": metric.count,
+                    }
+                )
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot` back in; exact for counters and histograms."""
+        for row in snapshot.get("counters", ()):
+            self.counter(row["name"], **row["labels"]).inc(row["value"])
+        for row in snapshot.get("gauges", ()):
+            self.gauge(row["name"], **row["labels"]).set_max(row["value"])
+        for row in snapshot.get("histograms", ()):
+            histogram = self.histogram(row["name"], buckets=row["bounds"], **row["labels"])
+            if list(histogram.bounds) != [float(b) for b in row["bounds"]]:
+                raise ValueError(
+                    f"histogram {row['name']!r} bucket bounds differ; merge would be lossy"
+                )
+            with histogram._lock:
+                for index, bucket in enumerate(row["counts"]):
+                    histogram.counts[index] += int(bucket)
+                histogram.total += float(row["sum"])
+                histogram.count += int(row["count"])
+
+
+def render_prometheus(*registries: Registry) -> str:
+    """Render registries in the Prometheus text exposition format (0.0.4)."""
+    merged = Registry()
+    for registry in registries:
+        merged.merge(registry.snapshot())
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for metric in merged.metrics():
+        if metric.name not in seen_types:
+            seen_types.add(metric.name)
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name}{_render_labels(metric.labels)} {_format_value(metric.value)}")
+        else:
+            cumulative = 0
+            for index, bound in enumerate((*metric.bounds, math.inf)):
+                cumulative += metric.counts[index]
+                labels = _render_labels(metric.labels, (("le", _format_value(bound)),))
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(metric.labels)
+            lines.append(f"{metric.name}_sum{labels} {_format_value(metric.total)}")
+            lines.append(f"{metric.name}_count{labels} {metric.count}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,222 @@
+"""Span tracing: thread-local collection scopes, no-op default, JSONL export.
+
+Tracing is **off by default** and enabled by entering a
+:func:`collect` scope::
+
+    with obs.collect() as session:
+        payload = run_scenario(spec, store=store)
+        session.write_jsonl("trace.jsonl", meta={"scenario": spec.name})
+
+Inside the scope, :func:`span` opens timed spans on a thread-local stack
+(children attach to the innermost open span) and the metric helpers in
+:mod:`repro.obs` record into the scope's :class:`~repro.obs.metrics.Registry`.
+Outside any scope, :func:`span` returns a shared no-op context manager and
+the metric helpers return immediately — instrumented hot paths cost a
+thread-local read and a ``None`` check, nothing else
+(``benchmarks/bench_obs.py`` gates the overhead).
+
+Two properties are contractual:
+
+- **RNG isolation.**  Timings come from :func:`time.perf_counter` (a
+  monotonic clock); no telemetry code path touches ``numpy.random`` or any
+  other entropy source, so simulated payloads are bit-identical with
+  tracing on or off (``tests/obs/test_bit_identity.py``).
+- **Worker-count invariance.**  A collection's :meth:`Session.snapshot` is
+  plain picklable data; the runner opens one isolated scope per shard
+  *inside* the worker (:func:`repro.runner.runner.execute_task_traced`) and
+  grafts the snapshots back in plan order, so the merged span tree and all
+  merged counter/histogram counts are identical for 1 or N workers
+  (``tests/obs/test_worker_invariance.py``).
+
+JSONL schema (one object per line):
+
+- ``{"kind": "meta", "version": 1, ...}`` — first line, caller metadata;
+- ``{"kind": "span", "span": {"name", "attrs", "duration_s", "children"}}``
+  — one line per *root* span, children nested inline;
+- ``{"kind": "counter"|"gauge", "name", "labels", "value"}``;
+- ``{"kind": "histogram", "name", "labels", "bounds", "counts", "sum",
+  "count"}`` — non-cumulative bucket counts, see
+  :class:`repro.obs.metrics.Histogram`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, Mapping
+
+from repro.obs.metrics import Registry
+
+__all__ = ["Collection", "Session", "collect", "enabled", "span", "event", "graft", "active"]
+
+_STATE = threading.local()
+
+
+def active() -> "Collection | None":
+    """The innermost live collection on this thread, or ``None``."""
+    return getattr(_STATE, "collection", None)
+
+
+def enabled() -> bool:
+    """True when a :func:`collect` scope is live on this thread."""
+    return getattr(_STATE, "collection", None) is not None
+
+
+class Collection:
+    """A live telemetry scope: a registry plus a span tree under construction."""
+
+    def __init__(self) -> None:
+        self.registry = Registry()
+        self.roots: list[dict] = []
+        self._stack: list[dict] = []
+
+    # -- span lifecycle -------------------------------------------------
+    def start_span(self, name: str, attrs: dict) -> dict:
+        node = {"name": name, "attrs": attrs, "duration_s": None, "children": [], "_start": perf_counter()}
+        self._stack.append(node)
+        return node
+
+    def end_span(self, node: dict) -> None:
+        node["duration_s"] = perf_counter() - node.pop("_start")
+        popped = self._stack.pop()
+        if popped is not node:  # pragma: no cover - misuse guard
+            raise RuntimeError(f"span {popped['name']!r} closed out of order (expected {node['name']!r})")
+        self._attach(node)
+
+    def add_event(self, name: str, duration_s: float, attrs: dict) -> None:
+        """Append an already-timed leaf span (safe across ``await`` points)."""
+        self._attach({"name": name, "attrs": attrs, "duration_s": float(duration_s), "children": []})
+
+    def _attach(self, node: dict) -> None:
+        if self._stack:
+            self._stack[-1]["children"].append(node)
+        else:
+            self.roots.append(node)
+
+    # -- transport ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable dump of finished spans and metrics (open spans excluded)."""
+        return {"spans": [_strip(node) for node in self.roots], "metrics": self.registry.snapshot()}
+
+    def graft(self, snapshot: Mapping) -> None:
+        """Merge a shard :meth:`snapshot`: metrics exactly, spans as children
+        of the innermost open span (or as roots), in call order — the runner
+        calls this in plan order, which is what makes merged trees
+        worker-count-invariant."""
+        self.registry.merge(snapshot.get("metrics", {}))
+        for node in snapshot.get("spans", ()):
+            self._attach(dict(node))
+
+
+def _strip(node: dict) -> dict:
+    return {
+        "name": node["name"],
+        "attrs": node["attrs"],
+        "duration_s": node["duration_s"],
+        "children": [_strip(child) for child in node["children"]],
+    }
+
+
+class _NoopSpan:
+    """Shared do-nothing span, returned whenever no collection is live."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("_collection", "_name", "_attrs", "_node")
+
+    def __init__(self, collection: Collection, name: str, attrs: dict) -> None:
+        self._collection = collection
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._node = self._collection.start_span(self._name, self._attrs)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._collection.end_span(self._node)
+        return False
+
+
+def span(name: str, /, **attrs):
+    """A timed span context manager; a shared no-op outside :func:`collect`."""
+    collection = getattr(_STATE, "collection", None)
+    if collection is None:
+        return _NOOP
+    return _Span(collection, name, attrs)
+
+
+def event(name: str, duration_s: float, /, **attrs) -> None:
+    """Record an already-timed leaf span (for async code, where a sync
+    context manager spanning ``await`` points would interleave wrongly)."""
+    collection = getattr(_STATE, "collection", None)
+    if collection is not None:
+        collection.add_event(name, duration_s, attrs)
+
+
+def graft(snapshot: Mapping) -> None:
+    """Merge a shard snapshot into the live collection (no-op when disabled)."""
+    collection = getattr(_STATE, "collection", None)
+    if collection is not None:
+        collection.graft(snapshot)
+
+
+class Session:
+    """Handle yielded by :func:`collect`: snapshot access and JSONL export."""
+
+    def __init__(self, collection: Collection) -> None:
+        self.collection = collection
+
+    @property
+    def registry(self) -> Registry:
+        return self.collection.registry
+
+    def snapshot(self) -> dict:
+        return self.collection.snapshot()
+
+    def write_jsonl(self, path, meta: Mapping | None = None):
+        """Write the trace artifact; returns the path written."""
+        snapshot = self.snapshot()
+        lines = [json.dumps({"kind": "meta", "version": 1, **(dict(meta) if meta else {})}, sort_keys=True)]
+        lines.extend(json.dumps({"kind": "span", "span": node}, sort_keys=True) for node in snapshot["spans"])
+        metrics = snapshot["metrics"]
+        for row in metrics["counters"]:
+            lines.append(json.dumps({"kind": "counter", **row}, sort_keys=True))
+        for row in metrics["gauges"]:
+            lines.append(json.dumps({"kind": "gauge", **row}, sort_keys=True))
+        for row in metrics["histograms"]:
+            lines.append(json.dumps({"kind": "histogram", **row}, sort_keys=True))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        return path
+
+
+@contextmanager
+def collect() -> Iterator[Session]:
+    """Enable telemetry on this thread for the duration of the scope.
+
+    Scopes nest: an inner ``collect()`` (a traced shard executing in-process
+    on the ``workers=1`` path) shadows the outer one and restores it on
+    exit, so per-shard telemetry stays isolated exactly as it would be in a
+    pool worker.
+    """
+    previous = getattr(_STATE, "collection", None)
+    collection = Collection()
+    _STATE.collection = collection
+    try:
+        yield Session(collection)
+    finally:
+        _STATE.collection = previous

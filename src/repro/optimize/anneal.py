@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, ClassVar, Sequence
 
+from repro import obs
 from repro.core.exceptions import ExperimentError
 from repro.optimize.base import Optimizer, best_row, register_optimizer, sort_key
 from repro.optimize.evaluator import ANNEAL_STREAM, baseline_permutations
@@ -155,6 +156,10 @@ class AnnealOptimizer(Optimizer):
     ) -> dict:
         _, steps = params
         state = run_chain(spec, evaluator, until_step=steps)
+        # Acceptance telemetry: counts come straight from the chain state, so
+        # they are exact after a resume too (the state carries the tallies).
+        obs.add("repro_anneal_steps_total", state["step"])
+        obs.add("repro_anneal_accepted_total", state["accepted"])
         rows = [evaluator.evaluate(permutation, spec.samples) for permutation in state["visited"]]
         return {
             "rows": rows,

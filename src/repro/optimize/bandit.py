@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, ClassVar
 
+from repro import obs
 from repro.optimize.base import Optimizer, register_optimizer, sort_key
 from repro.optimize.evaluator import BANDIT_STREAM, baseline_permutations
 from repro.scheduling.enumeration import count_distinct_schedules
@@ -90,7 +91,9 @@ class BanditOptimizer(Optimizer):
                 (evaluator.evaluate(permutation, budget) for permutation in field), key=sort_key
             )
             rungs.append({"budget": budget, "candidates": len(field)})
+            obs.add("repro_bandit_rung_candidates_total", len(field), rung=str(rung))
             survivors = max(1, math.ceil(len(ranked) / 2))
+            obs.add("repro_bandit_rung_survivors_total", survivors, rung=str(rung))
             field = [tuple(row["permutation"]) for row in ranked[:survivors]]
         # Final rung at the full budget; baselines always re-enter so the
         # payload can compare best-found against every paper ordering.
@@ -100,6 +103,7 @@ class BanditOptimizer(Optimizer):
                 finalists.append(permutation)
         rows = [evaluator.evaluate(permutation, spec.samples) for permutation in finalists]
         rungs.append({"budget": spec.samples, "candidates": len(finalists)})
+        obs.add("repro_bandit_rung_candidates_total", len(finalists), rung=str(rounds - 1))
         return {"rows": rows, "history": {"bandit": {"rungs": rungs}}}
 
 

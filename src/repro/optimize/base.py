@@ -27,6 +27,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Callable, ClassVar
 
+from repro import obs
 from repro.core.exceptions import ExperimentError
 
 if TYPE_CHECKING:  # annotation-only: repro.scenarios lazily imports us back
@@ -104,17 +105,18 @@ class Optimizer(abc.ABC):
         keeping the first full-budget measurement — they are bit-identical
         anyway) and merges the histories of single-task strategies.
         """
-        rows: list[dict] = []
-        seen: set[tuple] = set()
-        history: dict = {}
-        for outcome in outcomes:
-            for row in outcome["rows"]:
-                key = (tuple(row["permutation"]), row["samples"])
-                if key not in seen:
-                    seen.add(key)
-                    rows.append(row)
-            history.update(outcome.get("history", {}))
-        return {"rows": rows, "history": history}
+        with obs.span("optimize.merge", strategy=self.name, tasks=len(outcomes)):
+            rows: list[dict] = []
+            seen: set[tuple] = set()
+            history: dict = {}
+            for outcome in outcomes:
+                for row in outcome["rows"]:
+                    key = (tuple(row["permutation"]), row["samples"])
+                    if key not in seen:
+                        seen.add(key)
+                        rows.append(row)
+                history.update(outcome.get("history", {}))
+            return {"rows": rows, "history": history}
 
 
 _REGISTRY: dict[str, Callable[[], Optimizer]] = {}

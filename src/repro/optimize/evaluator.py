@@ -33,10 +33,12 @@ approximation.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.engine import get_engine
 from repro.scheduling.enumeration import canonical_schedule
 from repro.scheduling.schedule import FixedSchedule
@@ -140,17 +142,23 @@ class ScheduleEvaluator:
         key = (canonical, int(samples))
         row = self._memo.get(key)
         if row is not None:
+            obs.add("repro_optimize_evaluations_total", 1, outcome="memo")
             return row
         budgets = _shard_sizes(int(samples), self.spec.shard_samples)
         rngs = jumped_rngs(self.spec.seed, len(budgets), EVAL_STREAM, *canonical)
-        results = self.engine.run_many(
-            self.config,
-            FixedSchedule(canonical),
-            self.attack,
-            self.faults,
-            budgets=budgets,
-            rngs=rngs,
-        )
+        started = perf_counter() if obs.enabled() else None
+        with obs.span("optimize.evaluate", engine=self.engine.name, samples=int(samples)):
+            results = self.engine.run_many(
+                self.config,
+                FixedSchedule(canonical),
+                self.attack,
+                self.faults,
+                budgets=budgets,
+                rngs=rngs,
+            )
+        if started is not None:
+            obs.add("repro_optimize_evaluations_total", 1, outcome="unique")
+            obs.observe("repro_optimize_evaluation_seconds", perf_counter() - started)
         self.unique_evaluations += 1
         self.engine_passes += 1
         self.rounds_simulated += int(samples)

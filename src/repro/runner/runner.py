@@ -35,6 +35,7 @@ from datetime import datetime, timezone
 
 import numpy as np
 
+from repro import obs
 from repro.core.exceptions import ExperimentError
 from repro.engine import default_engine_name, get_engine
 from repro.runner.store import ArtifactStore
@@ -399,6 +400,23 @@ def execute_task(task: ShardTask):
     return _EXECUTORS[task.spec.kind](task)
 
 
+def execute_task_traced(task: ShardTask):
+    """Traced twin of :func:`execute_task`: ``(outcome, telemetry snapshot)``.
+
+    The telemetry scope is opened *inside* this function, so per-shard spans
+    and metrics are collected identically whether the call runs in a pool
+    worker (where the parent's thread-local scope never propagates) or
+    in-process on the ``workers=1`` path — that symmetry is what makes the
+    merged trace worker-count-invariant.  Module-level so worker processes
+    can pickle it; the returned snapshot is plain picklable data.
+    """
+    with obs.collect() as session:
+        with obs.span("runner.shard", index=task.index, kind=task.spec.kind):
+            outcome = _EXECUTORS[task.spec.kind](task)
+        snapshot = session.snapshot()
+    return outcome, snapshot
+
+
 def merge_outcomes(spec: ScenarioSpec, outcomes: list) -> dict:
     """Merge plan-ordered shard outcomes into the scenario payload.
 
@@ -448,44 +466,58 @@ def run_scenario(
         raise ExperimentError(f"need at least one worker, got {workers}")
     spec = resolve_spec_engine(spec)
     key = spec_key(spec)
-    if store is not None and not force:
-        document = store.load(spec)
-        if document is not None:
-            return ScenarioRun(
-                spec=spec,
-                key=key,
-                payload=document["payload"],
-                cached=True,
-                shards=int(document.get("meta", {}).get("shards", 0)),
-                workers=0,
-                elapsed_seconds=0.0,
-                store_path=str(store.path_for(spec)),
+    with obs.span(
+        "runner.run_scenario", scenario=spec.name, kind=spec.kind, workers=workers
+    ):
+        if store is not None and not force:
+            document = store.load(spec)
+            if document is not None:
+                return ScenarioRun(
+                    spec=spec,
+                    key=key,
+                    payload=document["payload"],
+                    cached=True,
+                    shards=int(document.get("meta", {}).get("shards", 0)),
+                    workers=0,
+                    elapsed_seconds=0.0,
+                    store_path=str(store.path_for(spec)),
+                )
+        with obs.span("runner.plan", scenario=spec.name):
+            tasks = plan_tasks(spec)
+        tracing = obs.enabled()
+        started = time.perf_counter()
+        if workers == 1 or len(tasks) == 1:
+            executor = execute_task_traced if tracing else execute_task
+            outcomes = [executor(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+                # Executor.map returns results in submission (= plan/merge) order
+                # no matter which worker finishes first.
+                outcomes = list(pool.map(execute_task_traced if tracing else execute_task, tasks))
+        if tracing:
+            # Plan-ordered grafting: shard span trees and metrics land in the
+            # parent scope in the same order however many workers ran them.
+            outcomes, snapshots = zip(*outcomes) if outcomes else ((), ())
+            outcomes = list(outcomes)
+            for snapshot in snapshots:
+                obs.graft(snapshot)
+        with obs.span("runner.merge", scenario=spec.name, shards=len(tasks)):
+            payload = merge_outcomes(spec, outcomes)
+        elapsed = time.perf_counter() - started
+        store_path = None
+        if store is not None:
+            store_path = str(
+                store.save(
+                    spec,
+                    payload,
+                    meta={
+                        "shards": len(tasks),
+                        "workers": workers,
+                        "elapsed_seconds": elapsed,
+                        "created_at": datetime.now(timezone.utc).isoformat(),
+                    },
+                )
             )
-    tasks = plan_tasks(spec)
-    started = time.perf_counter()
-    if workers == 1 or len(tasks) == 1:
-        outcomes = [execute_task(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            # Executor.map returns results in submission (= plan/merge) order
-            # no matter which worker finishes first.
-            outcomes = list(pool.map(execute_task, tasks))
-    payload = merge_outcomes(spec, outcomes)
-    elapsed = time.perf_counter() - started
-    store_path = None
-    if store is not None:
-        store_path = str(
-            store.save(
-                spec,
-                payload,
-                meta={
-                    "shards": len(tasks),
-                    "workers": workers,
-                    "elapsed_seconds": elapsed,
-                    "created_at": datetime.now(timezone.utc).isoformat(),
-                },
-            )
-        )
     return ScenarioRun(
         spec=spec,
         key=key,

@@ -27,6 +27,7 @@ import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.scenarios.spec import ScenarioSpec, spec_dict, spec_key
 
 __all__ = ["STORE_ENV_VAR", "DEFAULT_STORE_DIR", "ArtifactStore", "default_store"]
@@ -60,23 +61,29 @@ class ArtifactStore:
         emitted so silent corruption still surfaces in logs.
         """
         path = self.path_for(spec)
-        if not path.exists():
-            return None
-        try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as error:
-            self._warn_corrupt(path, f"unreadable ({error})")
-            return None
-        if (
-            not isinstance(document, dict)
-            or not isinstance(document.get("payload"), dict)
-        ):
-            self._warn_corrupt(path, "document carries no payload")
-            return None
-        if document.get("spec") != _jsonified_spec(spec):
-            self._warn_corrupt(path, "embedded spec does not match the requested spec")
-            return None
-        return document
+        with obs.span("store.load", name=spec.name):
+            if not path.exists():
+                obs.add("repro_store_reads_total", outcome="miss")
+                return None
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as error:
+                self._warn_corrupt(path, f"unreadable ({error})")
+                obs.add("repro_store_reads_total", outcome="corrupt")
+                return None
+            if (
+                not isinstance(document, dict)
+                or not isinstance(document.get("payload"), dict)
+            ):
+                self._warn_corrupt(path, "document carries no payload")
+                obs.add("repro_store_reads_total", outcome="corrupt")
+                return None
+            if document.get("spec") != _jsonified_spec(spec):
+                self._warn_corrupt(path, "embedded spec does not match the requested spec")
+                obs.add("repro_store_reads_total", outcome="corrupt")
+                return None
+            obs.add("repro_store_reads_total", outcome="hit")
+            return document
 
     @staticmethod
     def _warn_corrupt(path: Path, reason: str) -> None:
@@ -89,6 +96,11 @@ class ArtifactStore:
 
     def save(self, spec: ScenarioSpec, payload: dict, meta: dict | None = None) -> Path:
         """Persist ``payload`` for ``spec``; returns the written path."""
+        with obs.span("store.save", name=spec.name):
+            return self._save(spec, payload, meta)
+
+    def _save(self, spec: ScenarioSpec, payload: dict, meta: dict | None) -> Path:
+        obs.add("repro_store_writes_total")
         self.root.mkdir(parents=True, exist_ok=True)
         document = {
             "key": spec_key(spec),

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.exceptions import ExperimentError
 from repro.engine import get_engine
+from repro.obs import Registry
 from repro.scenarios.spec import ComparisonCase, schedule_from_spec
 
 __all__ = ["BatchCollator", "plan_key"]
@@ -86,6 +87,7 @@ class BatchCollator:
         max_wait_ms: float = 2.0,
         max_batch: int = 64,
         executor=None,
+        registry: Registry | None = None,
     ) -> None:
         if max_wait_ms < 0:
             raise ExperimentError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
@@ -99,13 +101,29 @@ class BatchCollator:
         #: users sharing the loop.
         self.executor = executor
         self._pending: dict[tuple, _PendingBatch] = {}
-        #: Submissions accepted (one per shard×schedule awaited on us).
-        self.requests = 0
-        #: Packed engine passes dispatched; ``requests - batches`` is the
-        #: number of engine invocations coalescing saved.
-        self.batches = 0
-        #: Largest batch dispatched so far.
-        self.max_batch_observed = 0
+        #: Coalescing accounting lives on a ``repro.obs`` registry — the
+        #: service passes its own so one ``/v1/metrics`` exposition covers
+        #: both layers; a standalone collator gets a private one.
+        self.registry = registry if registry is not None else Registry()
+        self._requests = self.registry.counter("repro_collator_requests_total")
+        self._batches = self.registry.counter("repro_collator_batches_total")
+        self._max_batch_observed = self.registry.gauge("repro_collator_max_batch_observed")
+
+    @property
+    def requests(self) -> int:
+        """Submissions accepted (one per shard×schedule awaited on us)."""
+        return int(self._requests.value)
+
+    @property
+    def batches(self) -> int:
+        """Packed engine passes dispatched; ``requests - batches`` is the
+        number of engine invocations coalescing saved."""
+        return int(self._batches.value)
+
+    @property
+    def max_batch_observed(self) -> int:
+        """Largest batch dispatched so far."""
+        return int(self._max_batch_observed.value)
 
     async def submit(
         self,
@@ -137,7 +155,7 @@ class BatchCollator:
         pending.budgets.append(int(samples))
         pending.rngs.append(rng)
         pending.futures.append(future)
-        self.requests += 1
+        self._requests.inc()
         if len(pending.budgets) >= self.max_batch or pending.timer is None:
             self._flush(key)
         return await future
@@ -149,8 +167,8 @@ class BatchCollator:
             return
         if pending.timer is not None:
             pending.timer.cancel()
-        self.batches += 1
-        self.max_batch_observed = max(self.max_batch_observed, len(pending.budgets))
+        self._batches.inc()
+        self._max_batch_observed.set_max(len(pending.budgets))
         asyncio.get_running_loop().create_task(self._run_batch(pending))
 
     async def _run_batch(self, pending: _PendingBatch) -> None:

@@ -5,7 +5,8 @@ standing only on the scientific Python stack extends to serving: no web
 framework, no event-loop replacement, just enough HTTP/1.1 to speak JSON
 with standard clients (``curl``, :mod:`http.client`, ``urllib``).
 Persistent connections are supported (HTTP/1.1 default keep-alive), request
-bodies are bounded, and every response is ``application/json``.
+bodies are bounded, and every response is ``application/json`` — except the
+Prometheus exposition, which is the one plain-text route.
 
 Routes (all under the versioned ``/v1`` prefix, mirroring
 :data:`repro.serve.service.API_VERSION`):
@@ -15,7 +16,9 @@ method    path                handler
 ========  ==================  ==============================================
 POST      ``/v1/run``         run a scenario request (name or inline spec)
 GET       ``/v1/health``      liveness + engine/version info
-GET       ``/v1/metrics``     serving + coalescing counters
+GET       ``/v1/metrics``     Prometheus text exposition (counters, request
+                              latency histogram); ``?format=json`` returns
+                              the legacy JSON counter document
 GET       ``/v1/scenarios``   the registered scenario catalogue
 ========  ==================  ==============================================
 
@@ -30,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+from urllib.parse import parse_qs
 
 from repro.core.exceptions import ExperimentError
 from repro.engine import available_engines, default_engine_name
@@ -119,9 +123,9 @@ class FusionServer:
                     break  # client closed between requests — normal keep-alive end
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, path, query, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(method, path, query, body)
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -169,9 +173,12 @@ class FusionServer:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), path.split("?", 1)[0], headers, body
+        path, _, query = path.partition("?")
+        return method.upper(), path, query, headers, body
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _dispatch(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, dict | str]:
         try:
             if path == "/v1/run":
                 if method != "POST":
@@ -191,7 +198,17 @@ class FusionServer:
                     "engines": list(available_engines()),
                 }
             if path == "/v1/metrics":
-                return 200, self.service.metrics()
+                # Prometheus text by default; ?format=json keeps the legacy
+                # counter document for JSON dashboards and the test client.
+                wire_format = parse_qs(query).get("format", ["prometheus"])[-1]
+                if wire_format == "json":
+                    return 200, self.service.metrics()
+                if wire_format != "prometheus":
+                    return 400, {
+                        "error": f"unknown metrics format {wire_format!r}; "
+                        "use 'prometheus' (default) or 'json'"
+                    }
+                return 200, self.service.prometheus()
             if path == "/v1/scenarios":
                 return 200, self.service.scenarios()
             return 404, {"error": f"unknown path {path!r} (routes live under /v1)"}
@@ -202,14 +219,20 @@ class FusionServer:
 
     @staticmethod
     async def _write_response(
-        writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+        writer: asyncio.StreamWriter, status: int, payload: dict | str, keep_alive: bool
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            # The Prometheus exposition: already-rendered text.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         phrase = _STATUS_PHRASES.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {phrase}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
             "\r\n"

@@ -37,7 +37,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from datetime import datetime, timezone
 
+from repro import obs
 from repro.core.exceptions import ExperimentError
+from repro.obs import Registry, render_prometheus
 from repro.runner import (
     ArtifactStore,
     comparison_stats_row,
@@ -85,13 +87,36 @@ class FusionService:
             max_workers=threads or max(2, min(8, os.cpu_count() or 2)),
             thread_name_prefix="repro-serve",
         )
+        #: Per-service metric registry (always on, unlike the thread-local
+        #: tracing scopes): concurrent services never pool counters, and the
+        #: collator shares it so one Prometheus exposition covers both.
+        self.registry = Registry()
         self.collator = BatchCollator(
-            max_wait_ms=max_wait_ms, max_batch=max_batch, executor=self._executor
+            max_wait_ms=max_wait_ms,
+            max_batch=max_batch,
+            executor=self._executor,
+            registry=self.registry,
         )
         self._inflight: dict[str, asyncio.Task] = {}
-        self.served = 0
-        self.cache_hits = 0
-        self.deduplicated = 0
+        self._served = self.registry.counter("repro_served_requests_total")
+        self._cache_hits = self.registry.counter("repro_served_cache_hits_total")
+        self._deduplicated = self.registry.counter("repro_served_deduplicated_total")
+        self._latency = self.registry.histogram("repro_request_seconds")
+
+    @property
+    def served(self) -> int:
+        """Requests answered (every ``_respond``, whatever the layer)."""
+        return int(self._served.value)
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests answered from the artifact store."""
+        return int(self._cache_hits.value)
+
+    @property
+    def deduplicated(self) -> int:
+        """Requests that attached to an identical in-flight computation."""
+        return int(self._deduplicated.value)
 
     async def _offload(self, fn, *args):
         """Run blocking work on the service's own pool."""
@@ -170,13 +195,13 @@ class FusionService:
             if self.store is not None:
                 document = await self._offload(self.store.load, spec)
                 if document is not None:
-                    self.cache_hits += 1
+                    self._cache_hits.inc()
                     return self._respond(
                         spec, key, document["payload"], started, cached=True
                     )
             running = self._inflight.get(key)
             if running is not None:
-                self.deduplicated += 1
+                self._deduplicated.inc()
                 # shield: a waiter's disconnect must not cancel the shared
                 # computation out from under the other attached requests.
                 payload = await asyncio.shield(running)
@@ -200,7 +225,13 @@ class FusionService:
         cached: bool = False,
         deduplicated: bool = False,
     ) -> dict:
-        self.served += 1
+        elapsed = time.perf_counter() - started
+        self._served.inc()
+        self._latency.observe(elapsed)
+        # Per-request telemetry: a completed leaf span (never a context
+        # manager across awaits — interleaved requests on one loop thread
+        # would corrupt the span stack).
+        obs.event("serve.request", elapsed, name=spec.name, cached=cached, deduplicated=deduplicated)
         return {
             "api_version": API_VERSION,
             "spec_version": SPEC_VERSION,
@@ -210,7 +241,7 @@ class FusionService:
             "key": key,
             "cached": cached,
             "deduplicated": deduplicated,
-            "elapsed_seconds": time.perf_counter() - started,
+            "elapsed_seconds": elapsed,
             "payload": payload,
         }
 
@@ -267,7 +298,14 @@ class FusionService:
     # introspection
 
     def metrics(self) -> dict:
-        """Counters for ``GET /v1/metrics``."""
+        """Counters for ``GET /v1/metrics?format=json``.
+
+        The historical keys are untouched (dashboards and the serve tests
+        rely on them); the latency block summarises the request-duration
+        histogram the Prometheus exposition serves bucket-by-bucket.
+        """
+        latency = self._latency
+        quantile = lambda q: latency.quantile(q) * 1e3 if latency.count else None  # noqa: E731
         return {
             "api_version": API_VERSION,
             "served": self.served,
@@ -275,7 +313,19 @@ class FusionService:
             "deduplicated": self.deduplicated,
             "inflight": len(self._inflight),
             "collator": self.collator.stats(),
+            "latency": {
+                "count": latency.count,
+                "mean_ms": latency.total / latency.count * 1e3 if latency.count else None,
+                "p50_ms": quantile(0.5),
+                "p95_ms": quantile(0.95),
+                "p99_ms": quantile(0.99),
+            },
         }
+
+    def prometheus(self) -> str:
+        """The ``GET /v1/metrics`` body: Prometheus text exposition 0.0.4."""
+        self.registry.gauge("repro_inflight_requests").set(len(self._inflight))
+        return render_prometheus(self.registry)
 
     def scenarios(self) -> dict:
         """Catalogue for ``GET /v1/scenarios``."""

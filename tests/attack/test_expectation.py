@@ -87,8 +87,7 @@ class TestExpectationPolicyDecisions:
         assert policy._cache
         second = policy.choose_interval(ctx, rng)
         assert first == second
-        assert policy.cache_hits == 1
-        assert policy.cache_misses == 1
+        assert policy.stats() == {"hits": 1, "misses": 1, "entries": 1}
 
     def test_expected_width_of_inadmissible_candidate_is_minus_inf(self):
         policy = ExpectationPolicy()
@@ -111,9 +110,10 @@ class TestExpectationPolicyMemoisation:
             config, AscendingSchedule(), policy, rng=np.random.default_rng(0)
         )
         # 27 rounds but only `positions` distinct slot-0 contexts.
-        assert policy.cache_misses <= config.positions
-        assert policy.cache_hits >= 27 - config.positions
-        assert policy.cache_hits > policy.cache_misses
+        stats = policy.stats()
+        assert stats["misses"] <= config.positions
+        assert stats["hits"] >= 27 - config.positions
+        assert stats["hits"] > stats["misses"]
 
     def test_memo_key_distinguishes_conservative_mode(self):
         """The two attacker variants must never share a memo entry."""
@@ -132,7 +132,50 @@ class TestExpectationPolicyMemoisation:
         policy.choose_interval(ctx, rng)
         policy.reset()
         policy.choose_interval(ctx, rng)
-        assert policy.cache_hits == 1
+        assert policy.stats()["hits"] == 1
+
+    def test_stats_are_read_only_snapshots(self):
+        """Mutating a returned stats dict never touches the policy's tallies."""
+        rng = np.random.default_rng(0)
+        policy = ExpectationPolicy()
+        ctx = last_slot_context()
+        policy.choose_interval(ctx, rng)
+        snapshot = policy.stats()
+        snapshot["misses"] = 999
+        assert policy.stats()["misses"] == 1
+
+    def test_fresh_policy_per_compare_leg_starts_from_zero(self):
+        """The engines build a fresh policy per run, so each compare() leg's
+        memo statistics start from zero — no cross-leg bleed-through."""
+        from repro.engine import get_engine
+        from repro.scheduling.schedule import FixedSchedule
+
+        config = ScheduleComparisonConfig(lengths=(5.0, 11.0, 17.0), fa=1, positions=3)
+        engine = get_engine("scalar")
+        policies = []
+        original = engine._policy
+
+        def recording(spec):
+            policy = original(spec)
+            policies.append(policy)
+            return policy
+
+        engine._policy = recording
+        try:
+            for _ in range(2):  # two legs of a compare()
+                engine.run_rounds(
+                    config,
+                    FixedSchedule((0, 1, 2)),
+                    "expectation",
+                    samples=4,
+                    rng=np.random.default_rng(0),
+                )
+        finally:
+            del engine._policy
+        assert len(policies) == 2
+        first, second = (policy.stats() for policy in policies)
+        assert first == second  # identical legs, identically counted
+        assert second["misses"] >= 1  # fresh memo: the first decision missed
 
     def test_tie_break_first_is_deterministic_and_consumes_no_rng(self):
         ctx = last_slot_context()

@@ -142,7 +142,7 @@ def test_attacker_selectable_in_batch_rounds():
     # Stealthy by construction: the expectation attacker is never flagged.
     assert not result.attacker_detected.any()
     # The shared memo saw every decision (miss or hit) of the batch.
-    assert attacker.policy.cache_misses > 0
+    assert attacker.policy.stats()["misses"] > 0
 
 
 def test_forge_requires_lookahead_fields():

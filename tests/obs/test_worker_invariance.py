@@ -1,0 +1,76 @@
+"""The telemetry layer's second contract: merged telemetry is
+worker-count-invariant.
+
+Per-shard telemetry is collected *inside* the worker
+(:func:`repro.runner.runner.execute_task_traced`) and grafted back in plan
+order, so the merged span tree (structure + attrs, durations aside) and
+every merged counter/histogram count are identical for 1 or 4 workers —
+exactly like the payloads themselves.
+"""
+
+import json
+
+from repro import obs
+from repro.runner import run_scenario
+from repro.scenarios import ComparisonCase, ComparisonScenario
+
+
+def scenario(name: str) -> ComparisonScenario:
+    return ComparisonScenario(
+        name=name,
+        engine="batch",
+        samples=4_000,
+        shard_samples=1_000,
+        cases=(ComparisonCase(label="n3-fa1", lengths=(5.0, 11.0, 17.0), fa=1),),
+    )
+
+
+def shape(node: dict) -> dict:
+    """A span tree with durations (and the ``workers`` knob, which the root
+    span legitimately records) erased — everything else must be invariant."""
+    attrs = {key: value for key, value in node["attrs"].items() if key != "workers"}
+    return {
+        "name": node["name"],
+        "attrs": attrs,
+        "children": [shape(child) for child in node["children"]],
+    }
+
+
+def metric_counts(snapshot: dict) -> dict:
+    """Merged metric values, histogram sums dropped (timing varies)."""
+    metrics = snapshot["metrics"]
+    return {
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
+        "histograms": [
+            {key: row[key] for key in ("name", "labels", "bounds", "counts", "count")}
+            for row in metrics["histograms"]
+        ],
+    }
+
+
+def traced_run(workers: int):
+    with obs.collect() as session:
+        payload = run_scenario(scenario("obs-worker-invariance"), workers=workers, store=None).payload
+    return payload, session.snapshot()
+
+
+def test_span_tree_and_counts_identical_for_1_and_4_workers():
+    payload_1, snapshot_1 = traced_run(1)
+    payload_4, snapshot_4 = traced_run(4)
+    assert json.dumps(payload_1, sort_keys=True) == json.dumps(payload_4, sort_keys=True)
+    trees_1 = [shape(node) for node in snapshot_1["spans"]]
+    trees_4 = [shape(node) for node in snapshot_4["spans"]]
+    assert trees_1 == trees_4
+    assert metric_counts(snapshot_1) == metric_counts(snapshot_4)
+
+
+def test_shard_spans_arrive_in_plan_order():
+    _, snapshot = traced_run(4)
+    (root,) = snapshot["spans"]
+    assert root["name"] == "runner.run_scenario"
+    shard_indices = [
+        child["attrs"]["index"] for child in root["children"] if child["name"] == "runner.shard"
+    ]
+    assert shard_indices == sorted(shard_indices)
+    assert len(shard_indices) == 4  # 4000 samples / 1000 shard_samples

@@ -77,6 +77,16 @@ class ServerThread:
         finally:
             conn.close()
 
+    def request_raw(self, method: str, path: str):
+        """Like :meth:`request`, but returns the raw body + content type."""
+        conn = HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, response.getheader("Content-Type"), response.read()
+        finally:
+            conn.close()
+
 
 @pytest.fixture
 def registered_specs():
@@ -133,7 +143,7 @@ def test_served_payloads_bit_identical_to_cli_artifacts(
         # Identical concurrent requests shared one engine execution each:
         # at most 2 computations happened (one per distinct spec); everyone
         # else deduplicated or hit the artifact the first writer stored.
-        _, metrics = server.request("GET", "/v1/metrics")
+        _, metrics = server.request("GET", "/v1/metrics?format=json")
         computed = metrics["served"] - metrics["cache_hits"] - metrics["deduplicated"]
         assert computed == 2
         assert metrics["deduplicated"] + metrics["cache_hits"] == len(requests) - 2
@@ -141,6 +151,29 @@ def test_served_payloads_bit_identical_to_cli_artifacts(
         # 2 computed specs never cost more batches than submissions.
         assert metrics["collator"]["requests"] == 3 * 2 + 3 * 2
         assert metrics["collator"]["batches"] < metrics["collator"]["requests"]
+        # Every request under concurrent load landed in the latency histogram.
+        assert metrics["latency"]["count"] == len(requests)
+        assert metrics["latency"]["p50_ms"] <= metrics["latency"]["p99_ms"]
+
+        # The default exposition is Prometheus text carrying the same counts.
+        status, content_type, raw = server.request_raw("GET", "/v1/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = raw.decode("utf-8")
+        assert "# TYPE repro_served_requests_total counter" in text
+        assert "# TYPE repro_request_seconds histogram" in text
+        served_line = next(
+            line for line in text.splitlines() if line.startswith("repro_served_requests_total")
+        )
+        # Metrics scrapes are not run requests; the counter is exactly the load.
+        assert float(served_line.split()[-1]) == len(requests)
+        bucket_counts = [
+            float(line.split()[-1])
+            for line in text.splitlines()
+            if line.startswith("repro_request_seconds_bucket")
+        ]
+        assert bucket_counts == sorted(bucket_counts)  # cumulative buckets
+        assert bucket_counts[-1] >= len(requests)  # +Inf sees every request
 
         # Served results were persisted: a rerun of the CLI against the
         # *serve* store is a cache hit with the same bytes.
