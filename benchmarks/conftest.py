@@ -117,6 +117,22 @@ def fused_speedup_floor() -> float:
 
 
 @pytest.fixture(scope="session")
+def lossy_speedup_floor() -> float:
+    """Required fused-vs-batch ratio on the lossy multi-slot row (default 2x).
+
+    ``REPRO_BENCH_LOSSY_FLOOR`` loosens the gate on noisy shared runners.
+    The floor is below the channel-free fused gate (3x): under a channel
+    the fused driver swaps its complex-sorted sweeps for masked extremes,
+    which gives some of the edge back.
+    """
+    value = os.environ.get("REPRO_BENCH_LOSSY_FLOOR", "")
+    try:
+        return float(value) if value else 2.0
+    except ValueError:
+        return 2.0
+
+
+@pytest.fixture(scope="session")
 def numba_speedup_floor() -> float:
     """Required numba-vs-fused throughput ratio on the multi-slot row (default 5x).
 

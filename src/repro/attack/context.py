@@ -53,7 +53,10 @@ class AttackContext:
         Intersection of the correct readings of all compromised sensors
         (the paper's ``Δ``); it always contains the true value.
     transmitted:
-        Intervals already broadcast, in transmission order.
+        Intervals already broadcast *and visible to the attacker*, in
+        transmission order.  Under a lossy channel (:mod:`repro.channel`)
+        lost or still-in-flight transmissions are excluded and counted by
+        ``n_hidden`` instead.
     transmitted_compromised:
         For each transmitted interval, whether it came from a compromised
         sensor.
@@ -66,6 +69,10 @@ class AttackContext:
         Points that earlier active-mode placements rely on; the current and
         later compromised intervals must keep covering them so the earlier
         forgeries stay stealthy.
+    n_hidden:
+        Number of earlier transmissions the attacker cannot see — lost on,
+        or still in flight through, a lossy channel.  Zero on the perfect
+        bus the paper assumes.
     oracle_correct_intervals:
         Optional mapping from sensor index to that sensor's correct interval
         for *every* sensor in the round.  Only omniscient policies may read
@@ -84,6 +91,7 @@ class AttackContext:
     remaining_widths: tuple[float, ...] = ()
     remaining_compromised: tuple[bool, ...] = ()
     protected_points: tuple[float, ...] = ()
+    n_hidden: int = 0
     oracle_correct_intervals: Mapping[int, Interval] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -97,10 +105,13 @@ class AttackContext:
             raise AttackError("transmitted and transmitted_compromised must have equal length")
         if len(self.remaining_widths) != len(self.remaining_compromised):
             raise AttackError("remaining_widths and remaining_compromised must have equal length")
-        if len(self.transmitted) + 1 + len(self.remaining_widths) != self.n:
+        if self.n_hidden < 0:
+            raise AttackError(f"n_hidden must be non-negative, got {self.n_hidden}")
+        if len(self.transmitted) + self.n_hidden + 1 + len(self.remaining_widths) != self.n:
             raise AttackError(
-                "transmitted + current + remaining sensors must account for all n sensors "
-                f"({len(self.transmitted)} + 1 + {len(self.remaining_widths)} != {self.n})"
+                "visible + hidden + current + remaining sensors must account for all n sensors "
+                f"({len(self.transmitted)} + {self.n_hidden} + 1 + "
+                f"{len(self.remaining_widths)} != {self.n})"
             )
         if not self.delta.intersects(self.own_reading):
             raise AttackError("delta must intersect the compromised sensor's own correct reading")
@@ -180,4 +191,5 @@ class AttackContext:
             tuple(_r(w) for w in self.remaining_widths),
             self.remaining_compromised,
             tuple(_r(p) for p in self.protected_points),
+            self.n_hidden,
         )

@@ -72,7 +72,7 @@ import numpy as np
 
 from repro import obs
 from repro.attack.candidates import PASSIVE_WIDTH_TOL
-from repro.batch.fuse import BatchFusion, _validate_bounds, batch_detect
+from repro.batch.fuse import BatchFusion, _validate_bounds, batch_detect, coverage_extremes
 from repro.batch.rounds import (
     ActiveStretchBatchAttacker,
     BatchRoundConfig,
@@ -402,6 +402,17 @@ def fused_rounds_prepared(
     broadcast_lo = prepared.sent_lo.copy()
     broadcast_hi = prepared.sent_hi.copy()
 
+    # Lossy channel: the attacker's availability test and support sweeps see
+    # only arrived transmissions, and the final fusion only the received
+    # set.  The one-sided dense sweep (`_support_points`) is not mask-safe
+    # (masked events would still step the running coverage), so the channel
+    # lanes run the masked `coverage_extremes` sweep instead; everything
+    # else — the per-compromised-transmission structure, the plan cache, the
+    # group bucketing — is unchanged, which is where the fused speedup
+    # lives.
+    channel = prepared.channel
+    visible_table = channel.visible_counts() if channel is not None else None
+
     # The forging phase below is one long straight-line block; time it with
     # an after-the-fact leaf span instead of a context manager so the code
     # keeps its flat shape (obs.event is a no-op when tracing is off).
@@ -460,16 +471,20 @@ def fused_rounds_prepared(
             width = prepared.widths[row_index, sensor]
             need = unplaced if static else (active_rows & unplaced)
             need_any = bool(need.any())
+            # Active-mode availability counts the intervals the attacker has
+            # *seen*: every earlier slot on the perfect bus, only the
+            # already-arrived ones under a lossy channel.
+            seen = slot if visible_table is None else visible_table[row_index, slot]
             if need_any:
                 if static_required is not None:
                     required_j = int(static_required[j])
                     can_active = (
-                        need & (slot >= required_j) if required_j >= 1
+                        need & (seen >= required_j) if required_j >= 1
                         else np.zeros(batch, dtype=bool)
                     )
                 else:
                     required = n - f - (fa_rows - j)
-                    can_active = need & (slot >= required) & (required >= 1)
+                    can_active = need & (seen >= required) & (required >= 1)
             else:
                 can_active = np.zeros(batch, dtype=bool)
             placed_any = False
@@ -484,9 +499,22 @@ def fused_rounds_prepared(
                     group_required = (
                         required_j if static_required is not None else required[group]
                     )
-                    point, valid = _support_points(
-                        prefix_lo, prefix_hi, group_required, right
-                    )
+                    if channel is None:
+                        point, valid = _support_points(
+                            prefix_lo, prefix_hi, group_required, right
+                        )
+                    else:
+                        visible = ~channel.lost[group, :s] & (
+                            channel.arrival[group, :s] < s
+                        )
+                        region = coverage_extremes(
+                            prefix_lo,
+                            prefix_hi,
+                            np.maximum(group_required, 1),
+                            mask=visible,
+                        )
+                        point = region.hi if right else region.lo
+                        valid = region.valid
                     anchored_rows = group[valid]
                     support[anchored_rows] = point[valid]
                     unplaced[anchored_rows] = False
@@ -523,8 +551,25 @@ def fused_rounds_prepared(
         obs.event("engine.attack", perf_counter() - attack_started, kernel="fused", samples=batch)
 
     with obs.span("engine.fuse", kernel="fused", samples=batch):
-        fusion = fused_fusion(broadcast_lo, broadcast_hi, f, scratch=buffers["sweep"])
-        flagged = batch_detect(broadcast_lo, broadcast_hi, fusion)
+        if channel is None:
+            fusion = fused_fusion(broadcast_lo, broadcast_hi, f, scratch=buffers["sweep"])
+            flagged = batch_detect(broadcast_lo, broadcast_hi, fusion)
+        else:
+            # The received mask lives in slot space; scatter it through the
+            # order permutation so it masks the sensor-space broadcast
+            # matrix.  `fused_fusion` cannot take a mask (its dense complex
+            # sweep steps the coverage for every event), so the channel leg
+            # runs the masked argsort sweep — the per-transmission attack
+            # phase above is where the fused kernel's advantage lies.
+            received = np.empty((batch, n), dtype=bool)
+            received[rows2, orders] = channel.received
+            fusion = coverage_extremes(
+                broadcast_lo,
+                broadcast_hi,
+                channel.received.sum(axis=1) - f,
+                mask=received,
+            )
+            flagged = batch_detect(broadcast_lo, broadcast_hi, fusion) & received
 
     with obs.span("engine.merge", kernel="fused", samples=batch):
         return BatchRoundResult(
@@ -538,6 +583,7 @@ def fused_rounds_prepared(
             attacked_indices=prepared.attacked,
             fault_mask=prepared.fault_mask,
             attacked_mask=prepared.attacked_mask,
+            channel=channel,
         )
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.attack.candidates import PASSIVE_WIDTH_TOL
 from repro.batch.fuse import BatchFusion
-from repro.batch.fused import FusedPlan, fusable_attacker, plan_for
+from repro.batch.fused import FusedPlan, fusable_attacker, fused_rounds_prepared, plan_for
 from repro.batch.kernels._compat import njit, prange
 from repro.batch.kernels.attacker import _forge_stretch_row
 from repro.batch.kernels.sweep import _cover_hi_sorted, _cover_lo_sorted
@@ -135,6 +135,11 @@ def numba_rounds_prepared(
     """
     if not fusable_attacker(config):
         return batch_rounds_prepared(prepared, config, rng)
+    if prepared.channel is not None:
+        # The JIT kernel's sorted-copy sweep has no masked variant; lossy
+        # rounds run the fused NumPy body instead, which shares its masked
+        # sweep (and therefore its bit-exact payloads) with the batch engine.
+        return fused_rounds_prepared(prepared, config, rng, plan=plan)
     batch, n = prepared.shape
     f = prepared.f
     validate_fault_bound(n, f)  # batch_fuse would; fail before simulating

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.attack.candidates import PASSIVE_WIDTH_TOL, batch_side_preference
 from repro.batch.fuse import BatchFusion, batch_detect, batch_fuse, coverage_extremes
+from repro.channel import ChannelRealization, ChannelSpec, realize_channel
 from repro.core.exceptions import EmptyIntersectionError, ScheduleError, SensorError
 from repro.core.marzullo import max_safe_fault_bound
 from repro import obs
@@ -54,7 +55,7 @@ from repro.scheduling.schedule import (
     RandomSchedule,
     Schedule,
 )
-from repro.utils.seeding import ensure_rng
+from repro.utils.seeding import ensure_rng, spawn_rng
 
 __all__ = [
     "BatchSlotContext",
@@ -91,6 +92,12 @@ class BatchSlotContext:
     they are consumed by lookahead attackers such as
     :class:`repro.batch.expectation.ExactExpectationBatchAttacker` and
     ignored by the prefix-only stretch attackers.
+
+    ``visible`` is the lossy-channel visibility mask over the transmitted
+    prefix (``(B, slot)``; ``None`` means the perfect bus, everything
+    visible): attackers must only anchor on transmissions that were neither
+    lost nor still in flight, mirroring the scalar context's visible-only
+    ``transmitted`` tuple.
     """
 
     n: int
@@ -109,6 +116,7 @@ class BatchSlotContext:
     transmitted_compromised: np.ndarray | None = None
     remaining_widths: np.ndarray | None = None
     remaining_compromised: np.ndarray | None = None
+    visible: np.ndarray | None = None
 
 
 class BatchAttacker(abc.ABC):
@@ -188,16 +196,25 @@ class ActiveStretchBatchAttacker(BatchAttacker):
         have_support = context.rows & ~np.isnan(support)
 
         # Rows that may open active mode at this slot: enough intervals have
-        # been transmitted and the support requirement is a real constraint.
+        # been *seen* and the support requirement is a real constraint.  On
+        # the perfect bus every transmitted interval is visible, so the seen
+        # count is simply the slot index; under a lossy channel it is the
+        # per-row count of arrived transmissions and the support sweep masks
+        # out the invisible columns.
         required = context.n - context.f - context.far
         need = context.rows & np.isnan(support)
-        can_active = need & (context.slot >= required) & (required >= 1)
+        if context.visible is None:
+            seen = context.slot
+        else:
+            seen = context.visible.sum(axis=1)
+        can_active = need & (seen >= required) & (required >= 1)
         region: BatchFusion | None = None
         if context.slot > 0 and bool(can_active.any()):
             region = coverage_extremes(
                 context.transmitted_lo,
                 context.transmitted_hi,
                 np.maximum(required, 1),
+                mask=context.visible,
             )
         self._resolve_sides(context, can_active, region, rng)
         right = self._sides > 0
@@ -371,6 +388,7 @@ class BatchRoundConfig:
     f: int | None = None
     faults: BatchTransientFaults | None = None
     attacked_mask: np.ndarray | None = None
+    channel: ChannelSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -391,6 +409,7 @@ class BatchRoundResult:
     attacked_indices: tuple[int, ...]
     fault_mask: np.ndarray
     attacked_mask: np.ndarray
+    channel: ChannelRealization | None = None
 
     @property
     def batch(self) -> int:
@@ -503,6 +522,7 @@ class PreparedRounds:
     sent_lo: np.ndarray
     sent_hi: np.ndarray
     fault_mask: np.ndarray
+    channel: ChannelRealization | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -591,6 +611,16 @@ def _prepare_rounds(
         sent_lo, sent_hi = correct_lo, correct_hi
         fault_mask = np.zeros((batch, n), dtype=bool)
 
+    # The channel realizes from a *spawned* child generator: spawning never
+    # consumes the parent bitstream, so a channel-free run's draws — and
+    # every stored payload — are untouched, while every engine backend sees
+    # the identical channel for identical (spec, batch, rng) triples.
+    channel = (
+        realize_channel(config.channel, batch, n, spawn_rng(rng))
+        if config.channel is not None
+        else None
+    )
+
     return PreparedRounds(
         correct_lo=correct_lo,
         correct_hi=correct_hi,
@@ -605,6 +635,7 @@ def _prepare_rounds(
         sent_lo=sent_lo,
         sent_hi=sent_hi,
         fault_mask=fault_mask,
+        channel=channel,
     )
 
 
@@ -638,6 +669,14 @@ def concat_prepared(items: Sequence[PreparedRounds]) -> PreparedRounds:
                 f"cannot pack prepared batches with different sensor counts: "
                 f"{item.shape[1]} vs {first.shape[1]}"
             )
+        if (item.channel is None) != (first.channel is None) or (
+            item.channel is not None
+            and first.channel is not None
+            and item.channel.spec != first.channel.spec
+        ):
+            raise ScheduleError(
+                "cannot pack prepared batches with different channel specs"
+            )
     def stack(name: str) -> np.ndarray:
         return np.concatenate([getattr(item, name) for item in items])
 
@@ -655,6 +694,11 @@ def concat_prepared(items: Sequence[PreparedRounds]) -> PreparedRounds:
         sent_lo=stack("sent_lo"),
         sent_hi=stack("sent_hi"),
         fault_mask=stack("fault_mask"),
+        channel=(
+            None
+            if first.channel is None
+            else ChannelRealization.concat([item.channel for item in items])
+        ),
     )
 
 
@@ -702,6 +746,7 @@ def batch_rounds_prepared(
     delta_lo, delta_hi = prepared.delta_lo, prepared.delta_hi
     sent_lo, sent_hi = prepared.sent_lo, prepared.sent_hi
     fault_mask = prepared.fault_mask
+    channel = prepared.channel
 
     config.attacker.reset(batch)
     row_index = np.arange(batch)
@@ -739,6 +784,7 @@ def batch_rounds_prepared(
                     transmitted_compromised=attacked_by_slot[:, :slot],
                     remaining_widths=widths_by_slot[:, slot + 1 :],
                     remaining_compromised=attacked_by_slot[:, slot + 1 :],
+                    visible=None if channel is None else channel.visible(slot),
                 )
                 forged_lo, forged_hi = config.attacker.forge(context, rng)
                 slot_lo = np.where(rows, forged_lo, slot_lo)
@@ -748,8 +794,24 @@ def batch_rounds_prepared(
             transmitted_hi[:, slot] = slot_hi
 
     with obs.span("engine.fuse", kernel="batch", samples=batch):
-        fusion = batch_fuse(transmitted_lo, transmitted_hi, f)
-        flagged_by_slot = batch_detect(transmitted_lo, transmitted_hi, fusion)
+        if channel is None:
+            fusion = batch_fuse(transmitted_lo, transmitted_hi, f)
+            flagged_by_slot = batch_detect(transmitted_lo, transmitted_hi, fusion)
+        else:
+            # Fusion only sees what the channel delivered.  The controller
+            # keeps its configured f (it cannot count losses), so the
+            # per-row requirement is received_count - f; thin subsets
+            # degrade to the hull of the received intervals (required <= 0)
+            # and empty subsets come back invalid from the masked sweep —
+            # the scalar path mirrors both degeneracies via fuse_or_none.
+            received = channel.received
+            fusion = coverage_extremes(
+                transmitted_lo,
+                transmitted_hi,
+                received.sum(axis=1) - f,
+                mask=received,
+            )
+            flagged_by_slot = batch_detect(transmitted_lo, transmitted_hi, fusion) & received
 
     with obs.span("engine.merge", kernel="batch", samples=batch):
         broadcast_lo = np.empty((batch, n))
@@ -770,6 +832,7 @@ def batch_rounds_prepared(
         attacked_indices=attacked,
         fault_mask=fault_mask,
         attacked_mask=attacked_mask,
+        channel=channel,
     )
 
 

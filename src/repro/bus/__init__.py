@@ -1,11 +1,13 @@
-"""Shared-bus substrate: broadcast medium, messages and bus nodes."""
+"""Shared-bus substrate: broadcast medium, messages, bus nodes, lossy channel."""
 
 from repro.bus.can import SharedBus
+from repro.bus.lossy import LossyBus
 from repro.bus.message import BusMessage
 from repro.bus.nodes import AttackerNode, BusRound, BusRoundResult, ControllerNode, SensorNode
 
 __all__ = [
     "SharedBus",
+    "LossyBus",
     "BusMessage",
     "SensorNode",
     "AttackerNode",

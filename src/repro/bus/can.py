@@ -27,6 +27,7 @@ class SharedBus:
         self._subscribers: list[Callable[[BusMessage], None]] = []
         self._current_round = 0
         self._next_slot = 0
+        self._expected_slots: int | None = None
 
     # ------------------------------------------------------------------
     # Round/slot discipline
@@ -41,16 +42,39 @@ class SharedBus:
         """Slot the next broadcast must use."""
         return self._next_slot
 
-    def start_round(self, round_index: int | None = None) -> int:
-        """Begin a new round; returns its index."""
+    def start_round(self, round_index: int | None = None, expected_slots: int | None = None) -> int:
+        """Begin a new round; returns its index.
+
+        ``expected_slots`` declares how many slots the round's schedule has.
+        With it the bus knows when a round is *complete*, and starting any
+        new round — a replay **or a skip-ahead** — while slots remain raises
+        :class:`~repro.core.exceptions.BusError`.  Without it the bus cannot
+        tell a finished round from an abandoned one, so only restarting a
+        round at or before the current index mid-transmission is rejected
+        (the historical behaviour).
+        """
+        if expected_slots is not None and expected_slots < 1:
+            raise BusError(f"expected_slots must be at least 1, got {expected_slots}")
         if round_index is None:
             round_index = self._current_round + 1 if self._log else 0
-        if self._log and round_index <= self._current_round and self._next_slot != 0:
+        mid_round = self._next_slot != 0 and (
+            self._next_slot < self._expected_slots
+            if self._expected_slots is not None
+            else round_index <= self._current_round
+        )
+        if self._log and mid_round:
             raise BusError(
-                f"cannot start round {round_index}: round {self._current_round} is still open"
+                f"cannot start round {round_index}: round {self._current_round} is still "
+                f"open at slot {self._next_slot}"
+                + (
+                    f" of {self._expected_slots}"
+                    if self._expected_slots is not None
+                    else ""
+                )
             )
         self._current_round = round_index
         self._next_slot = 0
+        self._expected_slots = expected_slots
         return round_index
 
     # ------------------------------------------------------------------
@@ -66,6 +90,11 @@ class SharedBus:
             raise BusError(
                 f"message uses slot {message.slot} but the next free slot is {self._next_slot}"
             )
+        if self._expected_slots is not None and message.slot >= self._expected_slots:
+            raise BusError(
+                f"round {self._current_round} only has {self._expected_slots} slot(s); "
+                f"got a message for slot {message.slot}"
+            )
         self._log.append(message)
         self._next_slot += 1
         for subscriber in self._subscribers:
@@ -74,6 +103,18 @@ class SharedBus:
     def subscribe(self, callback: Callable[[BusMessage], None]) -> None:
         """Register a callback invoked synchronously for every broadcast."""
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[BusMessage], None]) -> None:
+        """Remove a previously registered callback.
+
+        Raises :class:`~repro.core.exceptions.BusError` when the callback was
+        never subscribed (or already removed) — a silent no-op would mask
+        double-removal bugs in node teardown code.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            raise BusError("cannot unsubscribe a callback that is not subscribed") from None
 
     # ------------------------------------------------------------------
     # Queries (what any node on the bus can see)
@@ -92,11 +133,22 @@ class SharedBus:
         """Sender names in broadcast order."""
         return [m.sender for m in self.messages(round_index)]
 
-    def clear(self) -> None:
-        """Erase the log (used between independent experiments)."""
+    def clear(self, drop_subscribers: bool = False) -> None:
+        """Erase the log and reset the round state.
+
+        Subscribers survive a plain ``clear()`` by design: the usual caller
+        is a harness rerunning experiments over the same wired-up nodes.
+        Pass ``drop_subscribers=True`` to also detach every callback — the
+        right call when the nodes themselves are being rebuilt, where a
+        stale subscriber would silently observe someone else's rounds (use
+        :meth:`unsubscribe` to detach just one).
+        """
         self._log.clear()
         self._current_round = 0
         self._next_slot = 0
+        self._expected_slots = None
+        if drop_subscribers:
+            self._subscribers.clear()
 
     def __len__(self) -> int:
         return len(self._log)

@@ -1,0 +1,183 @@
+"""A channel-mediated view of the shared bus: loss, delay, retransmission.
+
+:class:`LossyBus` replays one round of a
+:class:`repro.channel.ChannelRealization` over a :class:`SharedBus` at the
+message level.  The underlying bus stays the *physical medium* — every
+transmission occupies its slot in the log, in order, exactly as the slot
+discipline demands — while the lossy view decides which of those
+transmissions are ever *delivered* to its subscribers:
+
+* a **lost** transmission notifies nobody; if the channel's retransmission
+  budget covers it (``received`` despite ``lost``), its retry is delivered
+  when the round closes (retransmissions occupy tail slots, invisible to
+  anyone acting inside the round);
+* a **delayed** transmission is held back until its arrival slot — a
+  subscriber (or attacker) acting in slot ``t`` has seen exactly the
+  messages with ``arrival < t`` — and is dropped instead when it would land
+  after the round's delivery window;
+* everything else is delivered synchronously, exactly like the perfect bus.
+
+The delivered/dropped accounting matches
+:func:`repro.channel.realize_channel` bit for bit (``len(bus.dropped)``
+equals the realization's per-round ``dropped`` counter), which is what the
+bus-vs-engine integration tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro import obs
+from repro.bus.can import SharedBus
+from repro.bus.message import BusMessage
+from repro.channel import ChannelRealization
+from repro.core.exceptions import BusError
+
+__all__ = ["LossyBus"]
+
+
+class LossyBus:
+    """One round of a lossy channel, replayed over a :class:`SharedBus`."""
+
+    def __init__(
+        self,
+        realization: ChannelRealization,
+        row: int = 0,
+        bus: SharedBus | None = None,
+    ) -> None:
+        if not 0 <= row < realization.batch:
+            raise BusError(
+                f"realization has {realization.batch} round(s); cannot replay row {row}"
+            )
+        self.bus = bus if bus is not None else SharedBus()
+        self._realization = realization
+        self._row = row
+        self._view = realization.row(row)
+        self._subscribers: list[Callable[[BusMessage], None]] = []
+        #: (arrival_slot, message) pairs in flight (delayed, not yet visible).
+        self._pending: list[tuple[int, BusMessage]] = []
+        self._delivered: list[BusMessage] = []
+        self._dropped: list[BusMessage] = []
+        self._retransmit_queue: list[BusMessage] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Round protocol
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Scheduled transmissions per round (the realization's slot count)."""
+        return self._view.lost.shape[0]
+
+    def start_round(self, round_index: int | None = None) -> int:
+        """Open the round on the physical bus with the known slot count."""
+        return self.bus.start_round(round_index, expected_slots=self.n)
+
+    def broadcast(self, message: BusMessage) -> None:
+        """Transmit ``message``; the channel decides whether anyone hears it."""
+        if self._closed:
+            raise BusError("this LossyBus round is closed; build a new one per round")
+        slot = message.slot
+        if slot >= self.n:
+            raise BusError(
+                f"channel realization covers {self.n} slot(s); got slot {slot}"
+            )
+        # Messages delayed from earlier slots become visible the moment a
+        # later slot transmits (visibility is `arrival < current slot`).
+        self._flush(before_slot=slot)
+        self.bus.broadcast(message)  # the physical slot is consumed either way
+        if bool(self._view.lost[slot]):
+            if bool(self._view.received[slot]):
+                self._retransmit_queue.append(message)  # retry lands in a tail slot
+            else:
+                self._drop(message)
+        elif bool(self._view.received[slot]):
+            self._pending.append((int(self._view.arrival[slot]), message))
+        else:
+            self._drop(message)  # delayed past the round's delivery window
+
+    def close_round(self) -> list[BusMessage]:
+        """Deliver everything still in flight; returns the fusion-visible set.
+
+        In-time delayed messages land, successful retransmissions are
+        replayed from the tail slots, and the per-round telemetry counters
+        (``repro_channel_dropped_total`` / ``repro_channel_retransmits_total``,
+        labelled ``component="bus"``) are emitted exactly once.
+        """
+        if not self._closed:
+            self._flush(before_slot=None)
+            for message in self._retransmit_queue:
+                self._deliver(message)
+            self._retransmit_queue = []
+            self._closed = True
+            obs.add("repro_channel_dropped_total", len(self._dropped), component="bus")
+            obs.add(
+                "repro_channel_retransmits_total",
+                int(self._realization.retransmits[self._row]),
+                component="bus",
+            )
+        return list(self._delivered)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[BusMessage], None]) -> None:
+        """Register a callback invoked for every *delivered* message."""
+        self._subscribers.append(callback)
+
+    def _flush(self, before_slot: int | None) -> None:
+        due = [
+            (arrival, message)
+            for arrival, message in self._pending
+            if before_slot is None or arrival < before_slot
+        ]
+        self._pending = [
+            entry for entry in self._pending if before_slot is not None and entry[0] >= before_slot
+        ]
+        # Deterministic delivery order: by arrival, original slot breaking ties.
+        for _, message in sorted(due, key=lambda entry: (entry[0], entry[1].slot)):
+            self._deliver(message)
+
+    def _deliver(self, message: BusMessage) -> None:
+        self._delivered.append(message)
+        for subscriber in self._subscribers:
+            subscriber(message)
+
+    def _drop(self, message: BusMessage) -> None:
+        self._dropped.append(message)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def delivered(self) -> list[BusMessage]:
+        """Messages delivered so far, in delivery order."""
+        return list(self._delivered)
+
+    @property
+    def dropped(self) -> list[BusMessage]:
+        """Messages that will never reach a subscriber."""
+        return list(self._dropped)
+
+    def visible(self, slot: int) -> list[BusMessage]:
+        """Messages a node acting in ``slot`` has heard (``arrival < slot``).
+
+        The message-level counterpart of
+        :meth:`repro.channel.ChannelRoundView.visible_at`; unlike
+        :attr:`delivered` it never includes retransmissions (tail slots are
+        after every in-round decision point).
+        """
+        heard = [
+            message
+            for message in self.bus.messages(self.bus.current_round)
+            if message.slot < slot
+            and not bool(self._view.lost[message.slot])
+            and int(self._view.arrival[message.slot]) < slot
+        ]
+        return heard
+
+    def __len__(self) -> int:
+        return len(self._delivered)
+
+    def __iter__(self) -> Iterable[BusMessage]:
+        return iter(self._delivered)

@@ -1,0 +1,108 @@
+"""Frozen description of a lossy broadcast channel.
+
+A :class:`ChannelSpec` is pure data — hashable, picklable across worker
+processes, and JSON-serialisable for the scenario wire format (where it is
+``spec_version``-gated; see :mod:`repro.scenarios.spec`).  It describes
+three orthogonal impairments applied to every scheduled transmission:
+
+* **loss** — a transmission never reaches any receiver.  ``model="iid"``
+  drops each slot independently with probability :attr:`loss`;
+  ``model="gilbert-elliott"`` runs the classic two-state burst model
+  (a good state losing with :attr:`loss_good`, a bad state losing with
+  :attr:`loss_bad`, transition probabilities :attr:`good_to_bad` /
+  :attr:`bad_to_good`, started from the stationary distribution);
+* **delay** — with probability :attr:`delay` a surviving transmission is
+  delivered ``1..max_delay`` slots late: later slots' attackers do not see
+  it until it arrives, and if it arrives after the round's last slot it
+  misses fusion entirely that round;
+* **retransmission** — up to :attr:`retransmit_budget` *lost* transmissions
+  are retried in tail slots appended to the schedule, in slot order, each
+  retry subject to the same loss process (delayed-but-delivered messages
+  are not retried — the sender got an ACK).
+
+The exact per-round semantics live in :func:`repro.channel.model.realize_channel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.exceptions import ExperimentError
+
+__all__ = ["CHANNEL_MODELS", "ChannelSpec", "channel_spec_from_dict"]
+
+#: Loss models :class:`ChannelSpec` understands.
+CHANNEL_MODELS = ("iid", "gilbert-elliott")
+
+#: Fields that must be probabilities in ``[0, 1]``.
+_PROBABILITY_FIELDS = (
+    "loss",
+    "good_to_bad",
+    "bad_to_good",
+    "loss_good",
+    "loss_bad",
+    "delay",
+)
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Parameters of the lossy-channel model (all fields are primitives)."""
+
+    model: str = "iid"
+    loss: float = 0.0
+    good_to_bad: float = 0.0
+    bad_to_good: float = 1.0
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    delay: float = 0.0
+    max_delay: int = 1
+    retransmit_budget: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model not in CHANNEL_MODELS:
+            raise ExperimentError(
+                f"unknown channel model {self.model!r}; expected one of {CHANNEL_MODELS}"
+            )
+        for name in _PROBABILITY_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ExperimentError(
+                    f"channel {name} must be a probability, got {value!r}"
+                )
+            if not 0.0 <= float(value) <= 1.0:
+                raise ExperimentError(
+                    f"channel {name} must be in [0, 1], got {value!r}"
+                )
+        if not isinstance(self.max_delay, int) or isinstance(self.max_delay, bool):
+            raise ExperimentError(f"channel max_delay must be an int, got {self.max_delay!r}")
+        if self.max_delay < 1:
+            raise ExperimentError(f"channel max_delay must be at least 1, got {self.max_delay}")
+        if not isinstance(self.retransmit_budget, int) or isinstance(self.retransmit_budget, bool):
+            raise ExperimentError(
+                f"channel retransmit_budget must be an int, got {self.retransmit_budget!r}"
+            )
+        if self.retransmit_budget < 0:
+            raise ExperimentError(
+                f"channel retransmit_budget must be non-negative, got {self.retransmit_budget}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain JSON types, suitable for the scenario wire format."""
+        return dataclasses.asdict(self)
+
+
+def channel_spec_from_dict(payload: dict) -> ChannelSpec:
+    """Rebuild a :class:`ChannelSpec`, rejecting unknown fields by name."""
+    if isinstance(payload, ChannelSpec):
+        return payload
+    if not isinstance(payload, dict):
+        raise ExperimentError(
+            f"a channel spec must be an object, got {type(payload).__name__}"
+        )
+    fields = {field.name for field in dataclasses.fields(ChannelSpec)}
+    unknown = sorted(set(payload) - fields)
+    if unknown:
+        raise ExperimentError(f"channel spec carries unknown fields: {', '.join(unknown)}")
+    return ChannelSpec(**payload)

@@ -63,6 +63,7 @@ __all__ = ["main", "report_experiments", "report_table2_exact_vs_proxy"]
 def _render_comparison(payload: dict) -> str:
     blocks = []
     for case in payload["cases"]:
+        lossy = case.get("channel") is not None
         rows = [
             [
                 row["schedule"],
@@ -71,6 +72,7 @@ def _render_comparison(payload: dict) -> str:
                 f"{row['valid_fraction']:.4f}",
                 str(row["samples"]),
             ]
+            + ([str(row["channel_dropped"]), str(row["channel_retransmits"])] if lossy else [])
             for row in case["rows"]
         ]
         title = (
@@ -79,13 +81,13 @@ def _render_comparison(payload: dict) -> str:
         )
         if case.get("fault_probability"):
             title += f", fault p={case['fault_probability']:g}"
-        blocks.append(
-            format_table(
-                ["schedule", "expected width", "detected", "valid", "samples"],
-                rows,
-                title=title,
-            )
-        )
+        if lossy:
+            channel = case["channel"]
+            title += f", channel={channel['model']}"
+        headers = ["schedule", "expected width", "detected", "valid", "samples"]
+        if lossy:
+            headers += ["dropped", "retransmits"]
+        blocks.append(format_table(headers, rows, title=title))
     return "\n\n".join(blocks)
 
 

@@ -62,6 +62,7 @@ __all__ = [
     "ExpectationAttack",
     "AttackSpec",
     "resolve_attack",
+    "check_channel_support",
     "RoundsResult",
     "Engine",
     "OPTIONAL_ENGINE_REQUIREMENTS",
@@ -155,6 +156,21 @@ def resolve_attack(attack: AttackSpec) -> TruthfulAttack | StretchAttack | Expec
     return resolved
 
 
+def check_channel_support(attack, channel) -> None:
+    """Reject attack specs that are not channel-aware.
+
+    The expectation-maximising attacker enumerates measurement grids under
+    the perfect-bus assumption; pairing it with a lossy channel would
+    silently optimise the wrong objective, so every engine rejects the
+    combination up front through this shared check.
+    """
+    if channel is not None and isinstance(attack, ExpectationAttack):
+        raise ExperimentError(
+            "the expectation attacker does not support a lossy channel; "
+            "use the truthful or stretch attack specs with ChannelSpec"
+        )
+
+
 @dataclass(frozen=True)
 class RoundsResult:
     """Backend-agnostic outcome of a batch of simulated fusion rounds.
@@ -173,6 +189,12 @@ class RoundsResult:
     meaningful where :attr:`valid` is ``True`` — the scalar engine aborts an
     empty-fusion round before detection, so invalid rows carry ``NaN``
     broadcasts and all-``False`` flags on every backend.
+
+    ``channel_dropped`` / ``channel_retransmits`` are filled only when a
+    :class:`repro.channel.ChannelSpec` was configured: per-round counts of
+    transmissions that never reached fusion and of retransmission tail slots
+    consumed.  They are *physical* counters — valid and invalid rounds
+    alike — and part of the cross-engine bit-identity contract.
     """
 
     schedule_name: str
@@ -183,6 +205,8 @@ class RoundsResult:
     broadcast_lo: np.ndarray | None = None
     broadcast_hi: np.ndarray | None = None
     flagged: np.ndarray | None = None
+    channel_dropped: np.ndarray | None = None
+    channel_retransmits: np.ndarray | None = None
 
     @property
     def samples(self) -> int:
@@ -274,6 +298,7 @@ class Engine(abc.ABC):
         faults=None,
         samples: int = 10_000,
         rng: np.random.Generator | None = None,
+        channel=None,
     ) -> RoundsResult:
         """Simulate ``samples`` Monte-Carlo fusion rounds for one schedule.
 
@@ -283,7 +308,10 @@ class Engine(abc.ABC):
         before simulating, so under the deterministic attack specs two
         engines given equal ``rng`` states return identical
         :class:`RoundsResult` arrays (the parity tests rely on this).
-        ``faults`` takes a :class:`repro.batch.rounds.BatchTransientFaults`.
+        ``faults`` takes a :class:`repro.batch.rounds.BatchTransientFaults`;
+        ``channel`` an optional :class:`repro.channel.ChannelSpec`, realized
+        from a generator spawned off ``rng`` so the main stream — and every
+        channel-free payload — is untouched.
         """
 
     def run_many(
@@ -294,6 +322,7 @@ class Engine(abc.ABC):
         faults=None,
         budgets: Sequence[int] = (),
         rngs: Sequence[np.random.Generator] | None = None,
+        channel=None,
     ) -> list[RoundsResult]:
         """Run several independent sample budgets of one plan in one call.
 
@@ -311,7 +340,7 @@ class Engine(abc.ABC):
         """
         budgets, streams = check_run_many_args(budgets, rngs)
         return [
-            self.run_rounds(config, schedule, attack, faults, samples, rng)
+            self.run_rounds(config, schedule, attack, faults, samples, rng, channel)
             for samples, rng in zip(budgets, streams)
         ]
 
@@ -323,6 +352,7 @@ class Engine(abc.ABC):
         rng: np.random.Generator | None = None,
         attack: AttackSpec = "stretch",
         faults=None,
+        channel=None,
     ) -> ScheduleComparison:
         """Run every schedule on one configuration (Table I style).
 
@@ -332,7 +362,7 @@ class Engine(abc.ABC):
         """
         rng = ensure_rng(rng)
         rows = tuple(
-            self.run_rounds(config, schedule, attack, faults, samples, rng).to_row()
+            self.run_rounds(config, schedule, attack, faults, samples, rng, channel).to_row()
             for schedule in schedules
         )
         return ScheduleComparison(config=config, rows=rows)

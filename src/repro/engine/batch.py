@@ -31,6 +31,7 @@ from repro.batch.rounds import (
     prepare_rounds,
     sample_correct_bounds,
 )
+from repro.channel import ChannelSpec
 from repro.core.exceptions import ExperimentError
 from repro import obs
 from repro.engine.base import (
@@ -40,6 +41,7 @@ from repro.engine.base import (
     RoundsResult,
     StretchAttack,
     TruthfulAttack,
+    check_channel_support,
     check_run_many_args,
     check_samples,
     resolve_attack,
@@ -97,9 +99,11 @@ class BatchEngine(Engine):
         faults: BatchTransientFaults | None = None,
         samples: int = 10_000,
         rng: np.random.Generator | None = None,
+        channel: ChannelSpec | None = None,
     ) -> RoundsResult:
         check_samples(samples)
         spec = resolve_attack(attack)
+        check_channel_support(spec, channel)
         rng = ensure_rng(rng)
         round_config = BatchRoundConfig(
             schedule=schedule,
@@ -107,6 +111,7 @@ class BatchEngine(Engine):
             attacker=self._attacker(spec),
             f=config.resolved_f,
             faults=faults,
+            channel=channel,
         )
         with obs.span("engine.run", engine=self.name, schedule=schedule.name, samples=samples):
             result = self._driver(
@@ -114,7 +119,19 @@ class BatchEngine(Engine):
             )
         obs.add("repro_engine_samples_total", samples, engine=self.name)
         self._flush_attacker_stats(round_config.attacker)
+        self._flush_channel_stats(result)
         return self._rounds_result(schedule, result)
+
+    def _flush_channel_stats(self, result: BatchRoundResult) -> None:
+        realization = result.channel
+        if realization is None:
+            return
+        obs.add("repro_channel_dropped_total", int(realization.dropped.sum()), engine=self.name)
+        obs.add(
+            "repro_channel_retransmits_total",
+            int(realization.retransmits.sum()),
+            engine=self.name,
+        )
 
     @staticmethod
     def _rounds_result(schedule: Schedule, result: BatchRoundResult) -> RoundsResult:
@@ -131,6 +148,7 @@ class BatchEngine(Engine):
             broadcast_hi = broadcast_hi.copy()
             broadcast_lo[invalid] = np.nan
             broadcast_hi[invalid] = np.nan
+        realization = result.channel
         return RoundsResult(
             schedule_name=schedule.name,
             fusion_lo=result.fusion.lo,
@@ -140,6 +158,8 @@ class BatchEngine(Engine):
             broadcast_lo=broadcast_lo,
             broadcast_hi=broadcast_hi,
             flagged=result.flagged,
+            channel_dropped=None if realization is None else realization.dropped,
+            channel_retransmits=None if realization is None else realization.retransmits,
         )
 
     #: Simulation body applied to an already-prepared (possibly packed)
@@ -154,6 +174,7 @@ class BatchEngine(Engine):
         faults: BatchTransientFaults | None = None,
         budgets: Sequence[int] = (),
         rngs: Sequence[np.random.Generator] | None = None,
+        channel: ChannelSpec | None = None,
     ) -> list[RoundsResult]:
         """Pack every budget into one simulation pass (bit-identical split).
 
@@ -169,12 +190,14 @@ class BatchEngine(Engine):
         """
         budgets, streams = check_run_many_args(budgets, rngs)
         spec = resolve_attack(attack)
+        check_channel_support(spec, channel)
         round_config = BatchRoundConfig(
             schedule=schedule,
             attacked_indices=config.resolved_attacked,
             attacker=self._attacker(spec),
             f=config.resolved_f,
             faults=faults,
+            channel=channel,
         )
         with obs.span(
             "engine.run", engine=self.name, schedule=schedule.name, samples=sum(budgets), items=len(budgets)
@@ -190,6 +213,7 @@ class BatchEngine(Engine):
             packed = self._prepared_driver(concat_prepared(items), round_config, streams[0])
         obs.add("repro_engine_samples_total", sum(budgets), engine=self.name)
         self._flush_attacker_stats(round_config.attacker)
+        self._flush_channel_stats(packed)
         full = self._rounds_result(schedule, packed)
         results = []
         start = 0
@@ -205,6 +229,14 @@ class BatchEngine(Engine):
                     broadcast_lo=full.broadcast_lo[start:stop],
                     broadcast_hi=full.broadcast_hi[start:stop],
                     flagged=full.flagged[start:stop],
+                    channel_dropped=(
+                        None if full.channel_dropped is None else full.channel_dropped[start:stop]
+                    ),
+                    channel_retransmits=(
+                        None
+                        if full.channel_retransmits is None
+                        else full.channel_retransmits[start:stop]
+                    ),
                 )
             )
             start = stop

@@ -25,6 +25,7 @@ from repro.attack.expectation import ExpectationPolicy
 from repro.attack.policy import AttackPolicy, TruthfulPolicy
 from repro.attack.stretch import ActiveStretchPolicy
 from repro.batch.rounds import BatchTransientFaults, batch_orders, sample_correct_bounds
+from repro.channel import ChannelSpec, realize_channel
 from repro.core.exceptions import EmptyFusionError, ExperimentError
 from repro.core.interval import Interval
 from repro import obs
@@ -35,13 +36,14 @@ from repro.engine.base import (
     RoundsResult,
     StretchAttack,
     TruthfulAttack,
+    check_channel_support,
     check_samples,
     resolve_attack,
 )
 from repro.scheduling.comparison import ScheduleComparisonConfig
 from repro.scheduling.round import RoundConfig, run_round
 from repro.scheduling.schedule import FixedSchedule, Schedule
-from repro.utils.seeding import derive_rng, ensure_rng
+from repro.utils.seeding import derive_rng, ensure_rng, spawn_rng
 from repro.vehicle.case_study import CaseStudyConfig, CaseStudyResult
 
 __all__ = ["ScalarEngine"]
@@ -77,9 +79,10 @@ class ScalarEngine(Engine):
         faults: BatchTransientFaults | None = None,
         samples: int = 10_000,
         rng: np.random.Generator | None = None,
+        channel: ChannelSpec | None = None,
     ) -> RoundsResult:
         with obs.span("engine.run", engine=self.name, schedule=schedule.name, samples=samples):
-            return self._run_rounds(config, schedule, attack, faults, samples, rng)
+            return self._run_rounds(config, schedule, attack, faults, samples, rng, channel)
 
     def _run_rounds(
         self,
@@ -89,9 +92,11 @@ class ScalarEngine(Engine):
         faults: BatchTransientFaults | None,
         samples: int,
         rng: np.random.Generator | None,
+        channel: ChannelSpec | None = None,
     ) -> RoundsResult:
         check_samples(samples)
         spec = resolve_attack(attack)
+        check_channel_support(spec, channel)
         rng = ensure_rng(rng)
         n = config.n
         attacked = config.resolved_attacked
@@ -112,6 +117,15 @@ class ScalarEngine(Engine):
                 if attacked:
                     eligible[:, list(attacked)] = False
                 lowers, uppers, _fault_mask = faults.apply(lowers, uppers, eligible, rng)
+            # The channel draws from its own spawned child stream so that the
+            # main stream — and therefore every channel-free payload — is
+            # untouched, and every engine backend realizes the identical
+            # channel for identical (spec, samples, rng) triples.
+            realization = (
+                realize_channel(channel, samples, n, spawn_rng(rng))
+                if channel is not None
+                else None
+            )
 
         policy = self._policy(spec)
         fusion_lo = np.full(samples, np.nan)
@@ -131,7 +145,12 @@ class ScalarEngine(Engine):
                     f=config.resolved_f,
                 )
                 try:
-                    result = run_round(intervals, round_config, rng)
+                    result = run_round(
+                        intervals,
+                        round_config,
+                        rng,
+                        channel=None if realization is None else realization.row(index),
+                    )
                 except EmptyFusionError:
                     # The batch engine reports these rounds through its `valid`
                     # mask; mirror that instead of aborting the sweep.  The
@@ -156,6 +175,13 @@ class ScalarEngine(Engine):
                 obs.add("repro_expectation_memo_total", stats["hits"], outcome="hit")
             if stats["misses"]:
                 obs.add("repro_expectation_memo_total", stats["misses"], outcome="miss")
+        if realization is not None:
+            obs.add("repro_channel_dropped_total", int(realization.dropped.sum()), engine=self.name)
+            obs.add(
+                "repro_channel_retransmits_total",
+                int(realization.retransmits.sum()),
+                engine=self.name,
+            )
         return RoundsResult(
             schedule_name=schedule.name,
             fusion_lo=fusion_lo,
@@ -165,6 +191,8 @@ class ScalarEngine(Engine):
             broadcast_lo=broadcast_lo,
             broadcast_hi=broadcast_hi,
             flagged=flagged,
+            channel_dropped=None if realization is None else realization.dropped,
+            channel_retransmits=None if realization is None else realization.retransmits,
         )
 
     def run_case_study(

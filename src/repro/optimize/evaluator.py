@@ -155,6 +155,7 @@ class ScheduleEvaluator:
                 self.faults,
                 budgets=budgets,
                 rngs=rngs,
+                channel=self.spec.case.channel,
             )
         if started is not None:
             obs.add("repro_optimize_evaluations_total", 1, outcome="unique")

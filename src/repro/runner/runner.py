@@ -133,7 +133,7 @@ def comparison_stats_row(result) -> dict:
             "broadcast_hi/flagged like the built-in backends)"
         )
     valid = result.valid
-    return {
+    row = {
         "schedule": result.schedule_name,
         "samples": result.samples,
         "valid": int(np.count_nonzero(valid)),
@@ -141,6 +141,12 @@ def comparison_stats_row(result) -> dict:
         "detected": int(np.count_nonzero(result.attacker_detected)),
         "flagged_counts": [int(count) for count in result.flagged[valid].sum(axis=0)],
     }
+    if result.channel_dropped is not None:
+        # Channel counters only appear on lossy runs, so channel-free
+        # scenario payloads stay byte-identical to pre-channel builds.
+        row["channel_dropped"] = int(result.channel_dropped.sum())
+        row["channel_retransmits"] = int(result.channel_retransmits.sum())
+    return row
 
 
 def _execute_comparison(task: ShardTask) -> list[dict]:
@@ -154,8 +160,15 @@ def _execute_comparison(task: ShardTask) -> list[dict]:
     # the same convention as Engine.compare, so a single-shard scenario
     # reproduces an engine.compare call exactly.
     rng = derive_rng(spec.seed, case_index, shard_index)
+    # Only lossy cases pass the channel through, so third-party backends
+    # predating the channel parameter keep working on channel-free scenarios.
+    channel_args = (case.channel,) if case.channel is not None else ()
     return [
-        comparison_stats_row(engine.run_rounds(config, schedule, case.attack, faults, samples, rng))
+        comparison_stats_row(
+            engine.run_rounds(
+                config, schedule, case.attack, faults, samples, rng, *channel_args
+            )
+        )
         for schedule in case.schedule_objects()
     ]
 
@@ -174,29 +187,34 @@ def _merge_comparison(spec: ComparisonScenario, outcomes: list[list[dict]]) -> d
             valid = sum(shard["valid"] for shard in shards)
             width_sum = sum(shard["width_sum"] for shard in shards)
             flagged_counts = np.sum([shard["flagged_counts"] for shard in shards], axis=0)
-            rows.append(
-                {
-                    "schedule": schedule_name,
-                    "samples": samples,
-                    "expected_width": width_sum / valid if valid else float("nan"),
-                    "valid_fraction": valid / samples,
-                    "detected_fraction": sum(shard["detected"] for shard in shards) / samples,
-                    "flagged_fraction_per_sensor": [
-                        count / valid if valid else float("nan") for count in flagged_counts
-                    ],
-                }
-            )
-        cases.append(
-            {
-                "label": case.label,
-                "lengths": list(case.lengths),
-                "fa": case.fa,
-                "f": case.comparison_config().resolved_f,
-                "attack": case.attack,
-                "fault_probability": case.fault_probability,
-                "rows": rows,
+            row = {
+                "schedule": schedule_name,
+                "samples": samples,
+                "expected_width": width_sum / valid if valid else float("nan"),
+                "valid_fraction": valid / samples,
+                "detected_fraction": sum(shard["detected"] for shard in shards) / samples,
+                "flagged_fraction_per_sensor": [
+                    count / valid if valid else float("nan") for count in flagged_counts
+                ],
             }
-        )
+            if "channel_dropped" in shards[0]:
+                row["channel_dropped"] = sum(shard["channel_dropped"] for shard in shards)
+                row["channel_retransmits"] = sum(
+                    shard["channel_retransmits"] for shard in shards
+                )
+            rows.append(row)
+        merged = {
+            "label": case.label,
+            "lengths": list(case.lengths),
+            "fa": case.fa,
+            "f": case.comparison_config().resolved_f,
+            "attack": case.attack,
+            "fault_probability": case.fault_probability,
+            "rows": rows,
+        }
+        if case.channel is not None:
+            merged["channel"] = case.channel.to_dict()
+        cases.append(merged)
     return {"kind": spec.kind, "cases": cases}
 
 

@@ -156,18 +156,31 @@ class ArtifactStore:
             )
         return summaries
 
+    @staticmethod
+    def _recency(entry: dict) -> tuple:
+        """Total order on entries: mtime, then key, then path.
+
+        Filesystem mtimes have coarse granularity (a second on some mounts),
+        so two artifacts written back-to-back routinely share one.  The
+        content-hash key (and, belt-and-braces, the path) breaks the tie, so
+        :meth:`latest_index` and :meth:`gc` pick the same winner on every
+        platform and directory-walk order.
+        """
+        return (entry["modified"], entry["key"] or "", entry["path"])
+
     def latest_index(self) -> dict[str, dict]:
         """Scenario name → its most recently written entry.
 
         The content-addressed layout keeps every historical key of a scenario
         (each spec change writes a new file); this view answers "what is the
-        current result for NAME" by modification time.
+        current result for NAME" by modification time, with equal mtimes
+        broken deterministically (:meth:`_recency`).
         """
         index: dict[str, dict] = {}
         for entry in self.entries():
             name = entry["name"]
             current = index.get(name)
-            if current is None or entry["modified"] > current["modified"]:
+            if current is None or self._recency(entry) > self._recency(current):
                 index[name] = entry
         return index
 
@@ -187,7 +200,7 @@ class ArtifactStore:
             by_name.setdefault(entry["name"], []).append(entry)
         deleted = []
         for entries in by_name.values():
-            entries.sort(key=lambda entry: entry["modified"], reverse=True)
+            entries.sort(key=self._recency, reverse=True)
             for entry in entries[keep_latest:]:
                 with contextlib.suppress(FileNotFoundError):
                     os.unlink(entry["path"])

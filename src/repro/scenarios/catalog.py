@@ -18,7 +18,10 @@ Registered on import of :mod:`repro.scenarios`:
   strategies: exhaustive sweeps of every Table I row plus annealing/bandit
   demos on a larger seven-sensor space (``docs/OPTIMIZATION.md``);
 * ``sweep-*`` — new workloads beyond the paper: multi-fault ``fa`` grids,
-  transient sensor dropout, and heterogeneous-noise length grids.
+  transient sensor dropout, and heterogeneous-noise length grids;
+* ``sweep-lossy-*`` — fusion over a lossy broadcast channel
+  (:mod:`repro.channel`): i.i.d. and Gilbert–Elliott loss, delivery delay
+  and retransmission budgets (``docs/CHANNELS.md``).
 
 Paper numbers quoted in descriptions come from
 :mod:`repro.analysis.experiments` (`TABLE1_CONFIGURATIONS` /
@@ -28,6 +31,7 @@ Paper numbers quoted in descriptions come from
 from __future__ import annotations
 
 from repro.analysis.experiments import TABLE1_CONFIGURATIONS, table1_row_name
+from repro.channel import ChannelSpec
 from repro.scenarios.registry import register_scenario
 from repro.scenarios.spec import (
     CaseStudyScenario,
@@ -396,6 +400,118 @@ def _sweep_scenarios() -> list[ComparisonScenario]:
     ]
 
 
+def _lossy_scenarios() -> list[ComparisonScenario]:
+    """The ``sweep-lossy-*`` family: fusion under a lossy broadcast channel.
+
+    Each case pairs a schedule grid with a :class:`repro.channel.ChannelSpec`
+    — i.i.d. loss, Gilbert–Elliott bursts, or delivery delay — crossed with
+    a retransmission budget.  They run on the fused engine (the lossy
+    multi-slot leg is the ``benchmarks/bench_lossy.py`` workload) and their
+    payload rows carry the ``channel_dropped`` / ``channel_retransmits``
+    counters; findings are written up in ``docs/CHANNELS.md``.
+    """
+    lengths = (5.0, 5.0, 5.0, 8.0, 11.0, 14.0, 17.0)
+    return [
+        ComparisonScenario(
+            name="sweep-lossy-iid",
+            description=(
+                "Beyond the paper: Table I style sweep under i.i.d. message loss "
+                "crossed with a retransmission budget — how much of the "
+                "descending advantage survives an unreliable bus"
+            ),
+            engine="fused",
+            tags=("sweep", "channel"),
+            samples=50_000,
+            shard_samples=12_500,
+            cases=tuple(
+                ComparisonCase(
+                    label=f"loss={loss:g}-retx={budget}",
+                    lengths=lengths,
+                    fa=1,
+                    channel=ChannelSpec(model="iid", loss=loss, retransmit_budget=budget),
+                )
+                for loss in (0.05, 0.15, 0.3)
+                for budget in (0, 2)
+            ),
+        ),
+        ComparisonScenario(
+            name="sweep-lossy-burst",
+            description=(
+                "Gilbert–Elliott burst loss at ~15% average rate vs the matched "
+                "i.i.d. channel: bursts wipe out adjacent slots, so schedules "
+                "that cluster precise sensors suffer disproportionately"
+            ),
+            engine="fused",
+            tags=("sweep", "channel"),
+            samples=50_000,
+            shard_samples=12_500,
+            cases=(
+                ComparisonCase(
+                    label="iid-matched",
+                    lengths=lengths,
+                    fa=1,
+                    channel=ChannelSpec(model="iid", loss=0.15, retransmit_budget=1),
+                ),
+                ComparisonCase(
+                    label="burst",
+                    lengths=lengths,
+                    fa=1,
+                    channel=ChannelSpec(
+                        model="gilbert-elliott",
+                        good_to_bad=0.1,
+                        bad_to_good=0.5,
+                        loss_good=0.02,
+                        loss_bad=0.7,
+                        retransmit_budget=1,
+                    ),
+                ),
+            ),
+        ),
+        ComparisonScenario(
+            name="sweep-lossy-delay",
+            description=(
+                "Delivery delay without loss: late intervals hide earlier "
+                "transmissions from the attacker (shrinking its support region) "
+                "but also miss fusion when they slip past the round end"
+            ),
+            engine="fused",
+            tags=("sweep", "channel"),
+            samples=50_000,
+            shard_samples=12_500,
+            cases=tuple(
+                ComparisonCase(
+                    label=f"delay={delay:g}",
+                    lengths=lengths,
+                    fa=1,
+                    channel=ChannelSpec(model="iid", delay=delay, max_delay=2),
+                )
+                for delay in (0.1, 0.3, 0.6)
+            ),
+        ),
+        ComparisonScenario(
+            name="sweep-lossy-smoke",
+            description=(
+                "Small-budget lossy-channel scenario — the CI smoke run for the "
+                "channel path (loss, delay and retransmission all exercised)"
+            ),
+            engine="fused",
+            tags=("smoke", "channel"),
+            samples=8_000,
+            shard_samples=2_000,
+            cases=(
+                ComparisonCase(
+                    label="lossy-smoke",
+                    lengths=(5.0, 11.0, 17.0, 8.0, 14.0),
+                    fa=1,
+                    channel=ChannelSpec(
+                        model="iid", loss=0.2, delay=0.1, max_delay=2, retransmit_budget=1
+                    ),
+                ),
+            ),
+        ),
+    ]
+
+
 def register_builtin_scenarios() -> None:
     """Register the full catalogue (idempotent via ``replace=True``)."""
     for spec in (
@@ -405,6 +521,7 @@ def register_builtin_scenarios() -> None:
         *_ablation_scenarios(),
         *_optimize_scenarios(),
         *_sweep_scenarios(),
+        *_lossy_scenarios(),
     ):
         register_scenario(spec, replace=True)
 

@@ -44,8 +44,9 @@ from dataclasses import dataclass
 from typing import ClassVar
 
 from repro.batch.rounds import BatchTransientFaults
+from repro.channel import ChannelSpec, channel_spec_from_dict
 from repro.core.exceptions import ExperimentError
-from repro.engine.base import resolve_attack
+from repro.engine.base import check_channel_support, resolve_attack
 from repro.scheduling.comparison import ScheduleComparisonConfig
 from repro.scheduling.schedule import (
     FixedSchedule,
@@ -57,6 +58,7 @@ from repro.scheduling.schedule import (
 __all__ = [
     "SCHEMA_VERSION",
     "SPEC_VERSION",
+    "CHANNEL_SPEC_VERSION",
     "SUPPORTED_SPEC_VERSIONS",
     "ComparisonCase",
     "ScenarioSpec",
@@ -84,8 +86,14 @@ SCHEMA_VERSION = 1
 #: the field, and teaches the reader the new shape.
 SPEC_VERSION = 1
 
+#: Wire version a payload needs before it may carry a lossy-channel spec.
+#: Channel-free payloads keep speaking (and hashing as) version 1 — the
+#: field only appears on specs that would be misread by a pre-channel
+#: build, which is exactly the versioning contract above.
+CHANNEL_SPEC_VERSION = 2
+
 #: Wire-format versions :func:`spec_from_dict` can read.
-SUPPORTED_SPEC_VERSIONS = (1,)
+SUPPORTED_SPEC_VERSIONS = (1, CHANNEL_SPEC_VERSION)
 
 #: Attackers a :class:`CaseStudyScenario` can name, per engine family.
 CASE_STUDY_ATTACKERS = ("proxy", "exact", "expectation-grid")
@@ -135,15 +143,24 @@ class ComparisonCase:
     fault_probability: float = 0.0
     fault_min_offset_widths: float = 1.0
     fault_max_offset_widths: float = 3.0
+    #: Optional lossy-channel model (:class:`repro.channel.ChannelSpec`);
+    #: ``None`` is the perfect bus and serialises to nothing, so channel-free
+    #: specs keep their pre-channel content hashes.
+    channel: ChannelSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.schedules:
             raise ExperimentError(f"case {self.label!r} needs at least one schedule")
+        if self.channel is not None and not isinstance(self.channel, ChannelSpec):
+            raise ExperimentError(
+                f"case {self.label!r}: channel must be a ChannelSpec or None, "
+                f"got {type(self.channel).__name__}"
+            )
         # Fail at registration time, not mid-run on a worker: the engine
-        # config, attack spec, schedule strings and fault model all validate
-        # their own fields.
+        # config, attack spec, schedule strings, fault model and channel
+        # pairing all validate their own fields.
         self.comparison_config()
-        resolve_attack(self.attack)
+        check_channel_support(resolve_attack(self.attack), self.channel)
         self.schedule_objects()
         self.faults()
 
@@ -423,11 +440,35 @@ def spec_dict(spec: ScenarioSpec) -> dict:
     payload = dataclasses.asdict(spec)
     payload["kind"] = spec.kind
     payload["schema"] = SCHEMA_VERSION
-    if SPEC_VERSION != 1:
-        # v1 is implied by absence so v1 hashes never change; only later
-        # wire versions mark themselves explicitly.
-        payload["spec_version"] = SPEC_VERSION
+    version = max(SPEC_VERSION, _strip_default_channels(payload))
+    if version != 1:
+        # v1 is implied by absence so v1 hashes never change; only payloads
+        # a pre-channel build would misread mark themselves explicitly.
+        payload["spec_version"] = version
     return payload
+
+
+def _strip_default_channels(payload: dict) -> int:
+    """Drop ``channel: None`` from serialised cases; report the wire version.
+
+    ``dataclasses.asdict`` emits the :attr:`ComparisonCase.channel` default
+    into every case dict.  Stripping the ``None`` entries keeps channel-free
+    payloads byte-identical to their pre-channel serialisation (and hence
+    keeps every stored :func:`spec_key` valid); a case that *does* carry a
+    channel promotes the payload to :data:`CHANNEL_SPEC_VERSION`.
+    """
+    version = 1
+    cases = list(payload.get("cases") or ())
+    if payload.get("case") is not None:
+        cases.append(payload["case"])
+    for case in cases:
+        if not isinstance(case, dict):
+            continue
+        if case.get("channel") is None:
+            case.pop("channel", None)
+        else:
+            version = CHANNEL_SPEC_VERSION
+    return version
 
 
 #: Scenario kinds the tolerant reader can reconstruct.
@@ -455,14 +496,23 @@ def _tuplify(name: str, value):
     return tuple(value)
 
 
-def _case_from_dict(payload: dict) -> ComparisonCase:
+def _case_from_dict(payload: dict, version: int = CHANNEL_SPEC_VERSION) -> ComparisonCase:
     if not isinstance(payload, dict):
         raise ExperimentError(f"a comparison case must be an object, got {type(payload).__name__}")
     fields = {field.name for field in dataclasses.fields(ComparisonCase)}
     unknown = sorted(set(payload) - fields)
     if unknown:
         raise ExperimentError(f"comparison case carries unknown fields: {', '.join(unknown)}")
-    return ComparisonCase(**{name: _tuplify(name, value) for name, value in payload.items()})
+    values = {name: _tuplify(name, value) for name, value in payload.items()}
+    if values.get("channel") is not None:
+        if version < CHANNEL_SPEC_VERSION:
+            raise ExperimentError(
+                "a comparison case with a channel requires "
+                f"spec_version {CHANNEL_SPEC_VERSION}; version-{version} payloads "
+                "predate the lossy-channel wire format"
+            )
+        values["channel"] = channel_spec_from_dict(values["channel"])
+    return ComparisonCase(**values)
 
 
 def spec_from_dict(payload: dict) -> ScenarioSpec:
@@ -512,9 +562,9 @@ def spec_from_dict(payload: dict) -> ScenarioSpec:
         )
     values = {name: _tuplify(name, value) for name, value in payload.items()}
     if cls is ComparisonScenario and "cases" in values:
-        values["cases"] = tuple(_case_from_dict(case) for case in values["cases"])
+        values["cases"] = tuple(_case_from_dict(case, version) for case in values["cases"])
     if cls is OptimizationScenario and values.get("case") is not None:
-        values["case"] = _case_from_dict(values["case"])
+        values["case"] = _case_from_dict(values["case"], version)
     if cls is CaseStudyScenario and isinstance(values.get("attacked_sensor"), float):
         # JSON has one number type; an integral sensor index survives the trip.
         if values["attacked_sensor"].is_integer():

@@ -22,10 +22,11 @@ import numpy as np
 from repro.attack.context import AttackContext
 from repro.attack.policy import AttackPolicy, TruthfulPolicy
 from repro.attack.stealth import AttackerMode, check_admissible
+from repro.channel.model import ChannelRoundView
 from repro.core.detection import DetectionResult, detect
-from repro.core.exceptions import ScheduleError
+from repro.core.exceptions import EmptyFusionError, ScheduleError
 from repro.core.interval import Interval, intersect_all
-from repro.core.marzullo import fuse, max_safe_fault_bound
+from repro.core.marzullo import fuse, fuse_or_none, max_safe_fault_bound
 from repro.scheduling.schedule import Schedule
 
 __all__ = ["RoundConfig", "RoundResult", "run_round"]
@@ -113,6 +114,7 @@ def run_round(
     correct_intervals: Sequence[Interval],
     config: RoundConfig,
     rng: np.random.Generator,
+    channel: ChannelRoundView | None = None,
 ) -> RoundResult:
     """Simulate one fusion round.
 
@@ -126,6 +128,13 @@ def run_round(
         Round configuration (schedule, attacked set, policy, fault bound).
     rng:
         Random source, used by randomised schedules and randomised policies.
+    channel:
+        Optional lossy-channel fate of this round's transmissions
+        (:mod:`repro.channel`).  Attackers then see only the earlier
+        transmissions that already arrived, and fusion/detection run over
+        the received subset; an unfusable subset raises
+        :class:`~repro.core.exceptions.EmptyFusionError` like any other
+        fault overflow.
     """
     n = len(correct_intervals)
     if n == 0:
@@ -167,6 +176,18 @@ def run_round(
 
         remaining = order[slot + 1 :]
         assert delta is not None
+        if channel is None:
+            visible = tuple(transmitted)
+            visible_compromised = tuple(transmitted_compromised)
+        else:
+            # The attacker only sees transmissions that were not lost and
+            # have already arrived; the rest are hidden, not absent — the
+            # context still accounts for all n sensors via n_hidden.
+            mask = channel.visible_at(slot)
+            visible = tuple(t for t, ok in zip(transmitted, mask) if ok)
+            visible_compromised = tuple(
+                c for c, ok in zip(transmitted_compromised, mask) if ok
+            )
         context = AttackContext(
             n=n,
             f=f,
@@ -175,11 +196,12 @@ def run_round(
             width=widths[sensor_index],
             own_reading=correct_intervals[sensor_index],
             delta=delta,
-            transmitted=tuple(transmitted),
-            transmitted_compromised=tuple(transmitted_compromised),
+            transmitted=visible,
+            transmitted_compromised=visible_compromised,
             remaining_widths=tuple(widths[i] for i in remaining),
             remaining_compromised=tuple(i in attacked for i in remaining),
             protected_points=protected_points,
+            n_hidden=slot - len(visible),
             oracle_correct_intervals=oracle,
         )
         forged = config.policy.choose_interval(context, rng)
@@ -192,8 +214,32 @@ def run_round(
         transmitted_compromised.append(True)
 
     broadcast_in_sensor_order = tuple(broadcast_by_sensor[i] for i in range(n))
-    fusion = fuse(list(transmitted), f)
-    detection = detect(transmitted, fusion)
+    if channel is None:
+        fusion = fuse(list(transmitted), f)
+        detection = detect(transmitted, fusion)
+    else:
+        # Fusion and detection only see what the channel delivered.  The
+        # fault bound stays the configured f (the controller does not know
+        # how many losses occurred), so a thin received subset degrades to
+        # the hull (required <= 0) exactly like the batch engines' masked
+        # coverage sweep.
+        received_slots = [slot for slot in range(n) if channel.received[slot]]
+        if not received_slots:
+            raise EmptyFusionError("the channel delivered no interval this round")
+        received = [transmitted[slot] for slot in received_slots]
+        maybe_fusion = fuse_or_none(received, f)
+        if maybe_fusion is None:
+            raise EmptyFusionError(
+                f"no point is covered by at least {len(received) - f} received intervals"
+            )
+        fusion = maybe_fusion
+        subset = detect(received, fusion)
+        flagged = tuple(received_slots[i] for i in subset.flagged_indices)
+        detection = DetectionResult(
+            fusion=fusion,
+            flagged_indices=flagged,
+            cleared_indices=tuple(s for s in range(n) if s not in flagged),
+        )
     return RoundResult(
         order=order,
         broadcast=broadcast_in_sensor_order,

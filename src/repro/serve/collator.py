@@ -53,6 +53,7 @@ def plan_key(engine: str, case: ComparisonCase, schedule: str) -> tuple:
         case.fault_probability,
         case.fault_min_offset_widths,
         case.fault_max_offset_widths,
+        case.channel,
         schedule,
     )
 
@@ -196,6 +197,7 @@ class BatchCollator:
             pending.case.faults(),
             budgets=pending.budgets,
             rngs=pending.rngs,
+            channel=pending.case.channel,
         )
 
     def stats(self) -> dict:

@@ -35,6 +35,7 @@ __all__ = [
     "jumped_rngs",
     "shard_seed_sequences",
     "shard_rngs",
+    "spawn_rng",
 ]
 
 
@@ -90,6 +91,20 @@ def jumped_rngs(seed: int, count: int, *key: int) -> list[np.random.Generator]:
 def shard_seed_sequences(seed: int, count: int) -> list[np.random.SeedSequence]:
     """Independent per-shard seed sequences — a pure function of ``(seed, i)``."""
     return [child_seed_sequence(seed, index) for index in range(count)]
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """One child generator spawned off ``rng``'s seed sequence.
+
+    ``Generator.spawn`` derives the child through ``SeedSequence`` spawn
+    keys **without consuming the parent's bitstream**: the parent produces
+    exactly the same draws after the spawn as it would have without it.
+    This is the hook for *optional* randomness — the lossy-channel model
+    (:mod:`repro.channel`) draws from a spawned child at a fixed point of
+    the engine prologue, so channel-free payloads stay bit-identical while
+    every engine backend sees the same channel stream.
+    """
+    return rng.spawn(1)[0]
 
 
 def shard_rngs(seed: int, count: int) -> list[np.random.Generator]:

@@ -92,3 +92,106 @@ class TestSharedBus:
         assert bus.start_round() == 0
         bus.broadcast(message(0))
         assert bus.start_round() == 1
+
+
+class TestRoundDiscipline:
+    """start_round must reject *any* new round mid-slot, skip-ahead included."""
+
+    def open_round(self, expected_slots=3):
+        bus = SharedBus()
+        bus.start_round(0, expected_slots=expected_slots)
+        bus.broadcast(message(0))
+        return bus
+
+    @pytest.mark.parametrize("round_index", [0, 1, 5, None], ids=["replay", "next", "skip", "auto"])
+    def test_mid_round_start_rejected_for_any_index(self, round_index):
+        # The regression: skip-ahead (round_index > current) used to slip
+        # through the `round_index <= current` check and silently abandon
+        # the open round's remaining slots.
+        bus = self.open_round()
+        with pytest.raises(BusError, match="still open at slot 1 of 3"):
+            bus.start_round(round_index)
+
+    def test_completed_round_allows_any_successor(self):
+        bus = self.open_round(expected_slots=1)
+        assert bus.start_round(7, expected_slots=2) == 7
+
+    def test_fresh_bus_with_expected_slots(self):
+        bus = SharedBus()
+        assert bus.start_round(expected_slots=5) == 0
+        assert bus.next_slot == 0
+
+    def test_broadcast_beyond_expected_slots_rejected(self):
+        bus = SharedBus()
+        bus.start_round(0, expected_slots=2)
+        bus.broadcast(message(0))
+        bus.broadcast(message(1))
+        with pytest.raises(BusError, match="only has 2 slot"):
+            bus.broadcast(message(2))
+
+    @pytest.mark.parametrize("expected_slots", [0, -1])
+    def test_non_positive_expected_slots_rejected(self, expected_slots):
+        with pytest.raises(BusError, match="expected_slots"):
+            SharedBus().start_round(0, expected_slots=expected_slots)
+
+    def test_legacy_behaviour_without_expected_slots(self):
+        # Without a declared slot count the bus cannot distinguish a
+        # finished round from an abandoned one, so only replays (index at
+        # or below the current round) are rejected mid-transmission.
+        bus = SharedBus()
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        with pytest.raises(BusError):
+            bus.start_round(0)
+        assert bus.start_round(3) == 3  # historical skip-ahead tolerance
+
+
+class TestSubscriberLifecycle:
+    def test_unsubscribe_stops_notifications(self):
+        bus = SharedBus()
+        seen = []
+        callback = lambda m: seen.append(m.sender)  # noqa: E731
+        bus.subscribe(callback)
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        bus.unsubscribe(callback)
+        bus.broadcast(message(1, sender="camera"))
+        assert seen == ["gps"]
+
+    def test_unsubscribe_unknown_callback_rejected(self):
+        bus = SharedBus()
+        with pytest.raises(BusError, match="not subscribed"):
+            bus.unsubscribe(lambda m: None)
+
+    def test_clear_keeps_subscribers_by_default(self):
+        # The documented contract: a harness rerunning experiments over the
+        # same wired-up nodes clears the log, not the wiring.
+        bus = SharedBus()
+        seen = []
+        bus.subscribe(lambda m: seen.append(m.sender))
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        bus.clear()
+        bus.start_round(0)
+        bus.broadcast(message(0, sender="camera"))
+        assert seen == ["gps", "camera"]
+
+    def test_clear_can_drop_subscribers(self):
+        bus = SharedBus()
+        seen = []
+        bus.subscribe(lambda m: seen.append(m.sender))
+        bus.clear(drop_subscribers=True)
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        assert seen == []
+
+    def test_clear_resets_expected_slots(self):
+        bus = SharedBus()
+        bus.start_round(0, expected_slots=2)
+        bus.broadcast(message(0))
+        bus.clear()
+        bus.start_round(0)
+        bus.broadcast(message(0))
+        bus.broadcast(message(1))
+        bus.broadcast(message(2))  # no slot bound survives the clear
+        assert len(bus) == 3

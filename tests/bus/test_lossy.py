@@ -1,0 +1,177 @@
+"""`LossyBus`: a channel realization replayed at the message level.
+
+The hand-built realization pins each delivery fate precisely (immediate,
+delayed-in-time, delayed-past-end, lost-and-retransmitted, lost-for-good);
+the `realize_channel` integration test then checks that the message-level
+accounting agrees with the array-level counters for arbitrary draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.bus import BusMessage, LossyBus, SharedBus
+from repro.channel import ChannelRealization, ChannelSpec, realize_channel
+from repro.core import BusError, Interval
+
+
+def message(slot: int, round_index: int = 0) -> BusMessage:
+    return BusMessage(
+        sender=f"sensor-{slot}",
+        sensor_index=slot,
+        slot=slot,
+        round_index=round_index,
+        interval=Interval(0, 1),
+    )
+
+
+def hand_realization() -> ChannelRealization:
+    """One round, five slots, every delivery fate represented.
+
+    slot 0: clean immediate delivery
+    slot 1: lost, retry succeeds (delivered at close, from a tail slot)
+    slot 2: delayed to slot 4 — in time, delivered when slot 4 transmits...
+            actually delivered once a slot > 4 observes it, i.e. at close
+    slot 3: delayed past the round's delivery window — dropped
+    slot 4: lost, retry also lost — dropped
+    """
+    return ChannelRealization(
+        spec=ChannelSpec(loss=0.4, delay=0.5, max_delay=3, retransmit_budget=2),
+        lost=np.array([[False, True, False, False, True]]),
+        arrival=np.array([[0, 1, 4, 9, 4]]),
+        received=np.array([[True, True, True, False, False]]),
+        dropped=np.array([2]),
+        retransmits=np.array([2]),
+    )
+
+
+class TestDelivery:
+    def test_full_round_delivery_order_and_accounting(self):
+        lossy = LossyBus(hand_realization())
+        lossy.start_round()
+        delivered = []
+        lossy.subscribe(lambda m: delivered.append(m.slot))
+        for slot in range(5):
+            lossy.broadcast(message(slot))
+        # In-round: only slot 0 has arrived before the last transmission.
+        assert delivered == [0]
+        fusion_set = lossy.close_round()
+        # Close flushes the delayed slot 2 and replays slot 1's retry.
+        assert delivered == [0, 2, 1]
+        assert [m.slot for m in fusion_set] == [0, 2, 1]
+        assert sorted(m.slot for m in lossy.dropped) == [3, 4]
+        assert len(lossy.dropped) == int(hand_realization().dropped[0])
+        assert len(lossy) == 3
+
+    def test_delayed_message_held_until_arrival(self):
+        # arrival=4 means visible in slots strictly after 4 — a node acting
+        # in slot 3 or 4 has not heard it yet.
+        lossy = LossyBus(hand_realization())
+        lossy.start_round()
+        heard = []
+        lossy.subscribe(lambda m: heard.append(m.slot))
+        for slot in range(5):
+            lossy.broadcast(message(slot))
+            assert 2 not in heard  # arrival slot 4 is never < slot <= 4
+        lossy.close_round()
+        assert 2 in heard
+
+    def test_physical_bus_logs_every_transmission(self):
+        # Loss is a delivery property, not a transmission property: the
+        # shared medium's log keeps all five slots in order.
+        physical = SharedBus()
+        lossy = LossyBus(hand_realization(), bus=physical)
+        lossy.start_round()
+        for slot in range(5):
+            lossy.broadcast(message(slot))
+        assert [m.slot for m in physical] == [0, 1, 2, 3, 4]
+
+    def test_visible_matches_the_realization_view(self):
+        realization = hand_realization()
+        lossy = LossyBus(realization)
+        lossy.start_round()
+        view = realization.row(0)
+        for slot in range(5):
+            lossy.broadcast(message(slot))
+        for slot in range(6):
+            expected = [s for s in range(min(slot, 5)) if view.visible_at(slot)[s]]
+            assert [m.slot for m in lossy.visible(slot)] == expected
+
+    def test_iteration_covers_delivered_messages(self):
+        lossy = LossyBus(hand_realization())
+        lossy.start_round()
+        for slot in range(5):
+            lossy.broadcast(message(slot))
+        lossy.close_round()
+        assert [m.slot for m in lossy] == [m.slot for m in lossy.delivered]
+
+
+class TestDiscipline:
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(BusError, match="row 3"):
+            LossyBus(hand_realization(), row=3)
+
+    def test_slot_beyond_realization_rejected(self):
+        lossy = LossyBus(hand_realization())
+        lossy.start_round()
+        with pytest.raises(BusError, match="5 slot"):
+            lossy.broadcast(message(7))
+
+    def test_closed_round_rejects_broadcasts(self):
+        lossy = LossyBus(hand_realization())
+        lossy.start_round()
+        lossy.broadcast(message(0))
+        lossy.close_round()
+        with pytest.raises(BusError, match="closed"):
+            lossy.broadcast(message(1))
+
+    def test_close_round_is_idempotent(self):
+        lossy = LossyBus(hand_realization())
+        lossy.start_round()
+        for slot in range(5):
+            lossy.broadcast(message(slot))
+        assert lossy.close_round() == lossy.close_round()
+
+    def test_start_round_declares_the_slot_count(self):
+        # The LossyBus knows its schedule length, so the physical bus gets
+        # the strict (skip-ahead-proof) round discipline for free.
+        lossy = LossyBus(hand_realization())
+        lossy.start_round(0)
+        lossy.broadcast(message(0))
+        with pytest.raises(BusError, match="still open"):
+            lossy.bus.start_round(9)
+
+
+class TestObs:
+    def test_close_emits_channel_counters_once(self):
+        with obs.collect() as session:
+            lossy = LossyBus(hand_realization())
+            lossy.start_round()
+            for slot in range(5):
+                lossy.broadcast(message(slot))
+            lossy.close_round()
+            lossy.close_round()  # idempotent: no double counting
+        counters = {
+            (row["name"], row["labels"]["component"]): row["value"]
+            for row in session.snapshot()["metrics"]["counters"]
+        }
+        assert counters[("repro_channel_dropped_total", "bus")] == 2
+        assert counters[("repro_channel_retransmits_total", "bus")] == 2
+
+
+class TestRealizationIntegration:
+    @pytest.mark.parametrize("row", [0, 3, 11])
+    def test_message_accounting_matches_array_counters(self, row):
+        spec = ChannelSpec(loss=0.35, delay=0.3, max_delay=2, retransmit_budget=2)
+        realization = realize_channel(spec, 12, 6, np.random.default_rng(7))
+        lossy = LossyBus(realization, row=row % realization.batch)
+        lossy.start_round()
+        for slot in range(6):
+            lossy.broadcast(message(slot))
+        fusion_set = lossy.close_round()
+        view = realization.row(row % realization.batch)
+        assert sorted(m.slot for m in fusion_set) == list(np.flatnonzero(view.received))
+        assert len(lossy.dropped) == int(realization.dropped[row % realization.batch])
+        for slot in range(7):
+            visible = {m.slot for m in lossy.visible(slot)}
+            assert visible == set(np.flatnonzero(view.visible_at(slot)))

@@ -1,0 +1,71 @@
+"""Validation and serialisation of :class:`repro.channel.ChannelSpec`."""
+
+import pytest
+
+from repro.channel import CHANNEL_MODELS, ChannelSpec, channel_spec_from_dict
+from repro.core.exceptions import ExperimentError
+
+
+class TestValidation:
+    def test_defaults_are_the_perfect_channel(self):
+        spec = ChannelSpec()
+        assert spec.model == "iid"
+        assert spec.loss == 0.0
+        assert spec.delay == 0.0
+        assert spec.retransmit_budget == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown channel model"):
+            ChannelSpec(model="quantum")
+        assert "iid" in CHANNEL_MODELS and "gilbert-elliott" in CHANNEL_MODELS
+
+    @pytest.mark.parametrize(
+        "field", ["loss", "good_to_bad", "bad_to_good", "loss_good", "loss_bad", "delay"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan"), "0.5", True, None])
+    def test_probability_fields_validated(self, field, value):
+        with pytest.raises(ExperimentError, match=field):
+            ChannelSpec(**{field: value})
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "2", True, None])
+    def test_max_delay_must_be_positive_int(self, value):
+        with pytest.raises(ExperimentError, match="max_delay"):
+            ChannelSpec(max_delay=value)
+
+    @pytest.mark.parametrize("value", [-1, 0.5, "1", True, None])
+    def test_retransmit_budget_must_be_non_negative_int(self, value):
+        with pytest.raises(ExperimentError, match="retransmit_budget"):
+            ChannelSpec(retransmit_budget=value)
+
+    def test_frozen_and_hashable(self):
+        spec = ChannelSpec(loss=0.2)
+        assert hash(spec) == hash(ChannelSpec(loss=0.2))
+        with pytest.raises(Exception):
+            spec.loss = 0.5
+
+
+class TestWire:
+    def test_to_dict_round_trips(self):
+        spec = ChannelSpec(
+            model="gilbert-elliott",
+            good_to_bad=0.1,
+            bad_to_good=0.7,
+            loss_good=0.02,
+            loss_bad=0.9,
+            delay=0.3,
+            max_delay=4,
+            retransmit_budget=2,
+        )
+        assert channel_spec_from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fields_rejected_by_name(self):
+        with pytest.raises(ExperimentError, match="jitter"):
+            channel_spec_from_dict({"model": "iid", "jitter": 0.5})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ExperimentError, match="object"):
+            channel_spec_from_dict("iid")
+
+    def test_spec_instances_pass_through(self):
+        spec = ChannelSpec(loss=0.1)
+        assert channel_spec_from_dict(spec) is spec

@@ -28,7 +28,7 @@ class TestListCommand:
         code, out, _ = run_cli("list", "--json", "--tag", "smoke", capsys=capsys)
         assert code == 0
         names = [entry["name"] for entry in json.loads(out)["scenarios"]]
-        assert names == ["table1-smoke"]
+        assert names == ["sweep-lossy-smoke", "table1-smoke"]
 
 
 class TestRunCommand:

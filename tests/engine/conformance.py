@@ -23,6 +23,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.batch.rounds import BatchTransientFaults, batch_orders, sample_correct_bounds
+from repro.channel import ChannelSpec
 from repro.engine import RoundsResult, get_engine
 from repro.scheduling import (
     AscendingSchedule,
@@ -64,6 +65,8 @@ class ConformanceCase:
     fault_probability: float = 0.0
     samples: int = 96
     seed: int = 2014
+    #: Optional lossy-channel spec (frozen, so the case stays hashable).
+    channel: ChannelSpec | None = None
 
     def config(self) -> ScheduleComparisonConfig:
         return ScheduleComparisonConfig(lengths=self.lengths, fa=self.fa, f=self.f)
@@ -103,6 +106,39 @@ CONFORMANCE_MATRIX: tuple[ConformanceCase, ...] = (
         "expectation-conservative-fa2", (5.0, 5.0, 5.0, 14.0, 17.0), 2, "descending",
         attack="expectation-conservative", samples=4,
     ),
+    # Lossy-channel cells: every loss model, delay, and retransmission
+    # budget, crossed with schedules, attacks, and the fault model — the
+    # bit-identity contract extends to the channel counter arrays.
+    ConformanceCase(
+        "channel-iid-asc", (5.0, 11.0, 17.0), 1, "ascending",
+        channel=ChannelSpec(model="iid", loss=0.3), samples=128,
+    ),
+    ConformanceCase(
+        "channel-iid-retx-desc", (2.0, 3.0, 3.0, 6.0, 8.0), 2, "descending",
+        channel=ChannelSpec(model="iid", loss=0.35, retransmit_budget=2), samples=128,
+    ),
+    ConformanceCase(
+        "channel-delay-random", (1.0, 2.0, 3.0, 4.0, 5.0), 1, "random",
+        channel=ChannelSpec(model="iid", loss=0.15, delay=0.4, max_delay=3, retransmit_budget=1),
+        samples=128,
+    ),
+    ConformanceCase(
+        "channel-burst-fixed", (2.0, 3.0, 3.0, 6.0, 8.0), 2, "fixed",
+        channel=ChannelSpec(
+            model="gilbert-elliott", good_to_bad=0.3, bad_to_good=0.4,
+            loss_good=0.05, loss_bad=0.9, retransmit_budget=1,
+        ),
+        samples=128,
+    ),
+    ConformanceCase(
+        "channel-truthful-heavy-loss", (5.0, 11.0, 17.0), 1, "descending", attack="truthful",
+        channel=ChannelSpec(model="iid", loss=0.7, delay=0.3, max_delay=2), samples=160,
+    ),
+    ConformanceCase(
+        "channel-faults", (1.0, 1.0, 1.0, 1.0, 1.0), 1, "ascending", f=2,
+        fault_probability=0.35,
+        channel=ChannelSpec(model="iid", loss=0.25, retransmit_budget=1), samples=160,
+    ),
 )
 
 
@@ -125,6 +161,12 @@ def assert_rounds_equal(a: RoundsResult, b: RoundsResult) -> None:
     np.testing.assert_array_equal(a.broadcast_lo, b.broadcast_lo)
     np.testing.assert_array_equal(a.broadcast_hi, b.broadcast_hi)
     np.testing.assert_array_equal(a.flagged, b.flagged)
+    # Channel counters are physical per-round counts and part of the
+    # bit-identity contract; both sides must agree on their presence too.
+    assert (a.channel_dropped is None) == (b.channel_dropped is None)
+    if a.channel_dropped is not None:
+        np.testing.assert_array_equal(a.channel_dropped, b.channel_dropped)
+        np.testing.assert_array_equal(a.channel_retransmits, b.channel_retransmits)
 
 
 def run_rounds(engine_name: str, case: ConformanceCase) -> RoundsResult:
@@ -136,6 +178,7 @@ def run_rounds(engine_name: str, case: ConformanceCase) -> RoundsResult:
         case.faults(),
         case.samples,
         case.rng(),
+        case.channel,
     )
 
 
@@ -175,6 +218,16 @@ def check_result_completeness(engine_name: str, case: ConformanceCase) -> None:
     assert rates.shape == (n,)
     if bool(valid.any()):
         assert ((rates >= 0.0) & (rates <= 1.0)).all()
+    if case.channel is None:
+        assert result.channel_dropped is None
+        assert result.channel_retransmits is None
+    else:
+        for counters in (result.channel_dropped, result.channel_retransmits):
+            assert counters is not None, "channel counters are part of the contract"
+            assert counters.shape == (samples,)
+            assert (counters >= 0).all()
+        assert (result.channel_dropped <= n).all()
+        assert (result.channel_retransmits <= case.channel.retransmit_budget).all()
 
 
 def check_rng_discipline(engine_name: str, case: ConformanceCase) -> None:
@@ -189,8 +242,17 @@ def check_rng_discipline(engine_name: str, case: ConformanceCase) -> None:
     config = case.config()
     engine_rng = case.rng()
     get_engine(engine_name).run_rounds(
-        config, case.schedule_object(), case.attack, case.faults(), case.samples, engine_rng
+        config,
+        case.schedule_object(),
+        case.attack,
+        case.faults(),
+        case.samples,
+        engine_rng,
+        case.channel,
     )
+    # The channel draws from a *spawned* child generator, which must leave
+    # the parent stream untouched — so the reference consumption below is
+    # identical whether or not a channel is configured.
     reference = case.rng()
     lowers, uppers = sample_correct_bounds(
         config.lengths, config.true_value, case.samples, reference

@@ -196,3 +196,44 @@ class TestHousekeeping:
 
     def test_gc_on_missing_root_is_a_no_op(self, tmp_path):
         assert ArtifactStore(tmp_path / "never-created").gc() == []
+
+
+class TestIdenticalMtimes:
+    """Deterministic recency under mtime ties: equal mtimes break by key.
+
+    Coarse filesystem timestamps routinely give back-to-back saves the
+    same mtime; before the tie-break, latest_index and gc depended on
+    directory iteration order — two runs over the same store could pick
+    different "newest" artifacts and delete different files.
+    """
+
+    def populate(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        by_key = {}
+        for samples in (10, 20, 30):
+            path = store.save(spec(samples=samples), {"kind": "comparison"})
+            os.utime(path, (2_000_000, 2_000_000))
+            by_key[spec_key(spec(samples=samples))] = path
+        return store, by_key
+
+    def test_latest_index_is_stable_under_ties(self, tmp_path):
+        store, by_key = self.populate(tmp_path)
+        winner = max(by_key)  # (modified, key, path): mtimes equal → key decides
+        for _ in range(3):
+            entry = store.latest_index()["store-test"]
+            assert entry["key"] == winner
+            assert entry["path"] == str(by_key[winner])
+
+    def test_gc_deletes_the_same_files_every_time(self, tmp_path):
+        store, by_key = self.populate(tmp_path)
+        winner = max(by_key)
+        deleted = store.gc(keep_latest=1)
+        assert [entry["key"] for entry in deleted] == sorted(set(by_key) - {winner}, reverse=True)
+        assert by_key[winner].exists()
+        assert all(not path.exists() for key, path in by_key.items() if key != winner)
+
+    def test_gc_and_latest_index_agree_on_the_survivor(self, tmp_path):
+        store, by_key = self.populate(tmp_path)
+        survivor_before = store.latest_index()["store-test"]["key"]
+        store.gc(keep_latest=1)
+        assert store.latest_index()["store-test"]["key"] == survivor_before

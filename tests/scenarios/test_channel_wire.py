@@ -1,0 +1,119 @@
+"""Property-based wire tests for :class:`repro.channel.ChannelSpec`.
+
+The channel spec rides inside :func:`repro.scenarios.spec.spec_dict`
+payloads (version-2 wire format), so it inherits the same contract the
+scenario round-trip tests pin by example — here hypothesis pins it over
+the whole parameter space: every valid spec survives ``to_dict`` → JSON →
+:func:`channel_spec_from_dict` exactly (and keeps its content hash), and
+every out-of-range probability, unknown model or unknown field is rejected
+by name before it can reach an engine.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import CHANNEL_MODELS, ChannelSpec, channel_spec_from_dict
+from repro.core.exceptions import ExperimentError
+from repro.scenarios import ComparisonCase, ComparisonScenario
+from repro.scenarios.spec import spec_dict, spec_from_dict, spec_key
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+channel_specs = st.builds(
+    ChannelSpec,
+    model=st.sampled_from(CHANNEL_MODELS),
+    loss=probabilities,
+    good_to_bad=probabilities,
+    bad_to_good=probabilities,
+    loss_good=probabilities,
+    loss_bad=probabilities,
+    delay=probabilities,
+    max_delay=st.integers(min_value=1, max_value=8),
+    retransmit_budget=st.integers(min_value=0, max_value=8),
+)
+
+
+class TestRoundTrip:
+    @given(spec=channel_specs)
+    def test_json_round_trip_is_exact(self, spec):
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert channel_spec_from_dict(payload) == spec
+
+    @given(spec=channel_specs)
+    def test_existing_spec_passes_through(self, spec):
+        assert channel_spec_from_dict(spec) is spec
+
+    @given(spec=channel_specs)
+    @settings(max_examples=25)
+    def test_hash_stability_through_scenario_wire(self, spec):
+        # Embedding the channel in a full scenario and sending it through
+        # the version-2 wire format preserves the content address.
+        scenario = ComparisonScenario(
+            name="wire-prop",
+            engine="batch",
+            samples=10,
+            shard_samples=10,
+            cases=(
+                ComparisonCase(
+                    label="case", lengths=(5.0, 11.0, 17.0), fa=1, channel=spec
+                ),
+            ),
+        )
+        payload = json.loads(json.dumps(spec_dict(scenario)))
+        rebuilt = spec_from_dict(payload)
+        assert rebuilt == scenario
+        assert spec_key(rebuilt) == spec_key(scenario)
+
+
+class TestRejection:
+    @given(spec=channel_specs, value=st.floats(allow_nan=True))
+    def test_out_of_range_probabilities_rejected(self, spec, value):
+        if 0.0 <= value <= 1.0:
+            return
+        payload = spec.to_dict()
+        payload["loss"] = value
+        with pytest.raises(ExperimentError):
+            channel_spec_from_dict(payload)
+
+    @given(
+        spec=channel_specs,
+        name=st.text(min_size=1, max_size=20).filter(
+            lambda text: text not in {field.name for field in dataclasses.fields(ChannelSpec)}
+        ),
+    )
+    def test_unknown_fields_rejected_by_name(self, spec, name):
+        payload = spec.to_dict()
+        payload[name] = 0.5
+        with pytest.raises(ExperimentError, match="unknown"):
+            channel_spec_from_dict(payload)
+
+    @given(model=st.text(max_size=20).filter(lambda text: text not in CHANNEL_MODELS))
+    def test_unknown_models_rejected(self, model):
+        with pytest.raises(ExperimentError):
+            channel_spec_from_dict({"model": model})
+
+    @pytest.mark.parametrize("payload", [None, 3, "iid", ["iid"]])
+    def test_non_dict_payloads_rejected(self, payload):
+        with pytest.raises(ExperimentError):
+            channel_spec_from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("loss", True),
+            ("loss", "0.5"),
+            ("max_delay", 0),
+            ("max_delay", 1.5),
+            ("retransmit_budget", -1),
+            ("retransmit_budget", 0.5),
+        ],
+    )
+    def test_bad_scalar_fields_rejected(self, field, value):
+        payload = ChannelSpec().to_dict()
+        payload[field] = value
+        with pytest.raises(ExperimentError):
+            channel_spec_from_dict(payload)

@@ -15,6 +15,7 @@ import pytest
 from repro.core.exceptions import ExperimentError
 from repro.scenarios import available_scenarios, get_scenario
 from repro.scenarios.spec import (
+    CHANNEL_SPEC_VERSION,
     SCHEMA_VERSION,
     SPEC_VERSION,
     SUPPORTED_SPEC_VERSIONS,
@@ -76,7 +77,7 @@ class TestVersioning:
         spec = get_scenario("table1-smoke")
         assert spec_from_dict({**wire(spec), "spec_version": 1}) == spec
 
-    @pytest.mark.parametrize("version", [0, 2, "one", None])
+    @pytest.mark.parametrize("version", [0, 3, "one", None])
     def test_unsupported_versions_rejected_with_supported_list(self, version):
         payload = {**wire(get_scenario("table1-smoke")), "spec_version": version}
         with pytest.raises(ExperimentError, match="unsupported spec_version"):
@@ -86,6 +87,25 @@ class TestVersioning:
     def test_wrong_schema_rejected(self):
         payload = {**wire(get_scenario("table1-smoke")), "schema": 999}
         with pytest.raises(ExperimentError, match="schema"):
+            spec_from_dict(payload)
+
+    def test_channel_free_specs_never_mention_the_channel(self):
+        # The hash-stability half of the channel versioning contract:
+        # without a channel, the serialised form is byte-for-byte the
+        # pre-channel wire format — no `channel` keys, no `spec_version`.
+        payload = spec_dict(get_scenario("table1-smoke"))
+        assert "spec_version" not in payload
+        assert all("channel" not in case for case in payload["cases"])
+
+    def test_channel_specs_are_version_two(self):
+        payload = spec_dict(get_scenario("sweep-lossy-smoke"))
+        assert payload["spec_version"] == CHANNEL_SPEC_VERSION
+        assert payload["cases"][0]["channel"]["model"] == "iid"
+
+    def test_v1_payload_carrying_a_channel_is_rejected(self):
+        payload = wire(get_scenario("sweep-lossy-smoke"))
+        payload.pop("spec_version")
+        with pytest.raises(ExperimentError, match="spec_version"):
             spec_from_dict(payload)
 
 
